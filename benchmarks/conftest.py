@@ -1,0 +1,18 @@
+"""Benchmark-suite plumbing.
+
+Each bench runs one paper experiment exactly once under
+pytest-benchmark (`pedantic`, one round — the experiments are
+deterministic simulations, not microbenchmarks), prints the paper-style
+table, and asserts the *shape* invariants recorded in EXPERIMENTS.md.
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+
+def run_experiment(benchmark, fn, **kwargs):
+    """Execute ``fn`` once under the benchmark fixture; print report."""
+    results, report = benchmark.pedantic(
+        lambda: fn(**kwargs), rounds=1, iterations=1)
+    print("\n" + report + "\n")
+    return results

@@ -1,0 +1,29 @@
+"""Fig. 10: sweeping the kernel prefetch-limit size.
+
+Paper shape: raising the limit barely helps APPonly/OSonly (no cache
+awareness, no concurrency); CrossPrefetch ignores the limit entirely and
+stays on top at every point.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.harness.experiments import run_fig10_prefetch_limit
+
+
+def test_fig10_prefetch_limit(benchmark):
+    results = run_experiment(benchmark, run_fig10_prefetch_limit)
+
+    points = list(results)
+    for point in points:
+        row = results[point]
+        assert row["CrossP[+predict+opt]"].kops \
+            > 1.1 * row["APPonly"].kops, point
+
+    # The baselines gain little across a 256x limit sweep...
+    first, last = points[0], points[-1]
+    for baseline in ("APPonly", "OSonly"):
+        ratio = results[last][baseline].kops \
+            / results[first][baseline].kops
+        assert ratio < 1.6, baseline
+    # ...while CrossPrefetch's absolute lead persists at the largest limit.
+    big = results[last]
+    assert big["CrossP[+predict+opt]"].kops > 1.1 * big["OSonly"].kops

@@ -1,0 +1,29 @@
+"""Fig. 2 + Table 1: RocksDB motivation analysis.
+
+Paper shape: CrossPrefetch > OSonly > APPonly[fincore]-ish on
+throughput; misses CrossP (63.7) < OSonly (84.3) < fincore (91.5) <
+APPonly (98.2); fincore has the worst lock share (34%).
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.harness.experiments import run_fig2_motivation
+
+
+def test_fig2_motivation(benchmark):
+    results = run_experiment(benchmark, run_fig2_motivation)
+    cross = results["CrossP[+predict+opt]"]
+    apponly = results["APPonly"]
+    osonly = results["OSonly"]
+    fincore = results["APPonly[fincore]"]
+
+    # CrossPrefetch wins throughput.
+    assert cross.kops > osonly.kops
+    assert cross.kops > apponly.kops
+    assert cross.kops > fincore.kops
+    # Miss ordering: CrossP lowest, APPonly highest.
+    assert cross.miss_pct < osonly.miss_pct
+    assert cross.miss_pct < apponly.miss_pct
+    assert apponly.miss_pct >= osonly.miss_pct
+    # fincore pays for its visibility with lock time.
+    assert fincore.lock_pct >= cross.lock_pct
+    assert fincore.syscalls.get("fincore", 0) > 0

@@ -1,0 +1,40 @@
+"""Fig. 5 + Table 3: the private/shared x seq/rand microbenchmark.
+
+Paper shape: for the *rand* cells CrossP[+predict+opt] gives ~1.8-2x
+over APPonly; miss ordering (Table 3, shared-rand): predict < predict+opt
+< OSonly < fetchall < APPonly.  For *seq* cells all approaches are close.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.harness.experiments import run_fig5_microbench
+
+
+def test_fig5_microbench(benchmark):
+    results = run_experiment(benchmark, run_fig5_microbench)
+
+    shared = results["shared-rand"]
+    assert shared["CrossP[+predict+opt]"].throughput_mbps \
+        > 1.3 * shared["APPonly"].throughput_mbps
+    # Private files already get device-level sequentiality in the
+    # simulator (see EXPERIMENTS.md), so the margin is smaller there.
+    private = results["private-rand"]
+    assert private["CrossP[+predict+opt]"].throughput_mbps \
+        > 1.05 * private["APPonly"].throughput_mbps
+    for cell in ("shared-rand", "private-rand"):
+        assert results[cell]["CrossP[+predict+opt]"].miss_pct \
+            < results[cell]["APPonly"].miss_pct, cell
+
+    # Table 3 miss ordering on shared-rand.
+    assert shared["CrossP[+predict]"].miss_pct \
+        < shared["OSonly"].miss_pct
+    assert shared["CrossP[+fetchall+opt]"].miss_pct \
+        < shared["APPonly"].miss_pct
+
+    # Sequential: the practical approaches are close to each other
+    # (fetchall is excluded — the paper itself calls it impractical
+    # under memory oversubscription, and here its whole-file load
+    # competes with eight live streams for a 2.15x-oversubscribed cache).
+    for cell in ("shared-seq", "private-seq"):
+        vals = [m.throughput_mbps for name, m in results[cell].items()
+                if name != "CrossP[+fetchall+opt]"]
+        assert min(vals) > 0.6 * max(vals), cell

@@ -1,0 +1,28 @@
+"""Fig. 6: shared-file readers + 4 writers, reader-count sweep.
+
+Paper shape: with the range tree, CrossP[+predict+opt] sustains write
+throughput as reader concurrency grows; APPonly/OSonly suffer from the
+shared cache-tree lock, and fetchall struggles as threads increase.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.harness.experiments import run_fig6_shared_rw
+
+
+def test_fig6_shared_rw(benchmark):
+    results = run_experiment(benchmark, run_fig6_shared_rw)
+
+    most_readers = max(results, key=int)
+    top = results[most_readers]
+    # At the highest concurrency, CrossP[+predict+opt] write throughput
+    # is at least on par with both non-cross baselines.
+    cross = top["CrossP[+predict+opt]"].throughput_mbps
+    assert cross >= 0.95 * top["APPonly"].throughput_mbps
+    assert cross >= 0.95 * top["OSonly"].throughput_mbps
+    # ...and beats the bitmap-locked fetchall configuration.
+    assert cross >= top["CrossP[+fetchall+opt]"].throughput_mbps * 0.95
+
+    # Sanity: every cell produced writes.
+    for sweep in results.values():
+        for metrics in sweep.values():
+            assert metrics.bytes_written > 0

@@ -1,0 +1,24 @@
+"""Fig. 7a: multireadrandom throughput vs thread count.
+
+Paper shape: throughput grows with threads for everyone (shared cache);
+CrossP[+predict]/[+predict+opt] beat APPonly (~1.39x) and OSonly
+(~1.22x); fetchall gives the maximum gains.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.harness.experiments import run_fig7a_threads
+
+
+def test_fig7a_threads(benchmark):
+    results = run_experiment(benchmark, run_fig7a_threads)
+
+    top = results[max(results, key=int)]
+    assert top["CrossP[+predict+opt]"].kops > 1.15 * top["APPonly"].kops
+    assert top["CrossP[+fetchall+opt]"].kops \
+        >= top["CrossP[+predict+opt]"].kops * 0.9  # fetchall near max
+
+    # Throughput grows (or holds) with concurrency for CrossPrefetch.
+    counts = sorted(results, key=int)
+    lo = results[counts[0]]["CrossP[+predict+opt]"].kops
+    hi = results[counts[-1]]["CrossP[+predict+opt]"].kops
+    assert hi > lo

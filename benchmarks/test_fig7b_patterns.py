@@ -1,0 +1,26 @@
+"""Fig. 7b: db_bench access patterns, ext4 local NVMe.
+
+Paper shape: OSonly > APPonly on readseq; CrossP best on readreverse
+(~3.7x over the baselines); CrossP leads multireadrandom.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.harness.experiments import run_fig7b_patterns
+
+
+def test_fig7b_patterns(benchmark):
+    results = run_experiment(benchmark, run_fig7b_patterns)
+
+    # The headline: reverse reads.
+    rev = results["readreverse"]
+    assert rev["CrossP[+predict+opt]"].kops > 2.0 * rev["APPonly"].kops
+    assert rev["CrossP[+predict+opt]"].kops > 2.0 * rev["OSonly"].kops
+
+    # Sequential reads: everyone near device speed, OSonly >= APPonly.
+    seq = results["readseq"]
+    assert seq["OSonly"].kops >= 0.95 * seq["APPonly"].kops
+
+    # Batched random: CrossP[+predict+opt] leads the baselines.
+    mrr = results["multireadrandom"]
+    assert mrr["CrossP[+predict+opt]"].kops > 1.15 * mrr["APPonly"].kops
+    assert mrr["CrossP[+predict+opt]"].kops > 1.15 * mrr["OSonly"].kops

@@ -1,0 +1,30 @@
+"""Fig. 7c: multireadrandom vs memory:DB-size ratio.
+
+Paper shape: OSonly underperforms when memory is constrained; fetchall
+(no eviction) degrades to the baselines at low memory; predict+opt stays
+on top via aggressive prefetch + eviction; everyone improves as the
+ratio approaches 1:1.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.harness.experiments import run_fig7c_memory
+
+
+def test_fig7c_memory(benchmark):
+    results = run_experiment(benchmark, run_fig7c_memory)
+
+    # More memory never hurts CrossPrefetch.
+    cross_lo = results["1:6"]["CrossP[+predict+opt]"].kops
+    cross_hi = results["1:1"]["CrossP[+predict+opt]"].kops
+    assert cross_hi >= cross_lo
+
+    # At 1:1, the aggressive modes dominate the baselines.
+    full = results["1:1"]
+    assert full["CrossP[+predict+opt]"].kops > 1.2 * full["APPonly"].kops
+    assert full["CrossP[+fetchall+opt]"].kops \
+        > 1.2 * full["OSonly"].kops
+
+    # At 1:6, fetchall loses its edge (pollution, no eviction):
+    tight = results["1:6"]
+    assert tight["CrossP[+fetchall+opt]"].kops \
+        <= 1.25 * max(tight["APPonly"].kops, tight["OSonly"].kops)

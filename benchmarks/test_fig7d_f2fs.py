@@ -1,0 +1,18 @@
+"""Fig. 7d: db_bench access patterns on F2FS.
+
+Paper shape: same qualitative picture as ext4 — CrossPrefetch is
+file-system agnostic; reverse reads remain the biggest win.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.harness.experiments import run_fig7d_f2fs
+
+
+def test_fig7d_f2fs(benchmark):
+    results = run_experiment(benchmark, run_fig7d_f2fs)
+
+    rev = results["readreverse"]
+    assert rev["CrossP[+predict+opt]"].kops > 2.0 * rev["APPonly"].kops
+
+    mrr = results["multireadrandom"]
+    assert mrr["CrossP[+predict+opt]"].kops > 1.1 * mrr["OSonly"].kops

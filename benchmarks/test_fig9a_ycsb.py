@@ -1,0 +1,29 @@
+"""Fig. 9a: YCSB A-F over the LSM store.
+
+Paper shape: A (write-heavy) shows little difference; the read-heavy
+workloads B/C/D gain from CrossPrefetch; E (scans) roughly doubles for
+both CrossP variants; [+predict+opt] >= [+fetchall+opt] on B/C.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.harness.experiments import run_fig9a_ycsb
+
+
+def test_fig9a_ycsb(benchmark):
+    results = run_experiment(benchmark, run_fig9a_ycsb)
+
+    # Read-heavy workloads: CrossPrefetch leads the baselines.
+    for workload in ("B", "C"):
+        row = results[workload]
+        assert row["CrossP[+predict+opt]"].kops \
+            > 1.1 * row["APPonly"].kops, workload
+
+    # Scan-heavy E gains for both CrossP variants.
+    e = results["E"]
+    assert e["CrossP[+predict+opt]"].kops > 1.2 * e["APPonly"].kops
+    assert e["CrossP[+fetchall+opt]"].kops > 1.1 * e["APPonly"].kops
+
+    # Write-dominated A: spread between best and worst stays modest.
+    a = results["A"]
+    vals = [m.kops for m in a.values()]
+    assert max(vals) < 2.5 * min(vals)

@@ -1,0 +1,34 @@
+"""Fig. 9b: Snappy parallel compression vs memory:dataset ratio.
+
+Paper shape: APPonly limited by syscalls, OSonly by incremental
+readahead; fetchall ~ the baselines under low memory (no eviction);
+[+predict+opt] leads via aggressive prefetch + eviction (paper: up to
+31% at 1:2).
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.harness.experiments import run_fig9b_snappy
+
+
+def test_fig9b_snappy(benchmark):
+    results = run_experiment(benchmark, run_fig9b_snappy)
+
+    # Mid-pressure point: predict+opt at the top (the paper's +31% is
+    # not reproduced — with 8 concurrent streams the simulated device
+    # is already saturated by every approach; see EXPERIMENTS.md).
+    mid = results["1:2"]
+    cross = mid["CrossP[+predict+opt]"].throughput_mbps
+    assert cross >= 0.95 * mid["APPonly"].throughput_mbps
+    assert cross >= 0.95 * mid["OSonly"].throughput_mbps
+
+    # Under the tightest memory no approach collapses or runs away:
+    # big sequential reads keep the device saturated for everyone (the
+    # eviction work costs predict+opt a little at 1:6 in this model).
+    tight = results["1:6"]
+    vals = [m.throughput_mbps for m in tight.values()]
+    assert max(vals) < 1.6 * min(vals)
+
+    # With memory == dataset the approaches converge.
+    full = results["1:1"]
+    vals = [m.throughput_mbps for m in full.values()]
+    assert max(vals) < 1.8 * min(vals)

@@ -1,0 +1,29 @@
+"""Table 4: mmap readseq / readrandom.
+
+Paper: APPonly (madvise RANDOM) collapses (84 MB/s random vs 751 for
+CrossP); CrossP[+predict+opt] beats OSonly on both patterns
+(1270 vs 829 seq, 751 vs 484 random).
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.harness.experiments import run_tab4_mmap
+
+
+def test_tab4_mmap(benchmark):
+    results = run_experiment(benchmark, run_tab4_mmap)
+
+    seq = results["readseq"]
+    rand = results["readrandom"]
+
+    # APPonly's madvise(RANDOM) makes it the slowest everywhere.
+    assert seq["APPonly"].throughput_mbps \
+        < seq["OSonly"].throughput_mbps
+    assert rand["APPonly"].throughput_mbps \
+        <= rand["OSonly"].throughput_mbps
+
+    # CrossPrefetch improves on OSonly for sequential mappings.
+    assert seq["CrossP[+predict+opt]"].throughput_mbps \
+        > 0.95 * seq["OSonly"].throughput_mbps
+    # And is at least competitive on random.
+    assert rand["CrossP[+predict+opt]"].throughput_mbps \
+        > 0.8 * rand["OSonly"].throughput_mbps

@@ -1,0 +1,28 @@
+"""Table 5: incremental ablation of CrossPrefetch's mechanisms.
+
+Paper: APPonly 1688 -> OSonly 1834 -> +visibility 2143 -> +range tree
+2379 -> +aggressive prefetch 2642 kops/s: each step is monotone.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.harness.experiments import run_tab5_breakdown
+
+STEPS = ("APPonly", "OSonly", "CrossP[+visibility]",
+         "CrossP[+visibility+rangetree]",
+         "CrossP[+visibility+rangetree+aggr]")
+
+
+def test_tab5_breakdown(benchmark):
+    results = run_experiment(benchmark, run_tab5_breakdown)
+
+    # The full configuration beats both baselines decisively.
+    full = results["CrossP[+visibility+rangetree+aggr]"]
+    assert full.kops > 1.2 * results["APPonly"].kops
+    assert full.kops > 1.2 * results["OSonly"].kops
+
+    # The aggressive step is the largest single contribution (it is
+    # what removes compulsory misses), and no intermediate step is a
+    # large regression versus the baselines.
+    assert full.kops >= results["CrossP[+visibility+rangetree]"].kops
+    for step in ("CrossP[+visibility]", "CrossP[+visibility+rangetree]"):
+        assert results[step].kops > 0.85 * results["OSonly"].kops

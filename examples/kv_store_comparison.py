@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""A RocksDB-style key-value store under every Table-2 approach.
+
+This is the paper's intro scenario: a production KV store that disables
+OS prefetching for "random" workloads (APPonly), versus delegating to
+the OS (OSonly), versus CrossPrefetch.  The workload is db_bench's
+multireadrandom — batched-but-random point gets from concurrent client
+threads over shared SST files.
+
+Run:  python examples/kv_store_comparison.py
+"""
+
+from repro.os import Kernel
+from repro.runtimes import build_runtime
+from repro.runtimes.factory import needs_cross
+from repro.workloads.dbbench import DbBenchConfig, run_dbbench
+from repro.workloads.lsm import DbConfig
+
+MB = 1 << 20
+
+APPROACHES = (
+    "APPonly",               # stock RocksDB behaviour
+    "OSonly",                # trust the kernel
+    "CrossP[+predict]",      # cross-layered prediction, OS limits kept
+    "CrossP[+predict+opt]",  # + relaxed limits + memory-aware modes
+    "CrossP[+fetchall+opt]", # the idealistic whole-file loader
+)
+
+
+def main():
+    print("db_bench multireadrandom: 8 client threads, "
+          "200k keys x 1 KB, DB ~75% of RAM\n")
+    print(f"{'approach':<24} {'kops/s':>10} {'miss%':>8} "
+          f"{'device MB':>10} {'prefetch MB':>12}")
+    print("-" * 68)
+    baseline = None
+    for approach in APPROACHES:
+        kernel = Kernel(memory_bytes=280 * MB,
+                        cross_enabled=needs_cross(approach))
+        runtime = build_runtime(approach, kernel)
+        cfg = DbBenchConfig(
+            pattern="multireadrandom", nthreads=8, ops_per_thread=600,
+            db=DbConfig(num_keys=200_000))
+        metrics = run_dbbench(kernel, runtime, cfg)
+        runtime.teardown()
+        dev = kernel.device.stats
+        if baseline is None:
+            baseline = metrics.kops
+        print(f"{approach:<24} {metrics.kops:>10.1f} "
+              f"{metrics.miss_pct:>8.1f} "
+              f"{dev.read_bytes / MB:>10.0f} "
+              f"{dev.prefetch_bytes / MB:>12.0f}"
+              f"   ({metrics.kops / baseline:.2f}x)")
+    print("\nThe CrossP rows show the paper's progression: cache-state "
+          "visibility cuts\nredundant work, and the memory-budget mode "
+          "bulk-loads the hot SSTs while\nmemory is free, eliminating "
+          "compulsory misses.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Quickstart: the CrossPrefetch stack in ~60 lines.
+
+Builds a simulated machine, runs the same sequential+random workload
+under stock Linux readahead (OSonly) and under CrossPrefetch, and prints
+the throughput and cache-miss comparison.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.os import Kernel
+from repro.runtimes import HINT_SEQUENTIAL, build_runtime
+from repro.runtimes.factory import needs_cross
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+def workload(kernel, runtime):
+    """One thread streams a file backward — readahead's worst case."""
+    kernel.create_file("/data/trace.bin", 64 * MB)
+    stats = {}
+
+    def reader():
+        handle = yield from runtime.open("/data/trace.bin",
+                                         HINT_SEQUENTIAL)
+        t0 = kernel.now
+        hits = misses = total = 0
+        # Read the file backward in 16 KB records (e.g. a log scanned
+        # newest-first).  Stock kernel readahead cannot help here;
+        # CROSS-LIB's predictor detects the backward stream.
+        pos = handle.size
+        while pos > 0:
+            pos -= 16 * KB
+            result = yield from runtime.pread(handle, pos, 16 * KB)
+            total += result.nbytes
+            hits += result.hit_pages
+            misses += result.miss_pages
+        yield from runtime.close(handle)
+        stats.update(total=total, hits=hits, misses=misses,
+                     seconds=(kernel.now - t0) / 1e6)
+
+    kernel.sim.process(reader())
+    kernel.run()
+    return stats
+
+
+def main():
+    print(f"{'approach':<24} {'MB/s':>10} {'miss%':>8} {'ri calls':>10}")
+    print("-" * 56)
+    for approach in ("OSonly", "CrossP[+predict+opt]"):
+        kernel = Kernel(memory_bytes=256 * MB,
+                        cross_enabled=needs_cross(approach))
+        runtime = build_runtime(approach, kernel)
+        stats = workload(kernel, runtime)
+        runtime.teardown()
+        mbps = stats["total"] / MB / stats["seconds"]
+        miss_pct = 100 * stats["misses"] / (stats["hits"]
+                                            + stats["misses"])
+        ri = kernel.registry.get("syscalls.readahead_info")
+        print(f"{approach:<24} {mbps:>10.1f} {miss_pct:>8.1f} {ri:>10.0f}")
+    print("\nCrossPrefetch detects the backward stream and prefetches it "
+          "in large requests;\nstock readahead treats every access as "
+          "random and pays a device round trip each.")
+
+
+if __name__ == "__main__":
+    main()

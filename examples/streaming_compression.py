@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Streaming compression under memory pressure (the Fig. 9b scenario).
+
+Sixteen Snappy-style workers stream through a dataset larger than
+memory, compressing each file.  Under low memory the aggressive
+prefetch+eviction policy is what separates CrossPrefetch from both the
+stock kernel and the whole-file loader: finished files are evicted on
+the runtime's terms, freeing budget to prefetch the *next* files while
+the CPU is busy compressing.
+
+Run:  python examples/streaming_compression.py
+"""
+
+from repro.os import Kernel
+from repro.runtimes import build_runtime
+from repro.runtimes.factory import needs_cross
+from repro.workloads.snappy import SnappyConfig, run_snappy
+
+MB = 1 << 20
+
+DATASET = 512 * MB
+
+
+def main():
+    print("Snappy: 8 threads compressing a 512 MB dataset of 16 MB "
+          "files\n")
+    header = f"{'mem:data':>8}"
+    approaches = ("APPonly", "OSonly", "CrossP[+predict+opt]",
+                  "CrossP[+fetchall+opt]")
+    for approach in approaches:
+        header += f"  {approach:>22}"
+    print(header + "   (MB/s)")
+    print("-" * len(header))
+
+    for ratio_name, num, den in (("1:6", 1, 6), ("1:2", 1, 2),
+                                 ("1:1", 1, 1)):
+        row = f"{ratio_name:>8}"
+        for approach in approaches:
+            kernel = Kernel(memory_bytes=DATASET * num // den,
+                            cross_enabled=needs_cross(approach))
+            runtime = build_runtime(approach, kernel)
+            # Scale the 30 s inactivity rule down to this run's length.
+            if hasattr(runtime, "config"):
+                runtime.config.inactive_file_us = 20_000.0
+            cfg = SnappyConfig(nthreads=8, total_bytes=DATASET,
+                               file_bytes=16 * MB)
+            metrics = run_snappy(kernel, runtime, cfg)
+            runtime.teardown()
+            kernel.shutdown()
+            row += f"  {metrics.throughput_mbps:>22.1f}"
+        print(row)
+
+    print("\nWith two 8 MB reads per file, eight concurrent streams "
+          "saturate the simulated\ndevice for every approach, so the "
+          "approaches sit near parity (see the Fig. 9b\nnotes in "
+          "EXPERIMENTS.md); at the tightest ratio the aggressive "
+          "evictor's work\nshows up as a small cost rather than the "
+          "paper's +31% win.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""CrossPrefetch (ASPLOS 2024) — full-system reproduction in simulation.
+
+Packages:
+
+* :mod:`repro.sim` — deterministic discrete-event kernel.
+* :mod:`repro.storage` — NVMe / NVMe-oF device models, FS profiles.
+* :mod:`repro.os` — simulated kernel: page cache, readahead, memory
+  reclaim, VFS + prefetch syscalls, and Cross-OS (``readahead_info``).
+* :mod:`repro.crosslib` — CROSS-LIB, the user-level runtime.
+* :mod:`repro.runtimes` — the paper's comparison approaches.
+* :mod:`repro.workloads` — microbench, LSM/db_bench, YCSB, Snappy,
+  Filebench, mmap benchmarks.
+* :mod:`repro.harness` — experiment runners and paper-style reports.
+
+See ``README.md`` for a quickstart, ``DESIGN.md`` for the architecture
+and substitution map, and ``EXPERIMENTS.md`` for paper-vs-measured
+results.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

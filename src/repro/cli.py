@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    Show the available comparison approaches and experiments.
+``experiment <name>``
+    Run one paper experiment (e.g. ``fig7b``) and print its table.
+``workload``
+    Run a single workload under chosen approaches with custom knobs —
+    the quick way to poke at the system without writing a script.
+
+Examples::
+
+    python -m repro list
+    python -m repro experiment fig2
+    python -m repro workload --kind microbench --pattern rand \
+        --approach OSonly --approach "CrossP[+predict+opt]"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, Sequence
+
+from repro.harness import experiments as exp
+from repro.harness.metrics import ApproachMetrics
+from repro.harness.report import format_table
+from repro.os.kernel import Kernel
+from repro.runtimes.factory import APPROACHES, build_runtime, needs_cross
+
+__all__ = ["main"]
+
+MB = 1 << 20
+
+EXPERIMENTS: dict[str, Callable] = {
+    "fig2": exp.run_fig2_motivation,
+    "fig5": exp.run_fig5_microbench,
+    "fig6": exp.run_fig6_shared_rw,
+    "tab4": exp.run_tab4_mmap,
+    "fig7a": exp.run_fig7a_threads,
+    "fig7b": exp.run_fig7b_patterns,
+    "fig7c": exp.run_fig7c_memory,
+    "fig7d": exp.run_fig7d_f2fs,
+    "tab5": exp.run_tab5_breakdown,
+    "fig10": exp.run_fig10_prefetch_limit,
+    "fig8a": exp.run_fig8a_remote,
+    "fig8b": exp.run_fig8b_filebench,
+    "fig9a": exp.run_fig9a_ycsb,
+    "fig9b": exp.run_fig9b_snappy,
+}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("Approaches (Table 2 + ablations):")
+    for name in APPROACHES:
+        print(f"  {name}")
+    print("\nExperiments:")
+    for name in EXPERIMENTS:
+        print(f"  {name:<8} -> {EXPERIMENTS[name].__name__}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    fn = EXPERIMENTS.get(args.name)
+    if fn is None:
+        print(f"unknown experiment {args.name!r}; "
+              f"choose from {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    _results, report = fn()
+    print(report)
+    return 0
+
+
+def _run_workload(kind: str, approach: str, *, nthreads: int,
+                  memory_mb: int, data_mb: int,
+                  pattern: str) -> ApproachMetrics:
+    kernel = Kernel(memory_bytes=memory_mb * MB,
+                    cross_enabled=needs_cross(approach))
+    runtime = build_runtime(approach, kernel)
+    try:
+        if kind == "microbench":
+            from repro.workloads.microbench import (
+                MicrobenchConfig,
+                run_microbench,
+            )
+            cfg = MicrobenchConfig(nthreads=nthreads,
+                                   total_bytes=data_mb * MB,
+                                   pattern=pattern, sharing="shared")
+            return run_microbench(kernel, runtime, cfg)
+        if kind == "dbbench":
+            from repro.workloads.dbbench import (
+                DbBenchConfig,
+                run_dbbench,
+            )
+            from repro.workloads.lsm import DbConfig
+            cfg = DbBenchConfig(
+                pattern=pattern if pattern != "rand" else "readrandom",
+                nthreads=nthreads, ops_per_thread=500,
+                db=DbConfig(num_keys=data_mb * MB // 1024))
+            return run_dbbench(kernel, runtime, cfg)
+        if kind == "snappy":
+            from repro.workloads.snappy import SnappyConfig, run_snappy
+            cfg = SnappyConfig(nthreads=nthreads,
+                               total_bytes=data_mb * MB)
+            return run_snappy(kernel, runtime, cfg)
+        raise ValueError(f"unknown workload kind {kind!r}")
+    finally:
+        runtime.teardown()
+        kernel.shutdown()
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    approaches = args.approach or ["OSonly", "CrossP[+predict+opt]"]
+    results = {}
+    for approach in approaches:
+        if approach not in APPROACHES:
+            print(f"unknown approach {approach!r}", file=sys.stderr)
+            return 2
+        results[approach] = _run_workload(
+            args.kind, approach, nthreads=args.threads,
+            memory_mb=args.memory_mb, data_mb=args.data_mb,
+            pattern=args.pattern)
+    print(format_table(
+        f"{args.kind} ({args.pattern}, {args.threads} threads, "
+        f"{args.memory_mb} MB RAM, {args.data_mb} MB data)", results))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CrossPrefetch (ASPLOS'24) reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list approaches and experiments") \
+        .set_defaults(fn=_cmd_list)
+
+    p_exp = sub.add_parser("experiment",
+                           help="run one paper experiment")
+    p_exp.add_argument("name", help="e.g. fig2, fig7b, tab5")
+    p_exp.set_defaults(fn=_cmd_experiment)
+
+    p_wl = sub.add_parser("workload", help="run one workload ad hoc")
+    p_wl.add_argument("--kind", default="microbench",
+                      choices=["microbench", "dbbench", "snappy"])
+    p_wl.add_argument("--pattern", default="rand",
+                      help="workload pattern (seq/rand or a db_bench "
+                           "pattern name)")
+    p_wl.add_argument("--threads", type=int, default=8)
+    p_wl.add_argument("--memory-mb", type=int, default=192)
+    p_wl.add_argument("--data-mb", type=int, default=384)
+    p_wl.add_argument("--approach", action="append",
+                      help="repeatable; defaults to OSonly + "
+                           "CrossP[+predict+opt]")
+    p_wl.set_defaults(fn=_cmd_workload)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""CROSS-LIB: the user-level half of CrossPrefetch.
+
+The runtime intercepts POSIX I/O (here: it *is* the I/O facade the
+workloads call), detects per-FD access patterns, keeps a user-space copy
+of each file's cache bitmap imported via ``readahead_info``, and issues
+prefetch requests from background worker threads.  Its pieces:
+
+* :mod:`repro.crosslib.config` — every CROSS-LIB knob (the artifact's
+  ``PREFETCH_SIZE_VAR``, ``NR_WORKERS_VAR``, watermarks, …).
+* :mod:`repro.crosslib.predictor` — the n-bit sequentiality counter
+  (7 states, exponential 2^n window growth, backward-stride support).
+* :mod:`repro.crosslib.rangetree` — the concurrent per-file range tree
+  with per-node locks and embedded bitmaps (§4.5).
+* :mod:`repro.crosslib.fdtable` — per-inode and per-FD user-level state.
+* :mod:`repro.crosslib.workers` — background prefetch threads feeding
+  ``readahead_info``.
+* :mod:`repro.crosslib.membudget` — memory-budget tracking, aggressive
+  prefetching and aggressive reclamation (§4.6).
+* :mod:`repro.crosslib.runtime` — the :class:`CrossLibRuntime` facade
+  applications (workloads) link against.
+"""
+
+from repro.crosslib.config import CrossLibConfig
+from repro.crosslib.predictor import PatternPredictor, PatternState
+from repro.crosslib.rangetree import RangeTree
+from repro.crosslib.runtime import CrossLibRuntime
+
+__all__ = [
+    "CrossLibConfig",
+    "CrossLibRuntime",
+    "PatternPredictor",
+    "PatternState",
+    "RangeTree",
+]

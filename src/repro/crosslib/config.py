@@ -1,0 +1,94 @@
+"""CROSS-LIB configuration (the artifact's ``compiler.sh`` knobs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CrossLibConfig"]
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+@dataclass
+class CrossLibConfig:
+    """Every knob the runtime exposes.
+
+    The Table-2 comparison approaches are particular settings of these
+    flags; see :mod:`repro.runtimes.factory`.
+    """
+
+    # -- feature flags (Table 2 / Table 5 ablation axes) -----------------------
+    # Use the per-FD pattern predictor (off for pure fetchall).
+    predict: bool = True
+    # Prefetch whole files on open, ignoring memory (CrossP[+fetchall]).
+    fetchall: bool = False
+    # Concurrent per-file range tree; when off, a single user-level
+    # rw-lock guards each file's bitmap (the +range tree ablation step).
+    range_tree: bool = True
+    # Remove OS prefetch limits via readahead_info's relaxed cap (+opt).
+    relax_limits: bool = True
+    # Memory-budget-aware aggressive prefetching and eviction (+opt).
+    aggressive: bool = True
+
+    # -- prefetching ------------------------------------------------------------
+    nr_workers: int = 8                  # NR_WORKERS_VAR
+    base_prefetch_blocks: int = 4        # window seed; grows as base << counter
+    # Scale applied to the predictor window when limits are relaxed.
+    opt_window_scale: int = 8
+    # Per-readahead_info request cap when limits are NOT relaxed
+    # (mirrors the kernel's 128 KB syscall clamp).
+    capped_request_bytes: int = 128 * KB
+    # Per-request cap when relaxed (§4.7: requests do not exceed 64 MB).
+    max_request_bytes: int = 64 * MB
+    # Optimistic prefetch issued at open under aggressive mode (§4.6).
+    aggressive_initial_bytes: int = 2 * MB
+    # While memory stays above the high watermark, actively-read files
+    # are bulk-loaded in increments of this size to cut compulsory
+    # misses ("utilize the available memory to aggressively prefetch
+    # from the start of an application", §4.6).
+    aggressive_bulk_bytes: int = 4 * MB
+    # fetchall enqueues the file in chunks of this size.
+    fetchall_chunk_bytes: int = 16 * MB
+
+    # -- memory budget (free-memory fractions) -------------------------------------
+    # Above this much free memory: aggressive prefetching allowed.
+    high_watermark: float = 0.25
+    # Below this much free memory: all prefetching stops.
+    low_watermark: float = 0.08
+    # Below this much free memory: the evictor starts reclaiming.
+    evict_watermark: float = 0.18
+    # A closed/idle file becomes eviction-eligible after this long (µs);
+    # the paper uses 30 s — experiments scale it with their duration.
+    inactive_file_us: float = 30e6
+    # Eviction granularity per pass.
+    evict_batch_bytes: int = 32 * MB
+
+    # -- prediction ----------------------------------------------------------------
+    counter_bits: int = 3                # 3-bit counter -> states 0..6
+    stride_blocks: int = 32              # jumps within this are sequential-ish
+    near_random_blocks: int = 8192       # jumps within this are "random",
+    #                                      beyond it "highly random" (-2)
+    # Enqueue a prefetch only when the counter reaches this state.
+    prefetch_threshold: int = 3
+    # Consecutive sequential accesses before the relaxed window scaling
+    # (opt_window_scale) engages — "definitely sequential" needs proof.
+    streak_threshold: int = 24
+
+    # -- predictor selection (extension: §4.6 future work) -----------------------------
+    # "counter" (the paper's n-bit counter), "markov" (Lynx-style region
+    # transition table), or "hybrid" (counter for runs, Markov for jumps).
+    predictor_kind: str = "counter"
+    markov_region_blocks: int = 256      # Markov region granularity (1 MB)
+    markov_min_samples: int = 3          # evidence before trusting an edge
+    markov_confidence: float = 0.5       # follower share required
+
+    # -- range tree -------------------------------------------------------------------
+    node_blocks: int = 1024              # blocks per range-tree node (4 MB)
+
+    # -- user-level costs (µs) ------------------------------------------------------
+    user_op: float = 0.08                # one bitmap/table manipulation
+
+    @property
+    def counter_max(self) -> int:
+        return (1 << self.counter_bits) - 2  # 3 bits -> 6 ("definitely seq")

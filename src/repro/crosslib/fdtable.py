@@ -1,0 +1,106 @@
+"""User-level file-descriptor structures (§4.3 step 1, §4.5).
+
+CROSS-LIB keeps two layers of state:
+
+* :class:`UserFileState` — one per inode per runtime: the user-space
+  cache bitmap (held in the range tree's per-node windows), the
+  dedicated FD used for prefetch syscalls, LRU bookkeeping for the
+  aggressive evictor, and an open count.
+* :class:`UserFd` — one per application open: the OS file description
+  plus this FD's own :class:`~repro.crosslib.predictor.PatternPredictor`
+  (per-FD prediction is what enables the Fig. 4 shared-file behaviour).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.crosslib.config import CrossLibConfig
+from repro.crosslib.rangetree import RangeTree
+from repro.os.inode import Inode
+from repro.os.vfs import File
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatsRegistry
+
+__all__ = ["UserFd", "UserFileState"]
+
+
+class UserFileState:
+    """Per-inode runtime state shared by all of the process's FDs."""
+
+    def __init__(self, sim: Simulator, registry: StatsRegistry,
+                 inode: Inode, prefetch_file: File,
+                 config: CrossLibConfig):
+        self.inode = inode
+        # The FD CROSS-LIB's workers use for readahead_info calls.
+        self.prefetch_file = prefetch_file
+        self.config = config
+        if config.range_tree:
+            node_blocks = config.node_blocks
+            category = "crosslib_range"
+        else:
+            # Degenerate tree: one node spanning the file = one big
+            # user-level bitmap lock (the pre-range-tree design).
+            node_blocks = max(1, inode.nblocks)
+            category = "crosslib_file"
+        self.tree = RangeTree(sim, registry, inode.nblocks, node_blocks,
+                              category=category)
+        self.open_count = 0
+        self.last_access = sim.now
+        # Most recent access position (blocks) — the evictor avoids the
+        # region around it and prefers long-consumed blocks behind it.
+        self.last_block = 0
+        self.opened_at = sim.now
+        self.closed_at: Optional[float] = None
+        self.fetchall_done = False
+        self.initial_prefetch_done = False
+        # Aggressive bulk-load frontier (blocks below it have been
+        # requested); fetchall sets it to the end immediately.
+        self.bulk_cursor = 0
+
+    @property
+    def nblocks(self) -> int:
+        return self.inode.nblocks
+
+    def note_access(self, now: float) -> None:
+        self.last_access = now
+
+    def note_open(self, now: float) -> None:
+        self.open_count += 1
+        self.closed_at = None
+        self.last_access = now
+
+    def note_close(self, now: float) -> None:
+        self.open_count = max(0, self.open_count - 1)
+        if self.open_count == 0:
+            self.closed_at = now
+
+    def idle_for(self, now: float) -> float:
+        return now - self.last_access
+
+
+class UserFd:
+    """One application open of a file through CROSS-LIB."""
+
+    def __init__(self, state: UserFileState, file: File,
+                 config: CrossLibConfig):
+        # Imported here to avoid a module cycle (markov imports the
+        # predictor types from predictor.py).
+        from repro.crosslib.markov import build_predictor
+        self.state = state
+        self.file = file
+        self.predictor = build_predictor(config)
+        self.hint: Optional[str] = None
+        # Prefetch frontier hysteresis: the runtime only re-issues a
+        # prefetch once the remaining runway drops below half a window,
+        # instead of on every read.
+        self.frontier_fwd = 0
+        self.frontier_bwd: Optional[int] = None
+
+    @property
+    def fd(self) -> int:
+        return self.file.fd
+
+    @property
+    def inode(self) -> Inode:
+        return self.state.inode

@@ -1,0 +1,187 @@
+"""Memory-budget tracking and aggressive reclamation (§4.6).
+
+CROSS-LIB learns free-memory telemetry from every ``readahead_info``
+reply and positions itself in one of three modes:
+
+* **aggressive** — plenty of free memory: optimistic open-time prefetch,
+  full predictor windows;
+* **normal** — between the watermarks: predictor windows only;
+* **off** — below the low watermark: all prefetching stops.
+
+Below the eviction watermark the budget manager reclaims on the user's
+terms rather than waiting for kernel LRU churn: inactive files first
+(open count zero / idle past the 30 s threshold), then cold ranges of
+the least-recently-used active file, all via ``fadvise(DONTNEED)``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.crosslib.config import CrossLibConfig
+from repro.crosslib.fdtable import UserFileState
+from repro.os.vfs import FADV_DONTNEED
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.crosslib.runtime import CrossLibRuntime
+
+__all__ = ["MemoryBudget"]
+
+MODE_AGGRESSIVE = "aggressive"
+MODE_NORMAL = "normal"
+MODE_OFF = "off"
+
+
+class MemoryBudget:
+    """Watermark logic + the aggressive evictor."""
+
+    def __init__(self, runtime: "CrossLibRuntime",
+                 config: CrossLibConfig):
+        self.runtime = runtime
+        self.config = config
+        self.free_fraction = 1.0
+        self.evictions = 0
+        self.evicted_pages = 0
+        self._evicting = False
+        # Latched once the evictor has had to run: the dataset exceeds
+        # the budget, so opportunistic bulk-loading would only thrash
+        # (evictor frees -> bulk refills -> evictor frees ...).
+        self.saw_pressure = False
+
+    # -- telemetry ---------------------------------------------------------
+
+    def update(self, free_pages: int, total_pages: int) -> None:
+        if total_pages > 0:
+            self.free_fraction = free_pages / total_pages
+
+    def refresh(self) -> None:
+        """Re-read free memory directly (the /proc/meminfo poll the
+        runtime performs between readahead_info telemetry updates)."""
+        mem = self.runtime.kernel.mem
+        self.update(mem.free_pages, mem.total_pages)
+
+    @property
+    def mode(self) -> str:
+        if not self.config.aggressive:
+            return MODE_NORMAL
+        if self.free_fraction <= self.config.low_watermark:
+            return MODE_OFF
+        if self.free_fraction >= self.config.high_watermark:
+            return MODE_AGGRESSIVE
+        return MODE_NORMAL
+
+    @property
+    def allow_prefetch(self) -> bool:
+        if self.config.fetchall and not self.config.aggressive:
+            # Memory-insensitive fetchall keeps prefetching regardless.
+            return True
+        return self.mode != MODE_OFF
+
+    @property
+    def allow_aggressive(self) -> bool:
+        return self.config.aggressive and self.mode == MODE_AGGRESSIVE
+
+    @property
+    def allow_bulk(self) -> bool:
+        """Compulsory-miss bulk-loading: only while the whole budget
+        has never been under pressure."""
+        return self.allow_aggressive and not self.saw_pressure
+
+    # -- aggressive reclamation -----------------------------------------------
+
+    def maybe_evict(self) -> Generator:
+        """Reclaim cold cache if we're under the eviction watermark."""
+        cfg = self.config
+        if not cfg.aggressive or self._evicting:
+            return 0
+        if self.free_fraction > cfg.evict_watermark:
+            return 0
+        self.saw_pressure = True
+        self._evicting = True
+        try:
+            freed = yield from self._evict_pass()
+        finally:
+            self._evicting = False
+        return freed
+
+    def _evict_pass(self) -> Generator:
+        cfg = self.config
+        runtime = self.runtime
+        now = runtime.sim.now
+        batch_blocks = cfg.evict_batch_bytes // runtime.block_size
+        freed = 0
+        victim = self._pick_inactive(now)
+        if victim is None and self.free_fraction <= cfg.low_watermark:
+            # Persistent pressure: walk the LRU files list (§4.6).
+            victim = self._pick_lru_active()
+        if victim is None:
+            return 0
+        freed = yield from self._evict_from(victim, batch_blocks)
+        self.evictions += 1
+        self.evicted_pages += freed
+        # Refresh telemetry from the kernel counters the next
+        # readahead_info reply would carry.
+        mem = runtime.kernel.mem
+        self.update(mem.free_pages, mem.total_pages)
+        return freed
+
+    def _pick_inactive(self, now: float) -> Optional[UserFileState]:
+        """Oldest inactive file with cached pages, if any."""
+        best: Optional[UserFileState] = None
+        for state in self.runtime.iter_states():
+            if state.open_count > 0:
+                continue
+            if state.idle_for(now) < self.config.inactive_file_us:
+                continue
+            if state.inode.cache.cached_pages == 0:
+                continue
+            if best is None or state.last_access < best.last_access:
+                best = state
+        return best
+
+    def _pick_lru_active(self) -> Optional[UserFileState]:
+        best: Optional[UserFileState] = None
+        for state in self.runtime.iter_states():
+            if state.inode.cache.cached_pages == 0:
+                continue
+            if best is None or state.last_access < best.last_access:
+                best = state
+        return best
+
+    def _evict_from(self, state: UserFileState,
+                    batch_blocks: int) -> Generator:
+        """DONTNEED cold ranges of ``state``.
+
+        Blocks the stream already consumed (well behind the access
+        cursor) go first; the active window around the cursor — history
+        still warm plus the prefetched runway ahead — is evicted only as
+        a last resort, so reclaiming from a live streaming file does not
+        destroy its own prefetching.
+        """
+        runtime = self.runtime
+        bs = runtime.block_size
+        inode = state.inode
+        guard = max(512, self.config.evict_batch_bytes // bs // 4)
+        cursor = state.last_block
+        freed = 0
+
+        def clip_runs(lo: int, hi: int) -> list[tuple[int, int]]:
+            if hi <= lo:
+                return []
+            return [(s, n) for s, n
+                    in inode.cache.present.set_runs(lo, hi - lo)]
+
+        candidates = clip_runs(0, max(0, cursor - guard))
+        if not candidates:
+            candidates = clip_runs(0, inode.nblocks)
+        for run_start, run_len in candidates:
+            if freed >= batch_blocks:
+                break
+            run_len = min(run_len, batch_blocks - freed)
+            yield from runtime.vfs.fadvise(
+                state.prefetch_file, FADV_DONTNEED,
+                run_start * bs, run_len * bs)
+            state.tree.clear_cached(run_start, run_len)
+            freed += run_len
+        runtime.registry.count("cross.evicted_pages", freed)
+        return freed

@@ -1,0 +1,198 @@
+"""Concurrent per-file range tree (§4.5).
+
+Threads sharing a file contend on the user-level bitmap lock as file
+size and thread count grow.  The range tree splits the file's block
+space into fixed-span nodes, each with its own rw-lock and its own
+embedded bitmap window, so threads touching disjoint regions proceed
+concurrently while threads touching the same region share cache
+awareness.
+
+Multi-node operations acquire node locks in index order, which makes
+lock ordering global and deadlock-free.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable
+
+from repro.os.bitmap import BlockBitmap
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatsRegistry
+from repro.sim.sync import RwLock
+
+__all__ = ["RangeNode", "RangeTree"]
+
+
+class RangeNode:
+    """One contiguous block range with its own lock and bitmap."""
+
+    def __init__(self, sim: Simulator, registry: StatsRegistry,
+                 index: int, start: int, span: int,
+                 category: str = "crosslib_range"):
+        self.index = index
+        self.start = start
+        self.span = span
+        self.lock = RwLock(sim, name=f"range[{index}]",
+                           stats=registry.lock_stats(category))
+        # Blocks cached according to the imported OS bitmap.
+        self.cached = BlockBitmap(span)
+        # Blocks already handed to a prefetch worker (dedup).
+        self.requested = BlockBitmap(span)
+
+
+class RangeTree:
+    """Lazy map of node index -> :class:`RangeNode` for one file."""
+
+    def __init__(self, sim: Simulator, registry: StatsRegistry,
+                 nblocks: int, node_blocks: int,
+                 category: str = "crosslib_range"):
+        if node_blocks <= 0:
+            raise ValueError(f"node_blocks must be positive: {node_blocks}")
+        self.sim = sim
+        self.registry = registry
+        self.nblocks = nblocks
+        self.node_blocks = node_blocks
+        self.category = category
+        self._nodes: dict[int, RangeNode] = {}
+
+    def resize(self, nblocks: int) -> None:
+        self.nblocks = max(self.nblocks, nblocks)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def node(self, index: int) -> RangeNode:
+        node = self._nodes.get(index)
+        if node is None:
+            node = RangeNode(self.sim, self.registry, index,
+                             index * self.node_blocks, self.node_blocks,
+                             category=self.category)
+            self._nodes[index] = node
+        return node
+
+    def nodes_for(self, start: int, count: int) -> list[RangeNode]:
+        """Nodes covering [start, start+count), in lock order."""
+        if count <= 0:
+            return []
+        first = start // self.node_blocks
+        last = (start + count - 1) // self.node_blocks
+        return [self.node(i) for i in range(first, last + 1)]
+
+    # -- locked section helpers -------------------------------------------------
+
+    def read_locked(self, start: int, count: int) -> "_LockedRange":
+        return _LockedRange(self, start, count, write=False)
+
+    def write_locked(self, start: int, count: int) -> "_LockedRange":
+        return _LockedRange(self, start, count, write=True)
+
+    # -- bitmap views (caller must hold the relevant node locks) -------------------
+
+    def missing_runs(self, start: int,
+                     count: int) -> list[tuple[int, int]]:
+        """Runs in [start, start+count) neither cached nor requested."""
+        runs: list[tuple[int, int]] = []
+        for node in self.nodes_for(start, count):
+            lo = max(start, node.start)
+            hi = min(start + count, node.start + node.span)
+            for run_s, run_n in node.cached.missing_runs(lo - node.start,
+                                                         hi - lo):
+                for sub_s, sub_n in node.requested.missing_runs(run_s,
+                                                                run_n):
+                    runs.append((node.start + sub_s, sub_n))
+        return _merge_adjacent(runs)
+
+    def cached_count(self, start: int, count: int) -> int:
+        total = 0
+        for node in self.nodes_for(start, count):
+            lo = max(start, node.start)
+            hi = min(start + count, node.start + node.span)
+            total += node.cached.count_set(lo - node.start, hi - lo)
+        return total
+
+    def mark_cached(self, start: int, count: int) -> None:
+        self._mark(start, count, cached=True)
+
+    def mark_requested(self, start: int, count: int) -> None:
+        self._mark(start, count, cached=False)
+
+    def clear_requested(self, start: int, count: int) -> None:
+        for node in self.nodes_for(start, count):
+            lo = max(start, node.start)
+            hi = min(start + count, node.start + node.span)
+            node.requested.clear_range(lo - node.start, hi - lo)
+
+    def clear_cached(self, start: int, count: int) -> None:
+        for node in self.nodes_for(start, count):
+            lo = max(start, node.start)
+            hi = min(start + count, node.start + node.span)
+            node.cached.clear_range(lo - node.start, hi - lo)
+
+    def load_window(self, start: int, count: int, bits: int) -> None:
+        """Import an OS bitmap window into the per-node cached bitmaps."""
+        for node in self.nodes_for(start, count):
+            lo = max(start, node.start)
+            hi = min(start + count, node.start + node.span)
+            node.cached.load_window(lo - node.start, hi - lo,
+                                    bits >> (lo - start))
+
+    def cached_runs(self, start: int, count: int) -> list[tuple[int, int]]:
+        runs: list[tuple[int, int]] = []
+        for node in self.nodes_for(start, count):
+            lo = max(start, node.start)
+            hi = min(start + count, node.start + node.span)
+            for run_s, run_n in node.cached.set_runs(lo - node.start,
+                                                     hi - lo):
+                runs.append((node.start + run_s, run_n))
+        return _merge_adjacent(runs)
+
+    def _mark(self, start: int, count: int, cached: bool) -> None:
+        for node in self.nodes_for(start, count):
+            lo = max(start, node.start)
+            hi = min(start + count, node.start + node.span)
+            target = node.cached if cached else node.requested
+            target.set_range(lo - node.start, hi - lo)
+
+
+class _LockedRange:
+    """Acquire/release node locks spanning a range, in index order.
+
+    Used as::
+
+        section = tree.write_locked(start, count)
+        yield from section.acquire()
+        try:
+            ...
+        finally:
+            section.release()
+    """
+
+    def __init__(self, tree: RangeTree, start: int, count: int,
+                 write: bool):
+        self.nodes = tree.nodes_for(start, count)
+        self.write = write
+
+    def acquire(self) -> Generator:
+        for node in self.nodes:
+            if self.write:
+                yield node.lock.acquire_write()
+            else:
+                yield node.lock.acquire_read()
+
+    def release(self) -> None:
+        for node in reversed(self.nodes):
+            if self.write:
+                node.lock.release_write()
+            else:
+                node.lock.release_read()
+
+
+def _merge_adjacent(runs: Iterable[tuple[int, int]]) -> list[tuple[int, int]]:
+    merged: list[tuple[int, int]] = []
+    for start, count in runs:
+        if merged and merged[-1][0] + merged[-1][1] == start:
+            merged[-1] = (merged[-1][0], merged[-1][1] + count)
+        else:
+            merged.append((start, count))
+    return merged

@@ -1,0 +1,106 @@
+"""Background prefetch workers (§4.3: "dedicated background threads
+issue prefetch calls to prevent impacting application thread
+performance").
+
+Application threads never call ``readahead_info`` themselves: they
+enqueue :class:`PrefetchRequest` items, and ``NR_WORKERS`` worker
+processes drain the queue.  A worker issues the syscall, imports the
+returned bitmap window into the file's range tree, clears the request's
+dedup marks, feeds the telemetry to the memory budget, and runs an
+eviction pass when the budget asks for one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator
+
+from repro.crosslib.fdtable import UserFileState
+from repro.os.crossos import CacheInfo
+from repro.sim.engine import Process
+from repro.sim.sync import Queue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.crosslib.runtime import CrossLibRuntime
+
+__all__ = ["PrefetchRequest", "WorkerPool"]
+
+
+@dataclass
+class PrefetchRequest:
+    """One block range a predictor (or fetchall) wants resident."""
+
+    state: UserFileState
+    start: int   # blocks
+    count: int   # blocks
+
+
+class WorkerPool:
+    """The runtime's prefetch thread pool."""
+
+    def __init__(self, runtime: "CrossLibRuntime"):
+        self.runtime = runtime
+        self.queue = Queue(runtime.sim, "crosslib_prefetch")
+        self.requests_served = 0
+        self.blocks_submitted = 0
+        self._workers: list[Process] = [
+            runtime.sim.process(self._worker_loop(i),
+                                name=f"cross_worker[{i}]")
+            for i in range(runtime.config.nr_workers)
+        ]
+
+    def submit(self, request: PrefetchRequest) -> None:
+        self.queue.put(request)
+
+    @property
+    def backlog(self) -> int:
+        return len(self.queue)
+
+    def _worker_loop(self, index: int) -> Generator:
+        runtime = self.runtime
+        cfg = runtime.config
+        bs = runtime.block_size
+        while True:
+            req = yield self.queue.get()
+            state = req.state
+            budget = runtime.budget
+            if not budget.allow_prefetch and not cfg.fetchall:
+                # Memory too tight: drop the request, release its
+                # dedup marks so a later pass can retry.
+                section = state.tree.write_locked(req.start, req.count)
+                yield from section.acquire()
+                state.tree.clear_requested(req.start, req.count)
+                section.release()
+                runtime.registry.count("cross.dropped_requests")
+                continue
+            cap = (cfg.max_request_bytes if cfg.relax_limits
+                   else cfg.capped_request_bytes)
+            info = CacheInfo(offset=req.start * bs,
+                             nbytes=req.count * bs,
+                             max_request_bytes=cap)
+            info = yield from runtime.crossos.readahead_info(
+                state.prefetch_file, info)
+            self.requests_served += 1
+            self.blocks_submitted += info.prefetch_submitted
+            # Import the exported bitmap window and clear dedup marks.
+            section = state.tree.write_locked(info.bitmap_start,
+                                              max(1, info.bitmap_count))
+            yield from section.acquire()
+            yield runtime.sim.timeout(cfg.user_op)
+            state.tree.load_window(info.bitmap_start, info.bitmap_count,
+                                   info.bitmap_bits)
+            state.tree.clear_requested(req.start, req.count)
+            section.release()
+            budget.update(info.free_pages, info.total_pages)
+            if cfg.aggressive:
+                yield from budget.maybe_evict()
+            # Pace the pipeline: at most NR_WORKERS prefetch streams are
+            # outstanding, so claims never run far ahead of the device.
+            if info.completion is not None \
+                    and not info.completion.processed:
+                yield info.completion
+
+    def teardown(self) -> None:
+        for worker in self._workers:
+            if worker.is_alive:
+                worker.interrupt("teardown")

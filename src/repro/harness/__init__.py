@@ -1,0 +1,22 @@
+"""Experiment harness: machine presets, runners, and paper-style reports.
+
+Each experiment module under :mod:`repro.harness.experiments` regenerates
+one table or figure of the paper; :mod:`repro.harness.report` renders the
+same rows/series the paper prints.  The benchmarks under ``benchmarks/``
+are thin pytest wrappers over these experiment functions.
+"""
+
+from repro.harness.configs import MachineConfig, Scale
+from repro.harness.metrics import ApproachMetrics, collect_metrics
+from repro.harness.report import format_table
+from repro.harness.runner import make_kernel, run_approaches
+
+__all__ = [
+    "ApproachMetrics",
+    "MachineConfig",
+    "Scale",
+    "collect_metrics",
+    "format_table",
+    "make_kernel",
+    "run_approaches",
+]

@@ -1,0 +1,99 @@
+"""Machine presets and scaling.
+
+The paper's testbed (§5.1): 64-core AMD 7543, 80 GB RAM across two
+sockets, 1.6 TB NVMe (1.4 GB/s read / 0.9 GB/s write), ext4 by default;
+variants use F2FS and RDMA NVMe-oF remote storage.  The motivation
+machine (Fig. 2) has 128 GB RAM.
+
+Simulating paper-size datasets (100–200 GB) page-by-page in Python is
+wasteful, so every experiment runs through a :class:`Scale` that divides
+dataset *and* memory sizes by the same factor — preserving the
+memory:data and prefetch-limit:file-size ratios that drive every result.
+The default scale is 1/64; benches print the scale they ran at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.os.config import KernelConfig
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatsRegistry
+from repro.storage.device import StorageDevice
+from repro.storage.filesystem import EXT4, F2FS, FilesystemProfile
+from repro.storage.nvme import NVMeDevice, NVMeParams
+from repro.storage.remote import RemoteNVMeDevice, RemoteParams
+
+__all__ = ["MachineConfig", "Scale"]
+
+GB = 1 << 30
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Uniform divisor applied to dataset and memory sizes."""
+
+    factor: int = 64
+
+    def bytes(self, paper_bytes: int) -> int:
+        return max(1 << 20, paper_bytes // self.factor)
+
+    def count(self, paper_count: int) -> int:
+        return max(1, paper_count // self.factor)
+
+    def __str__(self) -> str:
+        return f"1/{self.factor}"
+
+
+@dataclass
+class MachineConfig:
+    """One evaluation machine."""
+
+    name: str = "local-nvme-ext4"
+    memory_bytes: int = 80 * GB          # paper testbed RAM
+    fs: FilesystemProfile = EXT4
+    remote: bool = False
+    nvme: NVMeParams = field(default_factory=NVMeParams)
+    remote_params: RemoteParams = field(default_factory=RemoteParams)
+    kernel_config: KernelConfig = field(default_factory=KernelConfig)
+    scale: Scale = field(default_factory=Scale)
+
+    @property
+    def scaled_memory_bytes(self) -> int:
+        return self.scale.bytes(self.memory_bytes)
+
+    def device_factory(self) -> Callable[[Simulator, StatsRegistry],
+                                         StorageDevice]:
+        if self.remote:
+            return lambda sim, registry: RemoteNVMeDevice(
+                sim, self.nvme, self.remote_params, fs=self.fs,
+                stats_registry=registry)
+        return lambda sim, registry: NVMeDevice(
+            sim, self.nvme, fs=self.fs, stats_registry=registry)
+
+    # -- presets matching §5.1 ------------------------------------------------
+
+    @classmethod
+    def local_ext4(cls, scale: Optional[Scale] = None,
+                   memory_bytes: int = 80 * GB) -> "MachineConfig":
+        return cls(name="local-nvme-ext4", memory_bytes=memory_bytes,
+                   fs=EXT4, scale=scale or Scale())
+
+    @classmethod
+    def local_f2fs(cls, scale: Optional[Scale] = None,
+                   memory_bytes: int = 80 * GB) -> "MachineConfig":
+        return cls(name="local-nvme-f2fs", memory_bytes=memory_bytes,
+                   fs=F2FS, scale=scale or Scale())
+
+    @classmethod
+    def remote_nvmeof(cls, scale: Optional[Scale] = None,
+                      memory_bytes: int = 80 * GB) -> "MachineConfig":
+        return cls(name="remote-nvmeof-ext4", memory_bytes=memory_bytes,
+                   fs=EXT4, remote=True, scale=scale or Scale())
+
+    @classmethod
+    def motivation(cls, scale: Optional[Scale] = None) -> "MachineConfig":
+        """The Fig. 2 machine: DB fits in its 128 GB of memory."""
+        return cls(name="motivation-128g", memory_bytes=128 * GB,
+                   scale=scale or Scale())

@@ -1,0 +1,46 @@
+"""One experiment function per table/figure of the paper.
+
+Every function returns ``(results, report)`` where ``results`` maps
+approach (or sweep point) to metrics and ``report`` is the printable
+paper-style table.  The pytest benches under ``benchmarks/`` are thin
+wrappers that print the report and assert the shape invariants recorded
+in ``EXPERIMENTS.md``.
+"""
+
+from repro.harness.experiments.motivation import run_fig2_motivation
+from repro.harness.experiments.micro import (
+    run_fig5_microbench,
+    run_fig6_shared_rw,
+)
+from repro.harness.experiments.mmap import run_tab4_mmap
+from repro.harness.experiments.rocksdb import (
+    run_fig7a_threads,
+    run_fig7b_patterns,
+    run_fig7c_memory,
+    run_fig7d_f2fs,
+    run_fig8a_remote,
+    run_fig10_prefetch_limit,
+    run_tab5_breakdown,
+)
+from repro.harness.experiments.apps import (
+    run_fig8b_filebench,
+    run_fig9a_ycsb,
+    run_fig9b_snappy,
+)
+
+__all__ = [
+    "run_fig10_prefetch_limit",
+    "run_fig2_motivation",
+    "run_fig5_microbench",
+    "run_fig6_shared_rw",
+    "run_fig7a_threads",
+    "run_fig7b_patterns",
+    "run_fig7c_memory",
+    "run_fig7d_f2fs",
+    "run_fig8a_remote",
+    "run_fig8b_filebench",
+    "run_fig9a_ycsb",
+    "run_fig9b_snappy",
+    "run_tab4_mmap",
+    "run_tab5_breakdown",
+]

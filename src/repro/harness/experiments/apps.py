@@ -1,0 +1,120 @@
+"""Application experiments: Fig. 8b (Filebench), 9a (YCSB), 9b (Snappy)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.harness.configs import MachineConfig, Scale
+from repro.harness.report import format_matrix
+from repro.harness.runner import make_kernel
+from repro.runtimes.factory import build_runtime
+from repro.workloads.filebench import (
+    FilebenchConfig,
+    PERSONALITIES,
+    run_filebench,
+)
+from repro.workloads.snappy import SnappyConfig, run_snappy
+from repro.workloads.ycsb import YcsbConfig, run_ycsb
+from repro.workloads.lsm import DbConfig
+
+__all__ = ["run_fig8b_filebench", "run_fig9a_ycsb", "run_fig9b_snappy"]
+
+MB = 1 << 20
+
+APPROACHES = ("APPonly", "OSonly", "CrossP[+predict]",
+              "CrossP[+predict+opt]", "CrossP[+fetchall+opt]")
+
+
+def run_fig8b_filebench(instances: int = 4,
+                        threads_per_instance: int = 2,
+                        bytes_per_instance: int = 48 * MB,
+                        memory_bytes: int = 128 * MB,
+                        personalities: Sequence[str] = PERSONALITIES,
+                        approaches: Sequence[str] = APPROACHES
+                        ) -> tuple[dict, str]:
+    """Multi-instance Filebench; each instance gets its own runtime."""
+    series: dict[str, dict[str, float]] = {a: {} for a in approaches}
+    all_results = {}
+    for personality in personalities:
+        for approach in approaches:
+            machine = MachineConfig.local_ext4(Scale())
+            kernel = make_kernel(machine, approach,
+                                 memory_bytes=memory_bytes)
+            cfg = FilebenchConfig(
+                personality=personality, instances=instances,
+                threads_per_instance=threads_per_instance,
+                bytes_per_instance=bytes_per_instance)
+            metrics = run_filebench(
+                kernel, lambda: build_runtime(approach, kernel), cfg)
+            kernel.shutdown()
+            metrics.approach = approach
+            all_results.setdefault(personality, {})[approach] = metrics
+            series[approach][personality] = metrics.throughput_mbps
+    report = format_matrix(
+        f"Fig. 8b — Filebench multi-instance throughput (MB/s, "
+        f"{instances} instances)",
+        series, xlabel="approach")
+    return all_results, report
+
+
+def run_fig9a_ycsb(workloads: Sequence[str] = ("A", "B", "C", "D",
+                                               "E", "F"),
+                   nthreads: int = 8,
+                   ops_per_thread: int = 2500,
+                   num_keys: int = 100_000,
+                   memory_bytes: int = 256 * MB,
+                   approaches: Sequence[str] = APPROACHES
+                   ) -> tuple[dict, str]:
+    series: dict[str, dict[str, float]] = {a: {} for a in approaches}
+    all_results = {}
+    for workload in workloads:
+        for approach in approaches:
+            machine = MachineConfig.local_ext4(Scale())
+            kernel = make_kernel(machine, approach,
+                                 memory_bytes=memory_bytes)
+            runtime = build_runtime(approach, kernel)
+            cfg = YcsbConfig(workload=workload, nthreads=nthreads,
+                             ops_per_thread=ops_per_thread,
+                             db=DbConfig(num_keys=num_keys))
+            metrics = run_ycsb(kernel, runtime, cfg)
+            runtime.teardown()
+            kernel.shutdown()
+            metrics.approach = approach
+            all_results.setdefault(workload, {})[approach] = metrics
+            series[approach][workload] = metrics.kops
+    report = format_matrix(
+        f"Fig. 9a — YCSB throughput (kops/s, {nthreads} threads, "
+        "Zipfian)",
+        series, xlabel="approach", fmt="{:>10.2f}")
+    return all_results, report
+
+
+def run_fig9b_snappy(ratios: Sequence[str] = ("1:6", "1:3", "1:2", "1:1"),
+                     nthreads: int = 8,
+                     total_bytes: int = 768 * MB,
+                     approaches: Sequence[str] = APPROACHES
+                     ) -> tuple[dict, str]:
+    """Snappy compression vs memory:dataset ratio."""
+    series: dict[str, dict[str, float]] = {a: {} for a in approaches}
+    all_results = {}
+    for ratio in ratios:
+        num, den = (int(p) for p in ratio.split(":"))
+        memory_bytes = max(32 * MB, total_bytes * num // den)
+        for approach in approaches:
+            machine = MachineConfig.local_ext4(Scale())
+            kernel = make_kernel(machine, approach,
+                                 memory_bytes=memory_bytes)
+            runtime = build_runtime(approach, kernel)
+            cfg = SnappyConfig(nthreads=nthreads,
+                               total_bytes=total_bytes)
+            metrics = run_snappy(kernel, runtime, cfg)
+            runtime.teardown()
+            kernel.shutdown()
+            metrics.approach = approach
+            all_results.setdefault(ratio, {})[approach] = metrics
+            series[approach][ratio] = metrics.throughput_mbps
+    report = format_matrix(
+        "Fig. 9b — Snappy compression throughput (MB/s) vs "
+        "memory:dataset ratio",
+        series, xlabel="mem:data ->")
+    return all_results, report

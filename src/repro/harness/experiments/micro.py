@@ -1,0 +1,97 @@
+"""Fig. 5 + Table 3 (microbenchmark) and Fig. 6 (shared readers/writers)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.harness.configs import MachineConfig, Scale
+from repro.harness.metrics import ApproachMetrics
+from repro.harness.report import format_matrix, format_table
+from repro.harness.runner import run_approaches
+from repro.workloads.microbench import (
+    MicrobenchConfig,
+    SharedRwConfig,
+    run_microbench,
+    run_shared_rw,
+)
+
+__all__ = ["run_fig5_microbench", "run_fig6_shared_rw"]
+
+MB = 1 << 20
+
+APPROACHES = ("APPonly", "OSonly", "CrossP[+predict]",
+              "CrossP[+predict+opt]", "CrossP[+fetchall+opt]")
+
+WORKLOAD_CELLS = ("private-seq", "private-rand", "shared-seq",
+                  "shared-rand")
+
+
+def run_fig5_microbench(nthreads: int = 8,
+                        memory_bytes: int = 192 * MB,
+                        oversubscription: float = 2.15,
+                        cells: Sequence[str] = WORKLOAD_CELLS,
+                        approaches: Sequence[str] = APPROACHES
+                        ) -> tuple[dict, str]:
+    """The four Fig. 5 cells; dataset = oversubscription × memory."""
+    total_bytes = int(memory_bytes * oversubscription)
+    throughput: dict[str, dict[str, float]] = {a: {} for a in approaches}
+    misses: dict[str, dict[str, float]] = {a: {} for a in approaches}
+    all_results: dict[str, dict[str, ApproachMetrics]] = {}
+
+    for cell in cells:
+        sharing, pattern = cell.split("-")
+        machine = MachineConfig.local_ext4(Scale())
+
+        def workload(kernel, runtime,
+                     sharing=sharing, pattern=pattern):
+            cfg = MicrobenchConfig(nthreads=nthreads,
+                                   total_bytes=total_bytes,
+                                   pattern=pattern, sharing=sharing)
+            return run_microbench(kernel, runtime, cfg)
+
+        results = run_approaches(machine, approaches, workload,
+                                 memory_bytes=memory_bytes)
+        all_results[cell] = results
+        for approach, metrics in results.items():
+            throughput[approach][cell] = metrics.throughput_mbps
+            misses[approach][cell] = metrics.miss_pct
+
+    report = "\n\n".join([
+        format_matrix("Fig. 5 — Microbench throughput (MB/s)",
+                      throughput, xlabel="approach"),
+        format_matrix("Table 3 — Microbench avg cache misses (%)",
+                      misses, xlabel="approach"),
+    ])
+    return all_results, report
+
+
+def run_fig6_shared_rw(reader_counts: Sequence[int] = (2, 4, 8, 16),
+                       nwriters: int = 4,
+                       file_bytes: int = 256 * MB,
+                       memory_bytes: int = 128 * MB,
+                       ops_per_thread: int = 1024,
+                       approaches: Sequence[str] = APPROACHES
+                       ) -> tuple[dict, str]:
+    """Aggregate write throughput vs concurrent reader count."""
+    series: dict[str, dict[str, float]] = {a: {} for a in approaches}
+    all_results: dict[str, dict[str, ApproachMetrics]] = {}
+    for nreaders in reader_counts:
+        machine = MachineConfig.local_ext4(Scale())
+
+        def workload(kernel, runtime, nreaders=nreaders):
+            cfg = SharedRwConfig(nreaders=nreaders, nwriters=nwriters,
+                                 file_bytes=file_bytes,
+                                 ops_per_thread=ops_per_thread)
+            return run_shared_rw(kernel, runtime, cfg)
+
+        results = run_approaches(machine, approaches, workload,
+                                 memory_bytes=memory_bytes)
+        all_results[str(nreaders)] = results
+        for approach, metrics in results.items():
+            series[approach][str(nreaders)] = metrics.throughput_mbps
+
+    report = format_matrix(
+        f"Fig. 6 — Shared-file write throughput (MB/s), "
+        f"{nwriters} writers, readers on x-axis",
+        series, xlabel="readers ->")
+    return all_results, report

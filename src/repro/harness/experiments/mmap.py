@@ -1,0 +1,43 @@
+"""Table 4: mmap sequential and random workloads."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.harness.configs import MachineConfig, Scale
+from repro.harness.report import format_matrix
+from repro.harness.runner import run_approaches
+from repro.workloads.mmapbench import MmapBenchConfig, run_mmapbench
+
+__all__ = ["run_tab4_mmap"]
+
+MB = 1 << 20
+
+APPROACHES = ("APPonly", "OSonly", "CrossP[+predict+opt]")
+
+
+def run_tab4_mmap(nthreads: int = 4,
+                  bytes_per_thread: int = 48 * MB,
+                  memory_bytes: int = 384 * MB,
+                  approaches: Sequence[str] = APPROACHES
+                  ) -> tuple[dict, str]:
+    series: dict[str, dict[str, float]] = {a: {} for a in approaches}
+    all_results = {}
+    for pattern in ("readseq", "readrandom"):
+        machine = MachineConfig.local_ext4(Scale())
+
+        def workload(kernel, runtime, pattern=pattern):
+            cfg = MmapBenchConfig(pattern=pattern, nthreads=nthreads,
+                                  bytes_per_thread=bytes_per_thread)
+            return run_mmapbench(kernel, runtime, cfg)
+
+        results = run_approaches(machine, approaches, workload,
+                                 memory_bytes=memory_bytes)
+        all_results[pattern] = results
+        for approach, metrics in results.items():
+            series[approach][pattern] = metrics.throughput_mbps
+    report = format_matrix(
+        "Table 4 — mmap throughput (MB/s)",
+        series, xlabel="approach",
+        fmt="{:>10.1f}")
+    return all_results, report

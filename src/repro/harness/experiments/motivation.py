@@ -1,0 +1,58 @@
+"""Fig. 2 + Table 1: the RocksDB motivation analysis.
+
+32 threads run a batched-but-random (multireadrandom) read workload
+over a database that *fits in memory* (the 128 GB machine vs a 120 GB
+DB).  Compared: APPonly, APPonly[fincore], OSonly, and full
+CrossPrefetch.  Reported: throughput, lock-wait %, cache-miss %.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.harness.configs import MachineConfig, Scale
+from repro.harness.metrics import ApproachMetrics
+from repro.harness.report import format_table
+from repro.harness.runner import run_approaches
+from repro.workloads.dbbench import DbBenchConfig, run_dbbench
+from repro.workloads.lsm import DbConfig
+
+__all__ = ["run_fig2_motivation"]
+
+GB = 1 << 30
+
+APPROACHES = ("APPonly", "APPonly[fincore]", "OSonly",
+              "CrossP[+predict+opt]")
+
+
+def run_fig2_motivation(nthreads: int = 16,
+                        ops_per_thread: int = 300,
+                        num_keys: int = 250_000,
+                        scale: Optional[Scale] = None
+                        ) -> tuple[dict[str, ApproachMetrics], str]:
+    machine = MachineConfig.motivation(scale or Scale())
+    # DB sized below memory, like the paper's 120 GB on 128 GB.
+    db = DbConfig(num_keys=num_keys)
+
+    def workload(kernel, runtime):
+        cfg = DbBenchConfig(pattern="multireadrandom",
+                            nthreads=nthreads,
+                            ops_per_thread=ops_per_thread,
+                            db=db)
+        return run_dbbench(kernel, runtime, cfg)
+
+    results = run_approaches(machine, APPROACHES, workload)
+    report = format_table(
+        f"Fig. 2 + Table 1 — RocksDB motivation "
+        f"(multireadrandom, {nthreads} threads, DB fits in memory, "
+        f"scale {machine.scale})",
+        results,
+        columns=[
+            ("kops/s", lambda m: f"{m.kops:10.1f}"),
+            ("miss%", lambda m: f"{m.miss_pct:6.1f}"),
+            ("lock%", lambda m: f"{m.lock_pct:6.1f}"),
+            ("fincore", lambda m: f"{m.syscalls.get('fincore', 0):8.0f}"),
+        ],
+        note="Paper: CrossPrefetch highest kops; miss% "
+             "CrossP < OSonly < fincore < APPonly; fincore lock% highest.")
+    return results, report

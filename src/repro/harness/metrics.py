@@ -1,0 +1,134 @@
+"""Per-run metrics in the same units the paper reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.os.kernel import Kernel
+
+__all__ = ["ApproachMetrics", "collect_metrics"]
+
+MB = 1 << 20
+
+
+@dataclass
+class ApproachMetrics:
+    """One (approach, workload) cell of a paper table/figure."""
+
+    approach: str
+    duration_us: float = 0.0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    ops: int = 0
+    hit_pages: int = 0
+    miss_pages: int = 0
+    lock_wait_us: float = 0.0
+    thread_time_us: float = 0.0
+    syscalls: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+    # Optional per-operation latency samples (simulated µs).
+    latencies_us: list = field(default_factory=list)
+
+    # -- derived, matching the paper's axes --------------------------------------
+
+    @property
+    def duration_s(self) -> float:
+        return self.duration_us / 1e6
+
+    @property
+    def throughput_mbps(self) -> float:
+        if self.duration_us <= 0:
+            return 0.0
+        return (self.bytes_read + self.bytes_written) / MB / self.duration_s
+
+    @property
+    def kops(self) -> float:
+        """Throughput in thousands of operations per second."""
+        if self.duration_us <= 0:
+            return 0.0
+        return self.ops / 1e3 / self.duration_s
+
+    @property
+    def miss_pct(self) -> float:
+        total = self.hit_pages + self.miss_pages
+        if total == 0:
+            return 0.0
+        return 100.0 * self.miss_pages / total
+
+    @property
+    def lock_pct(self) -> float:
+        if self.thread_time_us <= 0:
+            return 0.0
+        return min(100.0, 100.0 * self.lock_wait_us / self.thread_time_us)
+
+    def speedup_over(self, other: "ApproachMetrics") -> float:
+        if other.throughput_mbps <= 0:
+            return float("inf")
+        return self.throughput_mbps / other.throughput_mbps
+
+    # -- latency percentiles (when the workload sampled latencies) -----------
+
+    def latency_percentile(self, pct: float) -> float:
+        """Interpolated percentile of per-op latency in µs (0 if none)."""
+        samples = self.latencies_us
+        if not samples:
+            return 0.0
+        if not 0 <= pct <= 100:
+            raise ValueError(f"percentile out of range: {pct}")
+        ordered = sorted(samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = pct / 100 * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    @property
+    def p50_us(self) -> float:
+        return self.latency_percentile(50)
+
+    @property
+    def p99_us(self) -> float:
+        return self.latency_percentile(99)
+
+    @property
+    def mean_latency_us(self) -> float:
+        if not self.latencies_us:
+            return 0.0
+        return sum(self.latencies_us) / len(self.latencies_us)
+
+
+def collect_metrics(approach: str, kernel: Kernel, *,
+                    duration_us: float,
+                    bytes_read: int = 0,
+                    bytes_written: int = 0,
+                    ops: int = 0,
+                    hit_pages: int = 0,
+                    miss_pages: int = 0,
+                    nthreads: int = 1,
+                    extra: Optional[dict] = None,
+                    latencies_us: Optional[list] = None
+                    ) -> ApproachMetrics:
+    """Bundle workload counters with kernel-side telemetry."""
+    registry = kernel.registry
+    syscalls = {
+        name.split(".", 1)[1]: counter.value
+        for name, counter in registry.counters.items()
+        if name.startswith("syscalls.")
+    }
+    return ApproachMetrics(
+        approach=approach,
+        duration_us=duration_us,
+        bytes_read=bytes_read,
+        bytes_written=bytes_written,
+        ops=ops,
+        hit_pages=hit_pages,
+        miss_pages=miss_pages,
+        lock_wait_us=registry.total_lock_wait,
+        thread_time_us=duration_us * max(1, nthreads),
+        syscalls=syscalls,
+        extra=dict(extra or {}),
+        latencies_us=list(latencies_us or []),
+    )

@@ -1,0 +1,63 @@
+"""Paper-style text tables.
+
+Every bench prints its results through :func:`format_table` so a run of
+``pytest benchmarks/`` produces the same rows/series the paper's tables
+and figures report.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.harness.metrics import ApproachMetrics
+
+__all__ = ["format_matrix", "format_table"]
+
+
+def format_table(title: str,
+                 results: Mapping[str, ApproachMetrics],
+                 columns: Optional[Sequence[tuple[str, Callable]]] = None,
+                 note: str = "") -> str:
+    """One row per approach; default columns match the paper's axes."""
+    if columns is None:
+        columns = [
+            ("MB/s", lambda m: f"{m.throughput_mbps:10.1f}"),
+            ("kops/s", lambda m: f"{m.kops:10.2f}"),
+            ("miss%", lambda m: f"{m.miss_pct:6.1f}"),
+            ("lock%", lambda m: f"{m.lock_pct:6.1f}"),
+        ]
+    name_width = max(12, max((len(n) for n in results), default=12))
+    header = f"{'approach':<{name_width}}" + "".join(
+        f"  {name:>10}" for name, _fn in columns)
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for approach, metrics in results.items():
+        row = f"{approach:<{name_width}}" + "".join(
+            f"  {fn(metrics):>10}" for _name, fn in columns)
+        lines.append(row)
+    lines.append("=" * len(header))
+    if note:
+        lines.append(note)
+    return "\n".join(lines)
+
+
+def format_matrix(title: str,
+                  series: Mapping[str, Mapping[str, float]],
+                  xlabel: str = "",
+                  fmt: str = "{:>10.1f}") -> str:
+    """Approaches as rows, sweep points as columns (figure-style data)."""
+    xs: list[str] = []
+    for row in series.values():
+        for x in row:
+            if x not in xs:
+                xs.append(x)
+    name_width = max(12, max((len(n) for n in series), default=12))
+    header = f"{xlabel or 'approach':<{name_width}}" + "".join(
+        f"  {x:>10}" for x in xs)
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for name, row in series.items():
+        cells = "".join(
+            f"  {fmt.format(row[x]) if x in row else '-':>10}"
+            for x in xs)
+        lines.append(f"{name:<{name_width}}{cells}")
+    lines.append("=" * len(header))
+    return "\n".join(lines)

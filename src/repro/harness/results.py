@@ -1,0 +1,110 @@
+"""Persist and compare experiment results.
+
+``save_results`` writes one experiment's metrics to JSON;
+``load_results`` reads them back; ``compare_results`` renders a
+side-by-side delta table between two runs — the tool you want when
+checking whether a change to the simulator moved any experiment's shape.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Union
+
+from repro.harness.metrics import ApproachMetrics
+
+__all__ = ["compare_results", "load_results", "save_results"]
+
+# Results may be flat {approach: metrics} or nested
+# {sweep_point: {approach: metrics}}.
+ResultsLike = Mapping[str, Union[ApproachMetrics, Mapping[str,
+                                                          ApproachMetrics]]]
+
+
+def _metrics_to_dict(metrics: ApproachMetrics) -> dict:
+    return {
+        "approach": metrics.approach,
+        "duration_us": metrics.duration_us,
+        "bytes_read": metrics.bytes_read,
+        "bytes_written": metrics.bytes_written,
+        "ops": metrics.ops,
+        "hit_pages": metrics.hit_pages,
+        "miss_pages": metrics.miss_pages,
+        "lock_wait_us": metrics.lock_wait_us,
+        "thread_time_us": metrics.thread_time_us,
+        "throughput_mbps": metrics.throughput_mbps,
+        "kops": metrics.kops,
+        "miss_pct": metrics.miss_pct,
+        "lock_pct": metrics.lock_pct,
+        "syscalls": metrics.syscalls,
+        "extra": {k: v for k, v in metrics.extra.items()
+                  if isinstance(v, (int, float, str, bool))},
+    }
+
+
+def _flatten(results: ResultsLike) -> dict[str, ApproachMetrics]:
+    flat: dict[str, ApproachMetrics] = {}
+    for key, value in results.items():
+        if isinstance(value, ApproachMetrics):
+            flat[key] = value
+        else:
+            for approach, metrics in value.items():
+                flat[f"{key}/{approach}"] = metrics
+    return flat
+
+
+def save_results(results: ResultsLike, path: Union[str, Path],
+                 experiment: str = "") -> Path:
+    """Write results as JSON; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "experiment": experiment,
+        "cells": {key: _metrics_to_dict(metrics)
+                  for key, metrics in _flatten(results).items()},
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def load_results(path: Union[str, Path]) -> dict:
+    """Read a results JSON back (as plain dicts)."""
+    return json.loads(Path(path).read_text())
+
+
+def compare_results(old: dict, new: dict,
+                    metric: str = "throughput_mbps",
+                    threshold_pct: float = 5.0) -> str:
+    """Tabulate per-cell deltas of ``metric`` between two result files.
+
+    Cells whose relative change exceeds ``threshold_pct`` are flagged.
+    """
+    old_cells = old.get("cells", {})
+    new_cells = new.get("cells", {})
+    keys = sorted(set(old_cells) | set(new_cells))
+    width = max([12] + [len(k) for k in keys])
+    lines = [
+        f"comparison on {metric} (flag at ±{threshold_pct:.0f}%)",
+        f"{'cell':<{width}}  {'old':>12}  {'new':>12}  {'delta%':>8}",
+        "-" * (width + 40),
+    ]
+    flagged = 0
+    for key in keys:
+        old_val = old_cells.get(key, {}).get(metric)
+        new_val = new_cells.get(key, {}).get(metric)
+        if old_val is None or new_val is None:
+            lines.append(f"{key:<{width}}  {'-':>12}  {'-':>12}  "
+                         f"{'missing':>8}")
+            continue
+        if old_val:
+            delta = 100.0 * (new_val - old_val) / old_val
+        else:
+            delta = 0.0 if not new_val else float("inf")
+        flag = "  <<" if abs(delta) > threshold_pct else ""
+        if flag:
+            flagged += 1
+        lines.append(f"{key:<{width}}  {old_val:>12.2f}  "
+                     f"{new_val:>12.2f}  {delta:>7.1f}%{flag}")
+    lines.append(f"{flagged} cell(s) changed beyond the threshold")
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Run a workload under each comparison approach.
+
+A *workload function* has the signature::
+
+    def workload(kernel, runtime) -> ApproachMetrics
+
+It creates files, spawns simulated threads, runs the kernel, and returns
+metrics.  :func:`run_approaches` builds a fresh kernel (cold cache, like
+the paper's drop_caches) and a fresh runtime per approach, so approaches
+never share state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.crosslib.config import CrossLibConfig
+from repro.harness.configs import MachineConfig
+from repro.harness.metrics import ApproachMetrics
+from repro.os.kernel import Kernel
+from repro.runtimes.base import IORuntime
+from repro.runtimes.factory import build_runtime, needs_cross
+
+__all__ = ["make_kernel", "run_approaches", "run_one"]
+
+WorkloadFn = Callable[[Kernel, IORuntime], ApproachMetrics]
+
+
+def make_kernel(machine: MachineConfig, approach: str,
+                memory_bytes: Optional[int] = None) -> Kernel:
+    """A cold kernel configured for ``machine`` and ``approach``."""
+    return Kernel(
+        memory_bytes=memory_bytes or machine.scaled_memory_bytes,
+        config=machine.kernel_config,
+        device_factory=machine.device_factory(),
+        cross_enabled=needs_cross(approach),
+    )
+
+
+def run_one(machine: MachineConfig, approach: str,
+            workload: WorkloadFn, *,
+            memory_bytes: Optional[int] = None,
+            crosslib_config: Optional[CrossLibConfig] = None
+            ) -> ApproachMetrics:
+    kernel = make_kernel(machine, approach, memory_bytes)
+    runtime = build_runtime(approach, kernel, crosslib_config)
+    try:
+        metrics = workload(kernel, runtime)
+    finally:
+        runtime.teardown()
+        kernel.shutdown()
+    metrics.approach = approach
+    return metrics
+
+
+def run_approaches(machine: MachineConfig, approaches: Iterable[str],
+                   workload: WorkloadFn, *,
+                   memory_bytes: Optional[int] = None,
+                   crosslib_config: Optional[CrossLibConfig] = None
+                   ) -> dict[str, ApproachMetrics]:
+    """Run ``workload`` once per approach on fresh kernels."""
+    results: dict[str, ApproachMetrics] = {}
+    for approach in approaches:
+        results[approach] = run_one(
+            machine, approach, workload,
+            memory_bytes=memory_bytes, crosslib_config=crosslib_config)
+    return results

@@ -1,0 +1,54 @@
+"""Simulated OS substrate: page cache, VFS, readahead, memory, Cross-OS.
+
+This package rebuilds, in simulation, every kernel component CrossPrefetch
+touches in the paper's Linux 5.14 implementation:
+
+* :mod:`repro.os.bitmap` — block bitmaps (the per-inode cache-state bitmap
+  Cross-OS exports to user space).
+* :mod:`repro.os.pagecache` — the per-inode cache tree (Xarray stand-in)
+  guarded by a tree-wide rw-lock, the source of the contention the paper
+  measures.
+* :mod:`repro.os.lru` / :mod:`repro.os.memory` — active/inactive LRU lists
+  and the global memory manager with watermark-driven reclaim.
+* :mod:`repro.os.readahead` — Linux-style incremental readahead (128 KB
+  cap, 32-block batches, window grow/shrink).
+* :mod:`repro.os.vfs` — open/read/write/fsync plus the prefetch syscall
+  surface (readahead(2), fadvise, fincore, mincore, mmap).
+* :mod:`repro.os.crossos` — the paper's OS component: per-inode cache
+  bitmaps, the ``readahead_info`` system call, the delineated prefetch
+  path, and exported telemetry.
+"""
+
+from repro.os.bitmap import BlockBitmap
+from repro.os.inode import Inode
+from repro.os.kernel import Kernel, KernelConfig
+from repro.os.memory import MemoryManager
+from repro.os.pagecache import PageCache
+from repro.os.vfs import FADV_DONTNEED # noqa: F401  (re-exported constants)
+from repro.os.vfs import (
+    FADV_NORMAL,
+    FADV_RANDOM,
+    FADV_SEQUENTIAL,
+    FADV_WILLNEED,
+    File,
+    VFS,
+)
+from repro.os.crossos import CacheInfo, CrossOS
+
+__all__ = [
+    "BlockBitmap",
+    "CacheInfo",
+    "CrossOS",
+    "FADV_DONTNEED",
+    "FADV_NORMAL",
+    "FADV_RANDOM",
+    "FADV_SEQUENTIAL",
+    "FADV_WILLNEED",
+    "File",
+    "Inode",
+    "Kernel",
+    "KernelConfig",
+    "MemoryManager",
+    "PageCache",
+    "VFS",
+]

@@ -1,0 +1,80 @@
+"""Kernel cost model and policy knobs.
+
+Every simulated CPU cost and kernel policy constant lives here so
+experiments can perturb them (e.g., the Fig. 10 prefetch-limit sweep).
+Times are simulated microseconds; sizes are bytes or blocks as named.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["KernelConfig"]
+
+KB = 1 << 10
+MB = 1 << 20
+GB = 1 << 30
+
+
+@dataclass
+class KernelConfig:
+    """Cost and policy constants for the simulated kernel."""
+
+    # -- geometry ----------------------------------------------------------
+    page_size: int = 4 * KB
+    # LRU / reclaim granularity, in blocks (128 KB chunks like Linux scan).
+    chunk_blocks: int = 32
+    # Extension (paper §4.6 future work): per-inode LRU lists with
+    # round-robin reclaim instead of the global two-list LRU.
+    per_inode_lru: bool = False
+
+    # -- CPU cost model (µs) -------------------------------------------------
+    syscall_overhead: float = 1.2
+    # Xarray walk per block looked up (pvec batching makes this small).
+    tree_walk_per_block: float = 0.015
+    # Xarray insert per block (under the tree write lock).
+    tree_insert_per_block: float = 0.12
+    # Copy between kernel and user space, per page of data.
+    copy_per_page: float = 0.35
+    # One bitmap range operation (Cross-OS fast path) — constant-ish.
+    bitmap_op: float = 0.25
+    # Copying exported bitmap bytes to user space, per byte.
+    bitmap_copy_per_byte: float = 0.002
+    # fincore: per resident page walked, plus the mm-lock serialization.
+    fincore_per_block: float = 0.04
+    fincore_base: float = 3.0
+    # mmap fault entry/exit.
+    fault_overhead: float = 1.8
+
+    # -- readahead policy ------------------------------------------------------
+    # Default Linux window cap: 32 blocks = 128 KB.
+    ra_pages: int = 32
+    # readahead(2)/fadvise(WILLNEED) are clamped to this many blocks per
+    # call (the Fig. 1 pathology: a 4 MB request yields 128 KB).
+    ra_syscall_cap_blocks: int = 32
+    # VFS splits any single device I/O at this many bytes (§4.7: "the VFS
+    # layer limits an I/O request to a maximum of 2MB").
+    io_chunk_bytes: int = 2 * MB
+
+    # -- Cross-OS ---------------------------------------------------------------
+    # Hard cap on a single readahead_info request (§4.7: 64 MB).
+    cross_max_request_bytes: int = 64 * MB
+    # Granularity knob for the exported bitmap (CROSS_BITMAP_SHIFT).
+    cross_bitmap_shift: int = 0
+
+    # -- writeback ----------------------------------------------------------------
+    # Background flusher wakes at this interval (µs) ...
+    writeback_interval: float = 50_000.0
+    # ... and starts work above this many dirty pages.
+    writeback_dirty_pages: int = 2048
+    # Max pages flushed per wakeup burst.
+    writeback_batch_pages: int = 4096
+
+    @property
+    def block_size(self) -> int:
+        return self.page_size
+
+    def blocks_of(self, nbytes: int) -> int:
+        if nbytes <= 0:
+            return 0
+        return (nbytes + self.page_size - 1) // self.page_size

@@ -1,0 +1,237 @@
+"""Cross-OS: exported cache state and the ``readahead_info`` syscall.
+
+This is the kernel half of CrossPrefetch (§4.4, §4.7):
+
+* a per-inode **cache-state bitmap**, mirrored from the page cache on
+  every insert/evict, guarded by its own rw-lock so prefetch lookups do
+  not touch the cache-tree lock (the *delineated path*);
+* the multi-purpose **readahead_info** system call, which in one trip
+  (1) checks the bitmap fast path for the requested range, (2) issues
+  prefetch I/O for the missing runs only, (3) exports a bitmap window to
+  user space, and (4) exports telemetry: per-file cached pages, demand
+  hits/misses, and free memory;
+* **relaxed prefetch limits** — requests up to ``cross_max_request_bytes``
+  (64 MB), split into 2 MB device I/Os by the VFS chunking rule.
+
+Unlike ``readahead(2)``, the call *reports what actually happened*, which
+is the visibility that lets CROSS-LIB skip redundant prefetch syscalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.os.bitmap import BlockBitmap
+from repro.os.inode import Inode
+from repro.os.vfs import VFS, File
+from repro.sim.sync import RwLock
+from repro.storage.device import PREFETCH
+
+__all__ = ["CacheInfo", "CrossOS", "CrossState"]
+
+
+@dataclass
+class CacheInfo:
+    """The ``info`` structure passed to/from ``readahead_info``.
+
+    Request fields are set by the caller; reply fields by the kernel.
+    """
+
+    # -- request ------------------------------------------------------------
+    offset: int = 0                 # bytes
+    nbytes: int = 0
+    fetch_bitmap_only: bool = False  # control plane: no prefetch, just state
+    # Control plane (§4.4): mark the file so the kernel ignores further
+    # prefetch submissions for it (None = leave as is).
+    set_prefetch_disabled: Optional[bool] = None
+    max_request_bytes: Optional[int] = None  # relax the per-call cap (§4.7)
+    # Selective bitmap copy (§4.4): (block_start, block_count); defaults
+    # to the requested range.
+    bitmap_window: Optional[tuple[int, int]] = None
+
+    # -- reply ---------------------------------------------------------------
+    bitmap_bits: int = 0
+    bitmap_start: int = 0
+    bitmap_count: int = 0
+    cached_pages: int = 0            # resident/in-flight pages in range
+    prefetch_submitted: int = 0      # blocks this call sent to the device
+    truncated: bool = False          # request exceeded the per-call cap
+    prefetch_disabled: bool = False  # the file's current control state
+    file_cached_pages: int = 0       # telemetry: whole-file residency
+    free_pages: int = 0
+    total_pages: int = 0
+    hit_pages: int = 0               # per-inode demand hits to date
+    miss_pages: int = 0
+    # Fires when the prefetch submitted by this call has fully landed
+    # (kernel-internal convenience for worker pacing; already triggered
+    # when nothing was submitted).
+    completion: object = None
+
+
+class CrossState:
+    """Per-inode Cross-OS state: the exported bitmap and its lock."""
+
+    def __init__(self, vfs: VFS, inode: Inode, shift: int):
+        self.inode = inode
+        self.prefetch_disabled = False
+        self.bitmap = BlockBitmap(inode.nblocks, shift=shift)
+        self.lock = RwLock(vfs.sim, name=f"inode_bitmap[{inode.id}]",
+                           stats=vfs.registry.lock_stats("inode_bitmap"))
+        # Seed from current residency, then mirror via hooks.
+        for start, count in inode.cache.present.set_runs(0, inode.nblocks):
+            self.bitmap.set_range(start, count)
+        inode.cache.insert_hooks.append(self._on_insert)
+        inode.cache.evict_hooks.append(self._on_evict)
+
+    def _on_insert(self, start: int, count: int) -> None:
+        if self.bitmap.nblocks < self.inode.nblocks:
+            self.bitmap.resize(self.inode.nblocks)
+        self.bitmap.set_range(start, count)
+
+    def _on_evict(self, start: int, count: int) -> None:
+        self.bitmap.clear_range(start, count)
+
+
+class CrossOS:
+    """The kernel-side CrossPrefetch component, attached to a VFS."""
+
+    def __init__(self, vfs: VFS):
+        self.vfs = vfs
+        self.config = vfs.config
+        self._states: dict[int, CrossState] = {}
+
+    def attach(self, inode: Inode) -> CrossState:
+        state = self._states.get(inode.id)
+        if state is None:
+            state = CrossState(self.vfs, inode,
+                               self.config.cross_bitmap_shift)
+            self._states[inode.id] = state
+            inode.cross = state
+        return state
+
+    def state(self, inode: Inode) -> CrossState:
+        return self.attach(inode)
+
+    def detach(self, inode: Inode) -> None:
+        self._states.pop(inode.id, None)
+        inode.cross = None
+
+    # -- the system call ----------------------------------------------------
+
+    def readahead_info(self, file: File, info: CacheInfo) -> Generator:
+        """The multi-purpose prefetch + cache-state-export syscall.
+
+        Prefetch I/O is *submitted* (on the delineated prefetch path) but
+        not waited for; the exported bitmap counts submitted blocks as
+        present so the caller will not re-request them.
+        """
+        cfg = self.config
+        vfs = self.vfs
+        sim = vfs.sim
+        inode = file.inode
+        state = self.state(inode)
+        yield sim.timeout(cfg.syscall_overhead)
+        vfs.registry.count("syscalls.readahead_info")
+
+        if info.set_prefetch_disabled is not None:
+            state.prefetch_disabled = info.set_prefetch_disabled
+
+        cap = info.max_request_bytes or cfg.cross_max_request_bytes
+        cap = min(cap, cfg.cross_max_request_bytes)
+        nbytes = min(info.nbytes, max(0, inode.size - info.offset))
+        if nbytes > cap:
+            nbytes = cap
+            info.truncated = True
+        b0 = info.offset // cfg.block_size
+        count = inode.blocks_of(info.offset + nbytes) - b0
+        count = max(0, min(count, inode.nblocks - b0))
+
+        # Fast path: bitmap lookup under the bitmap rw-lock; the cache
+        # tree lock is never taken for the lookup (delineated path).
+        yield state.lock.acquire_read()
+        yield sim.timeout(cfg.bitmap_op)
+        inflight = vfs._inflight[inode.id]
+        planned = vfs._planned[inode.id]
+        missing: list[tuple[int, int]] = []
+        if count > 0:
+            for run_start, run_len in state.bitmap.missing_runs(b0, count):
+                for mid_start, mid_len in inflight.missing_runs(run_start,
+                                                                run_len):
+                    for sub_start, sub_len in planned.missing_runs(
+                            mid_start, mid_len):
+                        missing.append((sub_start, sub_len))
+        state.lock.release_read()
+
+        submitted = 0
+        if missing and not info.fetch_bitmap_only \
+                and not state.prefetch_disabled:
+            submitted = sum(n for _s, n in missing)
+            vfs.registry.count("cross.prefetch_blocks", submitted)
+            # Claim the runs before yielding so a concurrent caller in
+            # the same instant cannot double-submit the same blocks.
+            vfs.plan_runs(inode, missing)
+            info.completion = sim.process(
+                self._prefetch(inode, missing),
+                name=f"cross_prefetch[{inode.id}:{b0}+{count}]")
+        else:
+            done = sim.event()
+            done.succeed()
+            info.completion = done
+
+        # Export the bitmap window (selective copy) and telemetry.
+        win_start, win_count = info.bitmap_window or (b0, count)
+        win_count = max(0, min(win_count, inode.nblocks - win_start))
+        window = state.bitmap.window(win_start, win_count)
+        window |= inflight.window(win_start, win_count)
+        window |= planned.window(win_start, win_count)
+        if submitted:
+            sub_bm = BlockBitmap(inode.nblocks, shift=state.bitmap.shift)
+            for run_start, run_len in missing:
+                sub_bm.set_range(run_start, run_len)
+            window |= sub_bm.window(win_start, win_count)
+        copy_bytes = state.bitmap.export_nbytes(win_start, win_count)
+        yield sim.timeout(cfg.bitmap_op + copy_bytes * cfg.bitmap_copy_per_byte)
+
+        info.bitmap_bits = window
+        info.bitmap_start = win_start
+        info.bitmap_count = win_count
+        info.cached_pages = (count - sum(n for _s, n in missing)
+                             if count > 0 else 0)
+        info.prefetch_submitted = submitted
+        info.file_cached_pages = inode.cache.cached_pages
+        info.free_pages = vfs.mem.free_pages
+        info.total_pages = vfs.mem.total_pages
+        info.hit_pages = inode.hit_pages
+        info.miss_pages = inode.miss_pages
+        info.prefetch_disabled = state.prefetch_disabled
+        if vfs.tracer is not None:
+            vfs.tracer.record(sim.now, "readahead_info",
+                              inode=inode.id, block=b0, count=count,
+                              submitted=submitted,
+                              cached=info.cached_pages)
+        return info
+
+    def _prefetch(self, inode: Inode,
+                  runs: list[tuple[int, int]]) -> Generator:
+        """Delineated prefetch path: PREFETCH-priority device reads, one
+        batched cache insert, one batched bitmap update."""
+        cfg = self.config
+        state = self.state(inode)
+        pages = yield from self.vfs.prefetch_runs(inode, runs)
+        # Bitmap updated once after completing the entire walk (§4.4);
+        # the mirror hooks did the state change, this charges the cost.
+        yield state.lock.acquire_write()
+        yield self.vfs.sim.timeout(cfg.bitmap_op)
+        state.lock.release_write()
+        self.vfs.registry.count("cross.prefetched_pages", pages)
+        return pages
+
+    # -- eviction helper (used by CROSS-LIB aggressive reclaim) ----------------
+
+    def evict_range(self, file: File, offset: int,
+                    nbytes: int) -> Generator:
+        """fadvise(DONTNEED) through the Cross-OS accounting."""
+        result = yield from self.vfs.fadvise(
+            file, "dontneed", offset, nbytes)
+        return result

@@ -1,0 +1,80 @@
+"""The kernel bundle: one simulated machine.
+
+A :class:`Kernel` ties together a simulator, a storage device, the
+memory manager, the VFS, and (optionally) Cross-OS, mirroring the
+evaluation machine in §5.1.  Experiments construct one kernel per run so
+every run starts with a cold cache, like the paper's ``drop_caches``
+before each experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.os.config import KernelConfig
+from repro.os.crossos import CrossOS
+from repro.os.inode import Inode
+from repro.os.memory import MemoryManager
+from repro.os.mmap import MmapRegion
+from repro.os.vfs import VFS, File
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatsRegistry
+from repro.storage.device import StorageDevice
+from repro.storage.nvme import NVMeDevice
+
+__all__ = ["Kernel", "KernelConfig"]
+
+GB = 1 << 30
+
+DeviceFactory = Callable[[Simulator, StatsRegistry], StorageDevice]
+
+
+def _default_device(sim: Simulator,
+                    registry: StatsRegistry) -> StorageDevice:
+    return NVMeDevice(sim, stats_registry=registry)
+
+
+class Kernel:
+    """One simulated machine: sim + device + memory + VFS (+ Cross-OS)."""
+
+    def __init__(self, *,
+                 memory_bytes: int = 8 * GB,
+                 config: Optional[KernelConfig] = None,
+                 device_factory: DeviceFactory = _default_device,
+                 cross_enabled: bool = False,
+                 tracer=None):
+        self.config = config or KernelConfig()
+        self.sim = Simulator()
+        self.registry = StatsRegistry()
+        self.tracer = tracer
+        total_pages = max(1, memory_bytes // self.config.page_size)
+        self.mem = MemoryManager(total_pages,
+                                 chunk_blocks=self.config.chunk_blocks,
+                                 per_inode_lru=self.config.per_inode_lru)
+        self.device = device_factory(self.sim, self.registry)
+        self.vfs = VFS(self.sim, self.device, self.mem, self.config,
+                       self.registry)
+        self.vfs.tracer = tracer
+        self.cross: Optional[CrossOS] = CrossOS(self.vfs) \
+            if cross_enabled else None
+
+    # -- conveniences ----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def create_file(self, path: str, size: int) -> Inode:
+        inode = self.vfs.create(path, size)
+        if self.cross is not None:
+            self.cross.attach(inode)
+        return inode
+
+    def mmap(self, file: File) -> MmapRegion:
+        return MmapRegion(self.vfs, file)
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.sim.run(until)
+
+    def shutdown(self) -> None:
+        self.vfs.shutdown()

@@ -1,0 +1,189 @@
+"""Active/inactive LRU lists at chunk granularity.
+
+Linux reclaims page-cache memory from two LRU lists: pages enter the
+inactive list, get promoted to the active list on a second reference, and
+reclaim scans the inactive tail.  Tracking 4 KB pages individually would
+dominate simulation cost, so this model tracks *chunks* (default 32
+blocks = 128 KB) — the same granularity Linux effectively scans in — and
+keeps the two-list promotion/demotion policy intact.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+__all__ = ["ChunkKey", "ChunkLru"]
+
+# (inode_id, chunk_index)
+ChunkKey = tuple[int, int]
+
+
+@dataclass
+class _ChunkEntry:
+    referenced: bool = False
+
+
+class ChunkLru:
+    """Two-list LRU over (inode, chunk) keys."""
+
+    def __init__(self):
+        self._inactive: OrderedDict[ChunkKey, _ChunkEntry] = OrderedDict()
+        self._active: OrderedDict[ChunkKey, _ChunkEntry] = OrderedDict()
+
+    def __contains__(self, key: ChunkKey) -> bool:
+        return key in self._inactive or key in self._active
+
+    def __len__(self) -> int:
+        return len(self._inactive) + len(self._active)
+
+    @property
+    def inactive_count(self) -> int:
+        return len(self._inactive)
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    def inserted(self, key: ChunkKey) -> None:
+        """A chunk gained resident pages; new chunks enter inactive MRU."""
+        if key in self._active:
+            self._active.move_to_end(key)
+            return
+        if key in self._inactive:
+            self._inactive.move_to_end(key)
+            return
+        self._inactive[key] = _ChunkEntry()
+
+    def touched(self, key: ChunkKey) -> None:
+        """A cache hit on the chunk: mark referenced / promote."""
+        entry = self._inactive.get(key)
+        if entry is not None:
+            if entry.referenced:
+                del self._inactive[key]
+                self._active[key] = entry
+            else:
+                entry.referenced = True
+                self._inactive.move_to_end(key)
+            return
+        entry = self._active.get(key)
+        if entry is not None:
+            self._active.move_to_end(key)
+
+    def removed(self, key: ChunkKey) -> None:
+        """The chunk lost all resident pages (evicted or truncated)."""
+        self._inactive.pop(key, None)
+        self._active.pop(key, None)
+
+    def pop_victim(self, exclude: Optional[set] = None) -> Optional[ChunkKey]:
+        """Pick the reclaim victim: inactive tail, demoting from active
+        when the inactive list runs low.
+
+        ``exclude`` protects chunks that must not be evicted (the chunk
+        an in-progress insert just populated — evicting it would livelock
+        the filler, the way an unprotected kernel LRU would thrash).
+        Linux's equivalent protections are page references held by the
+        faulting path and inactive/active list balancing.
+        """
+        # Balance: keep a floor of demoted-active candidates so a lone
+        # freshly-inserted chunk is never the only choice.
+        if len(self._inactive) <= len(exclude or ()) or \
+                not self._inactive:
+            self._refill_inactive()
+        skipped: list[tuple[ChunkKey, _ChunkEntry]] = []
+        victim: Optional[ChunkKey] = None
+        while self._inactive:
+            key, entry = self._inactive.popitem(last=False)
+            if exclude and key in exclude:
+                skipped.append((key, entry))
+                continue
+            victim = key
+            break
+        # Re-queue protected chunks at the MRU end, preserving them.
+        for key, entry in skipped:
+            self._inactive[key] = entry
+        return victim
+
+    def _refill_inactive(self, batch: int = 32) -> None:
+        for _ in range(min(batch, len(self._active))):
+            key, entry = self._active.popitem(last=False)
+            entry.referenced = False
+            self._inactive[key] = entry
+
+    def iter_inactive_oldest(self) -> Iterator[ChunkKey]:
+        """Oldest-first view of the inactive list (for targeted eviction)."""
+        return iter(list(self._inactive.keys()))
+
+
+class PerInodeLru:
+    """Per-inode LRU lists with round-robin reclaim (paper §4.6:
+    "our future work will explore fine-grained (per-inode) LRUs within
+    the OS to expedite memory reclamation").
+
+    Keeps one :class:`ChunkLru` per inode and picks reclaim victims
+    round-robin across inodes, so one huge streaming file cannot
+    monopolise eviction decisions the way it can on a single global
+    list.  Drop-in replacement for :class:`ChunkLru`.
+    """
+
+    def __init__(self):
+        self._per_inode: OrderedDict[int, ChunkLru] = OrderedDict()
+
+    def _lru_for(self, inode_id: int, create: bool = False
+                 ) -> Optional[ChunkLru]:
+        lru = self._per_inode.get(inode_id)
+        if lru is None and create:
+            lru = ChunkLru()
+            self._per_inode[inode_id] = lru
+        return lru
+
+    def __contains__(self, key: ChunkKey) -> bool:
+        lru = self._per_inode.get(key[0])
+        return lru is not None and key in lru
+
+    def __len__(self) -> int:
+        return sum(len(lru) for lru in self._per_inode.values())
+
+    @property
+    def inactive_count(self) -> int:
+        return sum(lru.inactive_count for lru in self._per_inode.values())
+
+    @property
+    def active_count(self) -> int:
+        return sum(lru.active_count for lru in self._per_inode.values())
+
+    def inserted(self, key: ChunkKey) -> None:
+        self._lru_for(key[0], create=True).inserted(key)
+
+    def touched(self, key: ChunkKey) -> None:
+        lru = self._per_inode.get(key[0])
+        if lru is not None:
+            lru.touched(key)
+
+    def removed(self, key: ChunkKey) -> None:
+        lru = self._per_inode.get(key[0])
+        if lru is not None:
+            lru.removed(key)
+            if len(lru) == 0:
+                self._per_inode.pop(key[0], None)
+
+    def pop_victim(self, exclude: Optional[set] = None
+                   ) -> Optional[ChunkKey]:
+        """Round-robin across inodes: take from the least-recently
+        rotated inode's inactive tail."""
+        for _ in range(len(self._per_inode)):
+            inode_id, lru = next(iter(self._per_inode.items()))
+            self._per_inode.move_to_end(inode_id)
+            victim = lru.pop_victim(exclude=exclude)
+            if victim is not None:
+                if len(lru) == 0:
+                    self._per_inode.pop(inode_id, None)
+                return victim
+            if len(lru) == 0:
+                self._per_inode.pop(inode_id, None)
+        return None
+
+    def iter_inactive_oldest(self) -> Iterator[ChunkKey]:
+        for lru in self._per_inode.values():
+            yield from lru.iter_inactive_oldest()

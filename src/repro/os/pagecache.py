@@ -1,0 +1,165 @@
+"""Per-inode page cache: the simulated Xarray and its tree lock.
+
+Linux keeps one radix tree (Xarray) per inode, guarded by a tree-wide
+lock that both regular I/O and prefetch inserts take — the contention
+source §3.2 of the paper measures.  This model keeps the residency truth
+in a :class:`~repro.os.bitmap.BlockBitmap`, the tree-wide rw-lock as a
+simulated :class:`~repro.sim.sync.RwLock` (category ``cache_tree``), and
+chunk-granular LRU bookkeeping through the memory manager.
+
+All methods here are *pure state transitions*; the VFS and Cross-OS
+layers orchestrate lock acquisition and simulated CPU cost around them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from repro.os.bitmap import BlockBitmap
+from repro.os.memory import MemoryManager
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatsRegistry
+from repro.sim.sync import RwLock
+
+__all__ = ["PageCache"]
+
+
+class PageCache:
+    """Residency, dirty state and LRU hooks for one inode."""
+
+    def __init__(self, sim: Simulator, inode_id: int, nblocks: int,
+                 mem: MemoryManager, registry: StatsRegistry):
+        self.sim = sim
+        self.inode_id = inode_id
+        self.mem = mem
+        self.present = BlockBitmap(nblocks)
+        self.dirty = BlockBitmap(nblocks)
+        self.tree_lock = RwLock(sim, name=f"cache_tree[{inode_id}]",
+                                stats=registry.lock_stats("cache_tree"))
+        # PG_readahead marker: block index that triggers async readahead
+        # when hit, or None.
+        self.ra_marker: Optional[int] = None
+        mem.register_cache(self)
+        # Hooks fired as (start, nblocks) on insert/evict; Cross-OS uses
+        # them to mirror residency into the exported bitmap.
+        self.insert_hooks: list[Callable[[int, int], None]] = []
+        self.evict_hooks: list[Callable[[int, int], None]] = []
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def nblocks(self) -> int:
+        return self.present.nblocks
+
+    @property
+    def cached_pages(self) -> int:
+        return self.present.count_set()
+
+    def resize(self, nblocks: int) -> None:
+        self.present.resize(nblocks)
+        self.dirty.resize(nblocks)
+
+    def _chunks(self, start: int, count: int) -> Iterator[int]:
+        cb = self.mem.chunk_blocks
+        first = start // cb
+        last = (start + count - 1) // cb
+        return iter(range(first, last + 1))
+
+    def resident_chunks(self) -> Iterator[int]:
+        cb = self.mem.chunk_blocks
+        for run_start, run_len in self.present.set_runs(0, self.nblocks or 1):
+            yield from self._chunks(run_start, run_len)
+
+    # -- queries (caller holds tree read lock) --------------------------------
+
+    def missing_runs(self, start: int, count: int) -> list[tuple[int, int]]:
+        return list(self.present.missing_runs(start, count))
+
+    def resident_count(self, start: int, count: int) -> int:
+        return self.present.count_set(start, count)
+
+    def all_resident(self, start: int, count: int) -> bool:
+        return self.present.all_set(start, count)
+
+    # -- mutation (caller holds tree write lock) ------------------------------
+
+    def insert_range(self, start: int, count: int,
+                     dirty: bool = False) -> int:
+        """Mark blocks resident; returns the number of *new* pages.
+
+        Charges the memory manager (which may trigger reclaim of other
+        chunks) and registers LRU entries.
+        """
+        if count <= 0:
+            return 0
+        new_pages = count - self.present.count_set(start, count)
+        self.present.set_range(start, count)
+        if dirty:
+            self.dirty.set_range(start, count)
+        own_chunks = {(self.inode_id, chunk)
+                      for chunk in self._chunks(start, count)}
+        for key in own_chunks:
+            self.mem.chunk_inserted(key)
+        for hook in self.insert_hooks:
+            hook(start, count)
+        if new_pages > 0:
+            # Protect the chunks this insert populated from the reclaim
+            # it may trigger, or the filler would evict itself.
+            self.mem.charge(new_pages, exclude=own_chunks)
+        return new_pages
+
+    def touch_range(self, start: int, count: int) -> None:
+        """Record a cache hit for LRU aging (caller holds read lock)."""
+        for chunk in self._chunks(start, count):
+            self.mem.chunk_touched((self.inode_id, chunk))
+
+    def evict_chunk(self, chunk: int) -> int:
+        """Evict one LRU chunk; returns pages freed.
+
+        Dirty pages in the chunk are counted as written back (the device
+        write is the flusher's job; see VFS writeback).
+        """
+        cb = self.mem.chunk_blocks
+        start = chunk * cb
+        count = min(cb, max(0, self.nblocks - start))
+        if count <= 0:
+            self.mem.chunk_removed((self.inode_id, chunk))
+            return 0
+        freed = self.present.count_set(start, count)
+        if freed:
+            self.present.clear_range(start, count)
+            self.dirty.clear_range(start, count)
+            self.mem.uncharge(freed)
+            for hook in self.evict_hooks:
+                hook(start, count)
+            self.mem.notify_evicted(self.inode_id, start, count)
+        self.mem.chunk_removed((self.inode_id, chunk))
+        return freed
+
+    def evict_range(self, start: int, count: int) -> int:
+        """Evict an arbitrary block range (fadvise(DONTNEED) path)."""
+        if count <= 0:
+            return 0
+        freed = self.present.count_set(start, count)
+        if freed == 0:
+            return 0
+        self.present.clear_range(start, count)
+        self.dirty.clear_range(start, count)
+        self.mem.uncharge(freed)
+        for hook in self.evict_hooks:
+            hook(start, count)
+        self.mem.notify_evicted(self.inode_id, start, count)
+        cb = self.mem.chunk_blocks
+        for chunk in self._chunks(start, count):
+            cstart = chunk * cb
+            clen = min(cb, max(0, self.nblocks - cstart))
+            if clen <= 0 or not self.present.any_set(cstart, clen):
+                self.mem.chunk_removed((self.inode_id, chunk))
+        return freed
+
+    def clean_range(self, start: int, count: int) -> None:
+        self.dirty.clear_range(start, count)
+
+    @property
+    def dirty_pages(self) -> int:
+        return self.dirty.count_set()

@@ -1,0 +1,135 @@
+"""Linux-style incremental readahead state machine.
+
+This is the stock OS prefetcher the paper's baselines rely on (§2.1):
+
+* incremental window growth, doubling on sequential access up to
+  ``ra_pages`` (32 blocks = 128 KB by default — the "static limit" the
+  paper attacks);
+* window shrink on random access, down to nothing;
+* a ``PG_readahead`` marker placed inside the readahead window so a later
+  hit on the marked page triggers the *async* readahead of the next
+  window;
+* ``fadvise(SEQUENTIAL)`` doubles the window cap, ``fadvise(RANDOM)``
+  disables readahead entirely.
+
+The state lives per *open file description* (Linux's ``file->f_ra``),
+not per inode, so two FDs on one file age independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ReadaheadPlan", "ReadaheadState"]
+
+
+@dataclass
+class ReadaheadPlan:
+    """What the readahead engine wants read beyond the demand range.
+
+    ``sync_start/sync_count`` extend the blocking read itself;
+    ``marker`` is the block on which to set PG_readahead.
+    """
+
+    sync_start: int = 0
+    sync_count: int = 0
+    marker: Optional[int] = None
+
+
+class ReadaheadState:
+    """Per-FD readahead window."""
+
+    def __init__(self, ra_pages: int = 32):
+        self.ra_pages = ra_pages      # max window, blocks
+        self.enabled = True
+        self.sequential_hint = False  # fadvise(SEQUENTIAL)
+        self.window = 0               # current window size, blocks
+        self.prev_end: Optional[int] = None  # block after previous read
+        self.async_triggers = 0
+        self.sync_expansions = 0
+
+    # -- hints ---------------------------------------------------------------
+
+    def set_random(self) -> None:
+        self.enabled = False
+        self.window = 0
+
+    def set_sequential(self) -> None:
+        self.enabled = True
+        self.sequential_hint = True
+
+    def set_normal(self) -> None:
+        self.enabled = True
+        self.sequential_hint = False
+
+    @property
+    def max_window(self) -> int:
+        if self.sequential_hint:
+            return self.ra_pages * 2
+        return self.ra_pages
+
+    # -- the on-demand algorithm ----------------------------------------------
+
+    def on_demand_miss(self, start: int, count: int,
+                       nblocks: int) -> ReadaheadPlan:
+        """A demand read missed the cache at ``start``; plan sync readahead.
+
+        Mirrors ``ondemand_readahead``: initial window for a fresh
+        sequential stream, doubling for a continuing one, collapse for
+        random access.
+        """
+        plan = ReadaheadPlan()
+        if not self.enabled or nblocks <= 0:
+            self.prev_end = start + count
+            return plan
+        # §3.1: the prefetcher works in 32-block batches and deems an
+        # access sequential if it lands within that range of the
+        # previous one — so short forward strides keep the stream alive.
+        sequential = self.prev_end is None and start == 0
+        if self.prev_end is not None:
+            sequential = 0 <= start - self.prev_end <= self.ra_pages
+        if sequential:
+            if self.window == 0:
+                # get_init_ra_size: 2-4x the request, capped.
+                self.window = min(self.max_window, max(4, 2 * count))
+                self.sync_expansions += 1
+            else:
+                self.window = min(self.max_window, self.window * 2)
+        else:
+            # A truly random miss restarts the stream: no readahead for
+            # this access, window collapses (the paper: "initially to 0").
+            self.window = 0
+        self.prev_end = start + count
+        if self.window > 0:
+            ra_start = start + count
+            ra_count = min(self.window, max(0, nblocks - ra_start))
+            if ra_count > 0:
+                plan.sync_start = ra_start
+                plan.sync_count = ra_count
+                # Marker sits at the start of the back half of the window
+                # so the async trigger fires with lead time.
+                plan.marker = ra_start + max(0, ra_count - ra_count // 2 - 1)
+        return plan
+
+    def on_marker_hit(self, marker: int, nblocks: int) -> ReadaheadPlan:
+        """A read touched PG_readahead: plan the next async window."""
+        plan = ReadaheadPlan()
+        if not self.enabled:
+            return plan
+        self.window = min(self.max_window, max(self.window * 2, 4))
+        ra_start = marker + 1
+        ra_count = min(self.window, max(0, nblocks - ra_start))
+        if ra_count > 0:
+            plan.sync_start = ra_start
+            plan.sync_count = ra_count
+            plan.marker = ra_start + max(0, ra_count - ra_count // 2 - 1)
+            self.async_triggers += 1
+        return plan
+
+    def note_sequential_pos(self, start: int, count: int) -> bool:
+        """Track position on a fully cached read; returns True if it
+        continued the stream (keeps the window warm)."""
+        sequential = self.prev_end is not None and start == self.prev_end
+        self.prev_end = start + count
+        return sequential

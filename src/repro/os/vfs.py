@@ -1,0 +1,635 @@
+"""The virtual file system: files, reads/writes, and prefetch syscalls.
+
+This module is the syscall surface every workload talks to.  It
+orchestrates the page cache (lookups under the tree read lock, inserts
+under the tree write lock), the stock readahead engine, writeback, and
+the prefetch-related system calls the paper discusses:
+
+* ``readahead(2)`` — blocking, clamped to 128 KB per call (the Fig. 1
+  pathology);
+* ``fadvise`` — SEQUENTIAL / RANDOM / NORMAL / WILLNEED / DONTNEED;
+* ``fincore`` — cache-residency query that serializes on the mm lock and
+  walks the cache tree (the expensive baseline §2.1 measures).
+
+In-flight tracking: blocks being read from the device are marked in a
+per-inode ``inflight`` bitmap so concurrent readers (and prefetchers)
+never issue duplicate device I/O; a waiter sleeps on the inode's
+condition until overlapping fills complete.  This is the page-lock
+deduplication the kernel performs, and it is what lets a demand read
+overlap with an in-flight prefetch instead of re-reading the blocks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.os.bitmap import BlockBitmap
+from repro.os.config import KernelConfig
+from repro.os.inode import Inode
+from repro.os.memory import MemoryManager
+from repro.os.readahead import ReadaheadState
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatsRegistry
+from repro.sim.sync import Condition, Lock
+from repro.storage.device import BLOCKING, PREFETCH, StorageDevice
+
+__all__ = [
+    "FADV_DONTNEED",
+    "FADV_NORMAL",
+    "FADV_RANDOM",
+    "FADV_SEQUENTIAL",
+    "FADV_WILLNEED",
+    "File",
+    "ReadResult",
+    "VFS",
+]
+
+FADV_NORMAL = "normal"
+FADV_SEQUENTIAL = "sequential"
+FADV_RANDOM = "random"
+FADV_WILLNEED = "willneed"
+FADV_DONTNEED = "dontneed"
+
+_fd_ids = itertools.count(3)  # 0-2 are stdio, naturally
+
+
+@dataclass
+class ReadResult:
+    """What a read() returned, for workload accounting."""
+
+    nbytes: int
+    hit_pages: int
+    miss_pages: int
+
+
+class File:
+    """An open file description: position + per-FD readahead state."""
+
+    def __init__(self, inode: Inode, ra_pages: int):
+        self.fd = next(_fd_ids)
+        self.inode = inode
+        self.pos = 0
+        self.ra = ReadaheadState(ra_pages)
+        self.closed = False
+
+    def __repr__(self) -> str:
+        return f"File(fd={self.fd}, {self.inode.path!r}, pos={self.pos})"
+
+
+class VFS:
+    """The simulated VFS layer over one storage device."""
+
+    def __init__(self, sim: Simulator, device: StorageDevice,
+                 mem: MemoryManager, config: KernelConfig,
+                 registry: StatsRegistry):
+        self.sim = sim
+        self.device = device
+        self.mem = mem
+        self.config = config
+        self.registry = registry
+        self._inodes: dict[str, Inode] = {}
+        self._by_id: dict[int, Inode] = {}
+        # Blocks with device I/O in progress right now.
+        self._inflight: dict[int, BlockBitmap] = {}
+        # Blocks claimed by a large prefetch request whose pipeline has
+        # not reached them yet.  Demand reads IGNORE planned blocks (they
+        # fetch themselves at blocking priority, as the kernel would);
+        # only prefetch dedup honours them.
+        self._planned: dict[int, BlockBitmap] = {}
+        self._fill_cond: dict[int, Condition] = {}
+        self._dirty_inodes: set[int] = set()
+        # fincore/mincore serialize on the process mm lock (§2.1).
+        self.mm_lock = Lock(sim, name="mm", stats=registry.lock_stats("mm"))
+        # The flusher sleeps on this condition when there is no dirty
+        # data, so an idle kernel leaves the event heap empty and
+        # Simulator.run() terminates naturally.
+        self._wb_kick = Condition(sim, "writeback_kick")
+        self._flusher_proc = sim.process(self._flusher(), name="flusher")
+        # Optional event tracer (set by the Kernel when tracing is on).
+        self.tracer = None
+
+    # -- namespace ----------------------------------------------------------
+
+    def create(self, path: str, size: int) -> Inode:
+        """Create a file whose contents already exist on the device."""
+        if path in self._inodes:
+            raise FileExistsError(path)
+        inode = Inode(self.sim, path, size, self.config.block_size,
+                      self.mem, self.registry)
+        self._inodes[path] = inode
+        self._by_id[inode.id] = inode
+        self._inflight[inode.id] = BlockBitmap(inode.nblocks)
+        self._planned[inode.id] = BlockBitmap(inode.nblocks)
+        self._fill_cond[inode.id] = Condition(self.sim, f"fill[{inode.id}]")
+        return inode
+
+    def lookup(self, path: str) -> Inode:
+        inode = self._inodes.get(path)
+        if inode is None:
+            raise FileNotFoundError(path)
+        return inode
+
+    def exists(self, path: str) -> bool:
+        return path in self._inodes
+
+    def unlink(self, path: str) -> None:
+        inode = self._inodes.pop(path, None)
+        if inode is None:
+            raise FileNotFoundError(path)
+        freed = inode.cache.cached_pages
+        if freed:
+            inode.cache.evict_range(0, inode.nblocks)
+        self.mem.forget_cache(inode.id)
+        self._by_id.pop(inode.id, None)
+        self._inflight.pop(inode.id, None)
+        self._planned.pop(inode.id, None)
+        self._fill_cond.pop(inode.id, None)
+        self._dirty_inodes.discard(inode.id)
+        self.device.forget_stream(inode.id)
+
+    def paths(self) -> list[str]:
+        return sorted(self._inodes)
+
+    def open_sync(self, path: str) -> File:
+        """Zero-cost open for experiment setup."""
+        return File(self.lookup(path), self.config.ra_pages)
+
+    def open(self, path: str) -> Generator:
+        """open(2): returns a File after the syscall cost."""
+        yield self.sim.timeout(self.config.syscall_overhead)
+        self.registry.count("syscalls.open")
+        return File(self.lookup(path), self.config.ra_pages)
+
+    def close(self, file: File) -> Generator:
+        yield self.sim.timeout(self.config.syscall_overhead)
+        self.registry.count("syscalls.close")
+        file.closed = True
+
+    # -- read path ------------------------------------------------------------
+
+    def read(self, file: File, offset: int, nbytes: int) -> Generator:
+        """pread(2).  Returns a :class:`ReadResult`."""
+        cfg = self.config
+        inode = file.inode
+        cache = inode.cache
+        self.registry.count("syscalls.read")
+        # The syscall entry, pvec walk, and copy-out are accumulated and
+        # charged in one timeout — fewer engine events, same total time.
+        cpu = cfg.syscall_overhead
+        nbytes = min(nbytes, max(0, inode.size - offset))
+        if nbytes <= 0:
+            yield self.sim.timeout(cpu)
+            return ReadResult(0, 0, 0)
+        b0 = offset // cfg.block_size
+        count = inode.blocks_of(offset + nbytes) - b0
+
+        yield inode.rwlock.acquire_read()
+        try:
+            # Lookup under the cache-tree read lock (pvec walk).  Pages
+            # already inserted by an in-flight fill count as *hits* (the
+            # kernel finds them present-but-locked and waits), so misses
+            # are only the blocks nobody has asked the device for.
+            yield cache.tree_lock.acquire_read()
+            cpu += count * cfg.tree_walk_per_block
+            uncovered = self._uncovered_runs(cache, self._inflight[inode.id],
+                                             b0, count)
+            marker = cache.ra_marker
+            cache.tree_lock.release_read()
+
+            miss_pages = sum(n for _s, n in uncovered)
+            hit_pages = count - miss_pages
+            inode.hit_pages += hit_pages
+            inode.miss_pages += miss_pages
+            self.registry.count("cache.demand_hits", hit_pages)
+            self.registry.count("cache.demand_misses", miss_pages)
+            cache.touch_range(b0, count)
+
+            if miss_pages:
+                plan = file.ra.on_demand_miss(b0, count, inode.nblocks)
+                if plan.sync_count:
+                    self._spawn_fill(inode, plan.sync_start, plan.sync_count,
+                                     priority=BLOCKING, tag="os_ra_sync")
+                    cache.ra_marker = plan.marker
+            else:
+                file.ra.note_sequential_pos(b0, count)
+                if marker is not None and b0 <= marker < b0 + count:
+                    cache.ra_marker = None
+                    plan = file.ra.on_marker_hit(marker, inode.nblocks)
+                    if plan.sync_count:
+                        self._spawn_fill(inode, plan.sync_start,
+                                         plan.sync_count, priority=PREFETCH,
+                                         tag="os_ra_async")
+                        cache.ra_marker = plan.marker
+            cpu += count * cfg.copy_per_page
+            yield self.sim.timeout(cpu)
+            # Fill whatever is still missing and wait out in-flight
+            # overlaps (the page-lock wait); fully-resident reads skip
+            # the fill machinery entirely.
+            if not cache.present.all_set(b0, count):
+                yield from self._fill_range(inode, b0, count,
+                                            priority=BLOCKING,
+                                            honor_planned=True)
+        finally:
+            inode.rwlock.release_read()
+        if self.tracer is not None:
+            self.tracer.record(self.sim.now, "read", inode=inode.id,
+                               block=b0, count=count, hits=hit_pages,
+                               misses=miss_pages)
+        return ReadResult(nbytes, hit_pages, miss_pages)
+
+    def read_seq(self, file: File, nbytes: int) -> Generator:
+        """read(2) at the current file position."""
+        result = yield from self.read(file, file.pos, nbytes)
+        file.pos += result.nbytes
+        return result
+
+    # -- write path --------------------------------------------------------------
+
+    def write(self, file: File, offset: int, nbytes: int) -> Generator:
+        """pwrite(2) into the page cache; writeback happens asynchronously."""
+        cfg = self.config
+        inode = file.inode
+        cache = inode.cache
+        yield self.sim.timeout(cfg.syscall_overhead)
+        self.registry.count("syscalls.write")
+        if nbytes <= 0:
+            return 0
+        yield inode.rwlock.acquire_write()
+        try:
+            end = offset + nbytes
+            if end > inode.size:
+                inode.set_size(end)
+                self._inflight[inode.id].resize(inode.nblocks)
+                self._planned[inode.id].resize(inode.nblocks)
+            b0 = offset // cfg.block_size
+            count = inode.blocks_of(end) - b0
+            yield cache.tree_lock.acquire_write()
+            yield self.sim.timeout(count * cfg.tree_insert_per_block)
+            cache.insert_range(b0, count, dirty=True)
+            cache.tree_lock.release_write()
+            self._dirty_inodes.add(inode.id)
+            self._kick_writeback()
+            yield self.sim.timeout(count * cfg.copy_per_page)
+        finally:
+            inode.rwlock.release_write()
+        self.registry.count("write.bytes", nbytes)
+        return nbytes
+
+    def write_seq(self, file: File, nbytes: int) -> Generator:
+        written = yield from self.write(file, file.pos, nbytes)
+        file.pos += written
+        return written
+
+    def fsync(self, file: File) -> Generator:
+        """Flush the file's dirty pages synchronously."""
+        yield self.sim.timeout(self.config.syscall_overhead)
+        self.registry.count("syscalls.fsync")
+        yield from self._flush_inode(file.inode, priority=BLOCKING)
+
+    # -- prefetch syscalls -----------------------------------------------------------
+
+    def readahead(self, file: File, offset: int, nbytes: int) -> Generator:
+        """readahead(2): blocking populate, clamped to the kernel cap.
+
+        Returns the number of blocks actually submitted — which the real
+        syscall does NOT report; applications assume the full range was
+        prefetched (Fig. 1).
+        """
+        cfg = self.config
+        inode = file.inode
+        yield self.sim.timeout(cfg.syscall_overhead)
+        self.registry.count("syscalls.readahead")
+        b0 = offset // cfg.block_size
+        want = inode.blocks_of(min(offset + nbytes, inode.size)) - b0
+        count = min(want, cfg.ra_syscall_cap_blocks)
+        if count <= 0:
+            return 0
+        # Lookup under the tree read lock, like the kernel ra path.
+        cache = inode.cache
+        yield cache.tree_lock.acquire_read()
+        yield self.sim.timeout(count * cfg.tree_walk_per_block)
+        cache.tree_lock.release_read()
+        yield from self._fill_range(inode, b0, count, priority=PREFETCH,
+                                    prefetch=True)
+        return count
+
+    def fadvise(self, file: File, advice: str, offset: int = 0,
+                nbytes: int = 0) -> Generator:
+        cfg = self.config
+        inode = file.inode
+        yield self.sim.timeout(cfg.syscall_overhead)
+        self.registry.count("syscalls.fadvise")
+        if advice == FADV_SEQUENTIAL:
+            file.ra.set_sequential()
+        elif advice == FADV_RANDOM:
+            file.ra.set_random()
+        elif advice == FADV_NORMAL:
+            file.ra.set_normal()
+        elif advice == FADV_WILLNEED:
+            b0 = offset // cfg.block_size
+            want = inode.blocks_of(min(offset + nbytes, inode.size)) - b0
+            count = min(want, cfg.ra_syscall_cap_blocks)
+            if count > 0:
+                self._spawn_fill(inode, b0, count, priority=PREFETCH,
+                                 tag="willneed", prefetch=True)
+        elif advice == FADV_DONTNEED:
+            b0 = offset // cfg.block_size
+            if nbytes <= 0:
+                count = inode.nblocks - b0
+            else:
+                count = inode.blocks_of(min(offset + nbytes, inode.size)) - b0
+            if count > 0:
+                cache = inode.cache
+                yield cache.tree_lock.acquire_write()
+                freed = cache.evict_range(b0, count)
+                yield self.sim.timeout(freed * cfg.tree_walk_per_block)
+                cache.tree_lock.release_write()
+                self.registry.count("fadvise.dontneed_pages", freed)
+        else:
+            raise ValueError(f"unknown fadvise advice: {advice}")
+
+    def fincore(self, file: File, offset: int = 0,
+                nbytes: int = 0) -> Generator:
+        """Cache residency query: walks the tree under the mm lock.
+
+        Returns a snapshot :class:`BlockBitmap` of the queried range.
+        Expensive by design — this is the baseline the paper rejects.
+        """
+        cfg = self.config
+        inode = file.inode
+        cache = inode.cache
+        yield self.sim.timeout(cfg.syscall_overhead)
+        self.registry.count("syscalls.fincore")
+        b0 = offset // cfg.block_size
+        if nbytes <= 0:
+            count = inode.nblocks - b0
+        else:
+            count = inode.blocks_of(min(offset + nbytes, inode.size)) - b0
+        count = max(0, count)
+        yield self.mm_lock.acquire()
+        try:
+            yield cache.tree_lock.acquire_read()
+            try:
+                walk = cfg.fincore_base + count * cfg.fincore_per_block
+                yield self.sim.timeout(walk)
+                snapshot = BlockBitmap(inode.nblocks)
+                window = cache.present.window(b0, count)
+                snapshot.load_window(b0, count, window)
+            finally:
+                cache.tree_lock.release_read()
+        finally:
+            self.mm_lock.release()
+        # Copying the residency vector out costs per-byte.
+        yield self.sim.timeout(
+            snapshot.export_nbytes(b0, count) * cfg.bitmap_copy_per_byte)
+        return snapshot
+
+    # -- fill machinery ------------------------------------------------------------
+
+    def _spawn_fill(self, inode: Inode, start: int, count: int, *,
+                    priority: int, tag: str, prefetch: bool = True) -> None:
+        """Run a fill in the background (async readahead, WILLNEED)."""
+        self.registry.count(f"fill.{tag}")
+        self.sim.process(
+            self._fill_range(inode, start, count, priority=priority,
+                             prefetch=prefetch),
+            name=f"{tag}[{inode.id}:{start}+{count}]")
+
+    def _fill_range(self, inode: Inode, start: int, count: int, *,
+                    priority: int, prefetch: bool = False,
+                    wait: bool = True,
+                    honor_planned: bool = False) -> Generator:
+        """Ensure blocks [start, start+count) are resident.
+
+        Deduplicates against concurrent fills through the inflight bitmap
+        and returns the number of pages this call itself read from the
+        device.  With ``honor_planned`` (the demand-read path), blocks a
+        prefetch pipeline has claimed are waited for instead of re-read —
+        the kernel's locked-page semantics.
+        """
+        cfg = self.config
+        cache = inode.cache
+        inflight = self._inflight[inode.id]
+        planned = self._planned[inode.id] if honor_planned else None
+        cond = self._fill_cond[inode.id]
+        end = min(start + count, inode.nblocks)
+        if end <= start:
+            return 0
+        count = end - start
+        pages_read = 0
+        while True:
+            runs = self._uncovered_runs(cache, inflight, start, count,
+                                        planned=planned)
+            if runs:
+                pages_read += yield from self._fill_runs(
+                    inode, runs, priority=priority, prefetch=prefetch)
+                continue
+            if not wait or cache.present.all_set(start, count):
+                break
+            # Someone else is reading an overlapping range: wait for it.
+            yield cond.wait()
+            # If after one pipeline step our blocks are still only
+            # *planned* (claimed by a prefetch whose pipeline has not
+            # reached them), stop deferring and demand-fetch them at
+            # blocking priority — the pipeline's per-chunk recheck skips
+            # blocks that became resident, so nothing is read twice.
+            # This is the kernel reality: a page the prefetcher has not
+            # yet inserted is fetched by whoever faults on it first.
+            planned = None
+        return pages_read
+
+    def _uncovered_runs(self, cache, inflight: BlockBitmap, start: int,
+                        count: int,
+                        planned: Optional[BlockBitmap] = None
+                        ) -> list[tuple[int, int]]:
+        runs: list[tuple[int, int]] = []
+        for run_start, run_len in cache.present.missing_runs(start, count):
+            for sub_start, sub_len in inflight.missing_runs(run_start,
+                                                            run_len):
+                if planned is None:
+                    runs.append((sub_start, sub_len))
+                else:
+                    runs.extend(planned.missing_runs(sub_start, sub_len))
+        return runs
+
+    def _fill_runs(self, inode: Inode, runs: list[tuple[int, int]], *,
+                   priority: int, prefetch: bool,
+                   premarked: bool = False) -> Generator:
+        cfg = self.config
+        cache = inode.cache
+        inflight = self._inflight[inode.id]
+        cond = self._fill_cond[inode.id]
+        bs = cfg.block_size
+        chunk_blocks = max(1, cfg.io_chunk_bytes // bs)
+        if not premarked:
+            for run_start, run_len in runs:
+                inflight.set_range(run_start, run_len)
+        try:
+            events = []
+            total_pages = 0
+            for run_start, run_len in runs:
+                pos = run_start
+                while pos < run_start + run_len:
+                    n = min(chunk_blocks, run_start + run_len - pos)
+                    events.append(self.device.read(
+                        pos * bs, n * bs, priority=priority,
+                        stream=inode.id))
+                    pos += n
+                    total_pages += n
+            if prefetch:
+                self.registry.count("prefetch.pages", total_pages)
+            yield self.sim.all_of(events)
+            # Insert under the tree write lock: this is where prefetch
+            # and regular I/O contend in the baseline design.
+            yield cache.tree_lock.acquire_write()
+            yield self.sim.timeout(
+                total_pages * cfg.tree_insert_per_block)
+            for run_start, run_len in runs:
+                cache.insert_range(run_start, run_len)
+                if prefetch:
+                    self._prefetched_mark(inode, run_start, run_len)
+            cache.tree_lock.release_write()
+        finally:
+            for run_start, run_len in runs:
+                inflight.clear_range(run_start, run_len)
+            cond.notify_all()
+        if self.tracer is not None and runs:
+            self.tracer.record(self.sim.now, "fill", inode=inode.id,
+                               block=runs[0][0], pages=total_pages,
+                               prefetch=prefetch)
+        return total_pages
+
+    def plan_runs(self, inode: Inode, runs: list[tuple[int, int]]) -> None:
+        """Claim runs for an upcoming prefetch pipeline (call before
+        spawning :meth:`prefetch_runs` so concurrent prefetchers dedup)."""
+        planned = self._planned[inode.id]
+        for run_start, run_len in runs:
+            planned.set_range(run_start, run_len)
+
+    def prefetch_runs(self, inode: Inode,
+                      runs: list[tuple[int, int]]) -> Generator:
+        """Chunk-pipelined prefetch of ``runs`` (already planned).
+
+        Each 2 MB chunk is re-checked against residency/in-flight state
+        just before its I/O is issued, so blocks a demand read fetched in
+        the meantime are skipped, and demand reads never wait behind the
+        whole request — only behind the chunk actually on the wire.
+        """
+        cfg = self.config
+        cache = inode.cache
+        inflight = self._inflight[inode.id]
+        planned = self._planned[inode.id]
+        cond = self._fill_cond[inode.id]
+        bs = cfg.block_size
+        chunk_blocks = max(1, cfg.io_chunk_bytes // bs)
+        total_pages = 0
+        try:
+            for run_start, run_len in runs:
+                pos = run_start
+                run_end = run_start + run_len
+                while pos < run_end:
+                    n = min(chunk_blocks, run_end - pos)
+                    sub = self._uncovered_runs(cache, inflight, pos, n)
+                    if sub:
+                        pages = yield from self._fill_runs(
+                            inode, sub, priority=PREFETCH, prefetch=True)
+                        total_pages += pages
+                    planned.clear_range(pos, n)
+                    pos += n
+        finally:
+            for run_start, run_len in runs:
+                planned.clear_range(run_start, run_len)
+            cond.notify_all()
+        if total_pages:
+            self.registry.count("prefetch.pipeline_pages", total_pages)
+        return total_pages
+
+    # Prefetch-usefulness tracking: blocks inserted by prefetch are
+    # marked; a later demand hit consumes the mark.
+    def _prefetched_mark(self, inode: Inode, start: int, count: int) -> None:
+        bm = getattr(inode, "_prefetched_bm", None)
+        if bm is None:
+            bm = BlockBitmap(inode.nblocks)
+            inode._prefetched_bm = bm
+        bm.set_range(start, count)
+
+    # -- writeback ----------------------------------------------------------------
+
+    def _total_dirty(self) -> int:
+        total = 0
+        for inode_id in list(self._dirty_inodes):
+            inode = self._inodes_by_id(inode_id)
+            if inode is None:
+                self._dirty_inodes.discard(inode_id)
+                continue
+            total += inode.cache.dirty_pages
+        return total
+
+    def _kick_writeback(self) -> None:
+        if self._total_dirty() >= self.config.writeback_dirty_pages:
+            self._wb_kick.notify_all()
+
+    def _flusher(self) -> Generator:
+        cfg = self.config
+        while True:
+            # Sleep until a writer crosses the dirty threshold.
+            yield self._wb_kick.wait()
+            while self._total_dirty() >= cfg.writeback_dirty_pages:
+                budget = cfg.writeback_batch_pages
+                for inode_id in list(self._dirty_inodes):
+                    inode = self._inodes_by_id(inode_id)
+                    if inode is None:
+                        self._dirty_inodes.discard(inode_id)
+                        continue
+                    flushed = yield from self._flush_inode(
+                        inode, priority=PREFETCH, max_pages=budget)
+                    budget -= flushed
+                    if budget <= 0:
+                        break
+                yield self.sim.timeout(cfg.writeback_interval)
+
+    def _inodes_by_id(self, inode_id: int) -> Optional[Inode]:
+        return self._by_id.get(inode_id)
+
+    def _flush_inode(self, inode: Inode, *, priority: int,
+                     max_pages: Optional[int] = None) -> Generator:
+        cfg = self.config
+        cache = inode.cache
+        bs = cfg.block_size
+        amp = self.device.fs.write_amplification
+        flushed = 0
+        events = []
+        cleaned: list[tuple[int, int]] = []
+        for run_start, run_len in list(cache.dirty.set_runs(0,
+                                                            inode.nblocks)):
+            if max_pages is not None and flushed >= max_pages:
+                break
+            if max_pages is not None:
+                run_len = min(run_len, max_pages - flushed)
+            events.append(self.device.write(
+                run_start * bs, int(run_len * bs * amp),
+                priority=priority, stream=inode.id))
+            cleaned.append((run_start, run_len))
+            flushed += run_len
+        if events:
+            yield self.sim.all_of(events)
+            for run_start, run_len in cleaned:
+                cache.clean_range(run_start, run_len)
+            if cache.dirty_pages == 0:
+                self._dirty_inodes.discard(inode.id)
+        self.registry.count("writeback.pages", flushed)
+        return flushed
+
+    # -- maintenance ------------------------------------------------------------------
+
+    def drop_caches(self) -> None:
+        """Evict every clean cached page (experiment reset)."""
+        for inode in self._inodes.values():
+            if inode.cache.cached_pages:
+                inode.cache.evict_range(0, inode.nblocks)
+
+    def shutdown(self) -> None:
+        if self._flusher_proc.is_alive:
+            self._flusher_proc.interrupt("shutdown")

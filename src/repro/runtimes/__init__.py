@@ -1,0 +1,44 @@
+"""I/O runtimes: the comparison approaches of Table 2.
+
+Every workload drives an :class:`~repro.runtimes.base.IORuntime`; the
+factory builds the paper's comparison configurations by name:
+
+========================  =====================================================
+``APPonly``               application-tailored readahead calls; prefetch
+                          disabled for random access (stock RocksDB behaviour)
+``APPonly[fincore]``      APPonly plus a background thread polling fincore
+``OSonly``                everything delegated to Linux readahead
+``CrossP[+predict]``      cross-layered prediction, OS limits kept
+``CrossP[+predict+opt]``  + relaxed limits + aggressive prefetch/eviction
+``CrossP[+fetchall+opt]`` prefetch whole files, memory-insensitive
+``CrossP[+visibility]``             Table-5 ablation step 1
+``CrossP[+visibility+rangetree]``   Table-5 ablation step 2
+========================  =====================================================
+"""
+
+from repro.runtimes.apponly import AppOnlyRuntime
+from repro.runtimes.base import (
+    HINT_NORMAL,
+    HINT_RANDOM,
+    HINT_SEQUENTIAL,
+    Handle,
+    IORuntime,
+    MmapHandle,
+)
+from repro.runtimes.factory import APPROACHES, build_runtime
+from repro.runtimes.fincore import FincoreRuntime
+from repro.runtimes.osonly import OsOnlyRuntime
+
+__all__ = [
+    "APPROACHES",
+    "AppOnlyRuntime",
+    "FincoreRuntime",
+    "HINT_NORMAL",
+    "HINT_RANDOM",
+    "HINT_SEQUENTIAL",
+    "Handle",
+    "IORuntime",
+    "MmapHandle",
+    "OsOnlyRuntime",
+    "build_runtime",
+]

@@ -1,0 +1,144 @@
+"""The runtime interface every workload programs against.
+
+A runtime owns the prefetching *policy*; the kernel owns the mechanism.
+Workloads pass access hints at open (what the application believes its
+pattern is — e.g. RocksDB marks database files random), then issue
+pread/pwrite.  What each runtime does with the hint is the experiment.
+
+All I/O methods are simulation generators: call them with ``yield from``
+inside a simulated process.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.os.kernel import Kernel
+from repro.os.mmap import MmapRegion
+from repro.os.vfs import File, ReadResult
+
+__all__ = [
+    "HINT_NORMAL",
+    "HINT_RANDOM",
+    "HINT_SEQUENTIAL",
+    "Handle",
+    "IORuntime",
+    "MmapHandle",
+]
+
+HINT_NORMAL = "normal"
+HINT_SEQUENTIAL = "seq"
+HINT_RANDOM = "rand"
+
+
+class Handle:
+    """An application-visible open file."""
+
+    def __init__(self, file: File, hint: str):
+        self.file = file
+        self.hint = hint
+        # Policy scratch space (e.g. APPonly's next readahead offset).
+        self.next_prefetch_block = 0
+
+    @property
+    def size(self) -> int:
+        return self.file.inode.size
+
+    @property
+    def pos(self) -> int:
+        return self.file.pos
+
+    @pos.setter
+    def pos(self, value: int) -> None:
+        self.file.pos = value
+
+
+class MmapHandle:
+    """An application-visible memory mapping."""
+
+    def __init__(self, region: MmapRegion, hint: str):
+        self.region = region
+        self.hint = hint
+
+    @property
+    def size(self) -> int:
+        return self.region.inode.size
+
+
+class IORuntime:
+    """Base class: direct pass-through to the kernel (no policy)."""
+
+    name = "base"
+
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        self.vfs = kernel.vfs
+        self.sim = kernel.sim
+
+    # -- file I/O -----------------------------------------------------------
+
+    def open(self, path: str, hint: str = HINT_NORMAL) -> Generator:
+        file = yield from self.vfs.open(path)
+        handle = Handle(file, hint)
+        yield from self._on_open(handle)
+        return handle
+
+    def close(self, handle: Handle) -> Generator:
+        yield from self._on_close(handle)
+        yield from self.vfs.close(handle.file)
+
+    def pread(self, handle: Handle, offset: int,
+              nbytes: int) -> Generator:
+        result = yield from self.vfs.read(handle.file, offset, nbytes)
+        return result
+
+    def read_seq(self, handle: Handle, nbytes: int) -> Generator:
+        result = yield from self.pread(handle, handle.pos, nbytes)
+        handle.pos += result.nbytes
+        return result
+
+    def pwrite(self, handle: Handle, offset: int,
+               nbytes: int) -> Generator:
+        written = yield from self.vfs.write(handle.file, offset, nbytes)
+        return written
+
+    def write_seq(self, handle: Handle, nbytes: int) -> Generator:
+        written = yield from self.pwrite(handle, handle.pos, nbytes)
+        handle.pos += written
+        return written
+
+    def fsync(self, handle: Handle) -> Generator:
+        yield from self.vfs.fsync(handle.file)
+
+    # -- mmap ------------------------------------------------------------------
+
+    def mmap_open(self, path: str, hint: str = HINT_NORMAL) -> Generator:
+        file = yield from self.vfs.open(path)
+        region = self.kernel.mmap(file)
+        mh = MmapHandle(region, hint)
+        yield from self._on_mmap_open(mh)
+        return mh
+
+    def mmap_access(self, mh: MmapHandle, offset: int,
+                    nbytes: int) -> Generator:
+        result = yield from mh.region.access(offset, nbytes)
+        return result
+
+    # -- policy hooks ---------------------------------------------------------------
+
+    def _on_open(self, handle: Handle) -> Generator:
+        return
+        yield  # pragma: no cover - generator marker
+
+    def _on_close(self, handle: Handle) -> Generator:
+        return
+        yield  # pragma: no cover - generator marker
+
+    def _on_mmap_open(self, mh: MmapHandle) -> Generator:
+        return
+        yield  # pragma: no cover - generator marker
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def teardown(self) -> None:
+        """Stop any background threads the runtime started."""

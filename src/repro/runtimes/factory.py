@@ -1,0 +1,82 @@
+"""Build the paper's comparison approaches (Table 2) by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.crosslib.config import CrossLibConfig
+from repro.os.kernel import Kernel
+from repro.runtimes.apponly import AppOnlyRuntime
+from repro.runtimes.base import IORuntime
+from repro.runtimes.fincore import FincoreRuntime
+from repro.runtimes.osonly import OsOnlyRuntime
+
+__all__ = ["APPROACHES", "build_runtime", "needs_cross"]
+
+
+def _cross(name: str, **flags) -> Callable[[Kernel], IORuntime]:
+    def make(kernel: Kernel,
+             config: Optional[CrossLibConfig] = None) -> IORuntime:
+        # Imported lazily: crosslib.runtime itself imports runtimes.base,
+        # so a module-level import here would be circular.
+        from repro.crosslib.runtime import CrossLibRuntime
+        cfg = config or CrossLibConfig()
+        for key, value in flags.items():
+            setattr(cfg, key, value)
+        runtime = CrossLibRuntime(kernel, cfg)
+        runtime.name = name
+        return runtime
+    return make
+
+
+_BUILDERS: dict[str, Callable] = {
+    "APPonly": lambda kernel, config=None: AppOnlyRuntime(kernel),
+    "APPonly[fincore]": lambda kernel, config=None: FincoreRuntime(kernel),
+    "OSonly": lambda kernel, config=None: OsOnlyRuntime(kernel),
+    # Table 2 CrossPrefetch rows.
+    "CrossP[+predict]": _cross(
+        "CrossP[+predict]",
+        predict=True, fetchall=False, range_tree=True,
+        relax_limits=False, aggressive=False),
+    "CrossP[+predict+opt]": _cross(
+        "CrossP[+predict+opt]",
+        predict=True, fetchall=False, range_tree=True,
+        relax_limits=True, aggressive=True),
+    "CrossP[+fetchall+opt]": _cross(
+        "CrossP[+fetchall+opt]",
+        predict=False, fetchall=True, range_tree=True,
+        relax_limits=True, aggressive=False),
+    # Table 5 ablation steps.
+    "CrossP[+visibility]": _cross(
+        "CrossP[+visibility]",
+        predict=True, fetchall=False, range_tree=False,
+        relax_limits=False, aggressive=False),
+    "CrossP[+visibility+rangetree]": _cross(
+        "CrossP[+visibility+rangetree]",
+        predict=True, fetchall=False, range_tree=True,
+        relax_limits=False, aggressive=False),
+    "CrossP[+visibility+rangetree+aggr]": _cross(
+        "CrossP[+visibility+rangetree+aggr]",
+        predict=True, fetchall=False, range_tree=True,
+        relax_limits=True, aggressive=True),
+}
+
+APPROACHES = tuple(_BUILDERS)
+
+_CROSS_NAMES = frozenset(
+    name for name in _BUILDERS if name.startswith("CrossP"))
+
+
+def needs_cross(approach: str) -> bool:
+    """Whether the approach requires a Cross-OS-enabled kernel."""
+    return approach in _CROSS_NAMES
+
+
+def build_runtime(approach: str, kernel: Kernel,
+                  config: Optional[CrossLibConfig] = None) -> IORuntime:
+    """Construct the named Table-2 approach on ``kernel``."""
+    builder = _BUILDERS.get(approach)
+    if builder is None:
+        raise ValueError(
+            f"unknown approach {approach!r}; choose from {APPROACHES}")
+    return builder(kernel, config)

@@ -1,0 +1,95 @@
+"""APPonly[fincore]: cache-aware prefetching the pre-CrossPrefetch way.
+
+The Fig. 2 motivation baseline: application prefetching guided by the
+``fincore`` residency syscall, run from a background prefetch thread.
+Each poll locks the process mm lock and walks the cache tree, so the
+visibility itself interferes with the I/O it is trying to help — the
+concurrency pathology §3.2 quantifies (34% lock time in Table 1).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.os.kernel import Kernel
+from repro.os.vfs import FADV_RANDOM
+from repro.runtimes.base import HINT_RANDOM, Handle, IORuntime
+from repro.sim.sync import Condition
+
+__all__ = ["FincoreRuntime"]
+
+MB = 1 << 20
+
+
+class FincoreRuntime(IORuntime):
+    name = "APPonly[fincore]"
+
+    def __init__(self, kernel: Kernel, window_bytes: int = 1 * MB,
+                 batch_files: int = 4):
+        super().__init__(kernel)
+        self.window_bytes = window_bytes
+        self.batch_files = batch_files
+        self._watched: list[Handle] = []
+        self._rr = 0  # round-robin cursor
+        self._kick = Condition(self.sim, "fincore_kick")
+        self._worker = self.sim.process(self._prefetch_thread(),
+                                        name="fincore_worker")
+
+    def _on_open(self, handle: Handle) -> Generator:
+        if handle.hint == HINT_RANDOM:
+            # Like APPonly, distrust OS heuristics for random files...
+            yield from self.vfs.fadvise(handle.file, FADV_RANDOM)
+        # ...but watch every file for background prefetching.
+        handle.last_offset = 0
+        self._watched.append(handle)
+
+    def _on_close(self, handle: Handle) -> Generator:
+        if handle in self._watched:
+            self._watched.remove(handle)
+        return
+        yield  # pragma: no cover - generator marker
+
+    def pread(self, handle: Handle, offset: int,
+              nbytes: int) -> Generator:
+        handle.last_offset = offset + nbytes
+        self._kick.notify_all()
+        result = yield from self.vfs.read(handle.file, offset, nbytes)
+        return result
+
+    # -- the background prefetch thread ----------------------------------------
+
+    def _prefetch_thread(self) -> Generator:
+        cfg = self.kernel.config
+        bs = cfg.block_size
+        cap_bytes = cfg.ra_syscall_cap_blocks * bs
+        while True:
+            yield self._kick.wait()
+            if not self._watched:
+                continue
+            # Serve a round-robin batch of watched files.
+            for _ in range(min(self.batch_files, len(self._watched))):
+                if not self._watched:
+                    break
+                self._rr = (self._rr + 1) % len(self._watched)
+                handle = self._watched[self._rr]
+                # The expensive part: fincore walks the cache tree under
+                # the mm lock to learn what is resident.
+                snapshot = yield from self.vfs.fincore(handle.file)
+                b0 = handle.last_offset // bs
+                want = min(self.window_bytes // bs,
+                           max(0, handle.file.inode.nblocks - b0))
+                if want <= 0:
+                    continue
+                for run_start, run_len in snapshot.missing_runs(b0, want):
+                    pos = run_start
+                    remaining = run_len
+                    while remaining > 0:
+                        n = min(remaining, cap_bytes // bs)
+                        yield from self.vfs.readahead(
+                            handle.file, pos * bs, n * bs)
+                        pos += n
+                        remaining -= n
+
+    def teardown(self) -> None:
+        if self._worker.is_alive:
+            self._worker.interrupt("teardown")

@@ -1,0 +1,104 @@
+"""Leap-style trend prefetching (extra baseline from related work).
+
+Leap (Al Maruf & Chowdhury, ATC '20 — [6] in the paper) prefetches
+remote memory by finding the *majority access-stride trend* in a window
+of recent accesses and prefetching along it.  The paper cites it as a
+state-of-the-art OS technique that still "fails to address the mismatch
+between application requests and OS prefetching".
+
+This runtime reproduces the algorithm at the file level: a per-file
+sliding window of recent block deltas; if a majority delta exists, a
+prefetch of ``window_scale`` strides along that delta is issued through
+the plain readahead path (no cache-state visibility, no user bitmap —
+deliberately, since that is what CrossPrefetch adds on top).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Generator
+
+from repro.os.kernel import Kernel
+from repro.runtimes.base import Handle, IORuntime
+from repro.storage.device import PREFETCH
+
+__all__ = ["LeapRuntime"]
+
+
+class _TrendState:
+    """Per-inode sliding access-delta window."""
+
+    def __init__(self, window: int):
+        self.deltas: deque[int] = deque(maxlen=window)
+        self.last_block: int | None = None
+
+    def observe(self, block: int) -> None:
+        if self.last_block is not None:
+            self.deltas.append(block - self.last_block)
+        self.last_block = block
+
+    def majority_delta(self) -> int | None:
+        """The majority trend, if one exists (Boyer-Moore style check)."""
+        if len(self.deltas) < 2:
+            return None
+        delta, count = Counter(self.deltas).most_common(1)[0]
+        if delta == 0 or count * 2 <= len(self.deltas):
+            return None
+        return delta
+
+
+class LeapRuntime(IORuntime):
+    name = "Leap"
+
+    def __init__(self, kernel: Kernel, window: int = 8,
+                 window_scale: int = 8):
+        super().__init__(kernel)
+        self.window = window
+        self.window_scale = window_scale
+        self._trends: dict[int, _TrendState] = {}
+        self.trend_prefetches = 0
+
+    def _on_open(self, handle: Handle) -> Generator:
+        # Leap replaces the stock readahead heuristics entirely.
+        handle.file.ra.enabled = False
+        self._trends.setdefault(handle.file.inode.id,
+                                _TrendState(self.window))
+        return
+        yield  # pragma: no cover - generator marker
+
+    def pread(self, handle: Handle, offset: int,
+              nbytes: int) -> Generator:
+        inode = handle.file.inode
+        bs = self.kernel.config.block_size
+        block = offset // bs
+        trend = self._trends.setdefault(inode.id,
+                                        _TrendState(self.window))
+        trend.observe(block)
+        delta = trend.majority_delta()
+        if delta is not None:
+            self._prefetch_trend(inode, block, delta)
+        result = yield from self.vfs.read(handle.file, offset, nbytes)
+        return result
+
+    def _prefetch_trend(self, inode, block: int, delta: int) -> None:
+        """Prefetch the next ``window_scale`` strides along the trend."""
+        nblocks = inode.nblocks
+        targets: list[tuple[int, int]] = []
+        pos = block
+        span = max(1, abs(delta))
+        for _ in range(self.window_scale):
+            pos += delta
+            if pos < 0 or pos >= nblocks:
+                break
+            start = min(pos, pos + delta + 1) if delta < 0 else pos
+            start = max(0, min(start, nblocks - 1))
+            count = min(span, nblocks - start)
+            if count > 0:
+                targets.append((start, count))
+        if not targets:
+            return
+        self.trend_prefetches += 1
+        lo = min(s for s, _c in targets)
+        hi = max(s + c for s, c in targets)
+        self.vfs._spawn_fill(inode, lo, hi - lo, priority=PREFETCH,
+                             tag="leap_trend")

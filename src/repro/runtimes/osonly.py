@@ -1,0 +1,16 @@
+"""OSonly: prefetching fully delegated to the kernel (Table 2 row 2).
+
+The application gives no hints and issues no prefetch syscalls; the
+stock incremental readahead engine does whatever its heuristics decide,
+capped at 128 KB per window.
+"""
+
+from __future__ import annotations
+
+from repro.runtimes.base import IORuntime
+
+__all__ = ["OsOnlyRuntime"]
+
+
+class OsOnlyRuntime(IORuntime):
+    name = "OSonly"

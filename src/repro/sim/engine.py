@@ -1,0 +1,340 @@
+"""Core discrete-event engine: events, processes, and the scheduler.
+
+The design follows the classic SimPy structure but is deliberately small:
+an :class:`Event` is a one-shot future, a :class:`Process` wraps a Python
+generator that yields events, and the :class:`Simulator` pops (time, event)
+pairs off a heap.  Simulated time is a float in microseconds; the unit is a
+convention of this repo, not enforced by the engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]
+
+
+class SimulationError(Exception):
+    """Raised for illegal engine operations (double-trigger, bad yields)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot future tied to a :class:`Simulator`.
+
+    Events move through three states: pending (just created), triggered
+    (scheduled to fire), and processed (callbacks ran).  Processes wait on
+    events by yielding them.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_triggered", "_processed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("value read before event triggered")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully with ``value`` after ``delay``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._triggered = True
+        self._value = value
+        self._ok = True
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is raised inside every process waiting on the event.
+        """
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._triggered = True
+        self._value = exc
+        self._ok = False
+        self.sim._schedule(self, delay)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._triggered = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class AllOf(Event):
+    """Fires when every child event has fired; value is a list of values."""
+
+    __slots__ = ("_pending", "_events")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        self._pending = len(self._events)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        for ev in self._events:
+            if ev.processed:
+                self._child_done(ev)
+            else:
+                ev.callbacks.append(self._child_done)
+
+    def _child_done(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([e.value for e in self._events])
+
+
+class AnyOf(Event):
+    """Fires when the first child event fires; value is that event."""
+
+    __slots__ = ("_events",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        if not self._events:
+            raise SimulationError("AnyOf needs at least one event")
+        for ev in self._events:
+            if ev.processed:
+                self._child_done(ev)
+                break
+            ev.callbacks.append(self._child_done)
+
+    def _child_done(self, ev: Event) -> None:
+        if self._triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+        else:
+            self.succeed(ev)
+
+
+class Process(Event):
+    """A simulated thread of control wrapping a generator.
+
+    The generator yields :class:`Event` instances (or other processes); it
+    resumes when the yielded event fires, receiving the event's value via
+    ``send``.  The process itself is an event that fires with the
+    generator's return value, so processes can wait on each other.
+    """
+
+    __slots__ = ("gen", "name", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        # Bootstrap: resume on the next scheduling round.
+        boot = Event(sim)
+        boot.succeed()
+        boot.callbacks.append(self._resume)
+        self._waiting_on = boot
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name}")
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        kick = Event(self.sim)
+        kick.fail(Interrupt(cause))
+        kick.callbacks.append(self._resume)
+
+    def _resume(self, trigger: Event) -> None:
+        self._waiting_on = None
+        sim = self.sim
+        while True:
+            try:
+                if trigger.ok:
+                    target = self.gen.send(trigger.value)
+                else:
+                    target = self.gen.throw(trigger.value)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            except Interrupt:
+                # An uncaught interrupt terminates the process normally;
+                # this is how daemon workers are shut down at teardown.
+                self.succeed(None)
+                return
+            except Exception as exc:
+                self.fail(exc)
+                return
+            if target is None:
+                # Fast path: "nothing to wait for" (e.g. an uncontended
+                # lock acquire).  Resume immediately without touching
+                # the event heap.
+                trigger = _IMMEDIATE
+                continue
+            if not isinstance(target, Event):
+                # Synthesise an already-processed failed trigger (never
+                # scheduled, so run() won't see it as an orphan failure)
+                # and throw it straight back into the generator.
+                err = Event(sim)
+                err._triggered = True
+                err._processed = True
+                err._ok = False
+                err._value = SimulationError(
+                    f"process {self.name!r} yielded non-event: {target!r}"
+                )
+                err.callbacks = None
+                trigger = err
+                continue
+            if target.processed:
+                trigger = target
+                continue
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+            return
+
+
+class _ImmediateEvent(Event):
+    """Shared already-processed trigger for the yield-None fast path."""
+
+    __slots__ = ()
+
+    def __init__(self):  # noqa: D401 - deliberately bypasses Event init
+        self.sim = None
+        self.callbacks = None
+        self._value = None
+        self._ok = True
+        self._triggered = True
+        self._processed = True
+
+
+_IMMEDIATE = _ImmediateEvent()
+
+
+class Simulator:
+    """The event loop.  ``now`` is the current simulated time (µs)."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._processes: list[Process] = []
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def process(self, gen: Generator, name: str = "") -> Process:
+        proc = Process(self, gen, name=name)
+        self._processes.append(proc)
+        return proc
+
+    # -- running ---------------------------------------------------------
+
+    def step(self) -> None:
+        """Process one event off the heap."""
+        at, _seq, event = heapq.heappop(self._heap)
+        self.now = at
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        if callbacks:
+            for cb in callbacks:
+                cb(event)
+        elif not event.ok:
+            # A failed event nobody waited on: surface the error rather
+            # than letting it pass silently.
+            raise event.value
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains or simulated time reaches ``until``.
+
+        Returns the final simulated time.  Unhandled process failures
+        propagate to the caller.
+        """
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                break
+            self.step()
+        return self.now

@@ -1,0 +1,44 @@
+"""Simulated block storage: NVMe, remote NVMe-oF, file-system profiles.
+
+The paper evaluates on a 1.6 TB NVMe SSD (1.4 GB/s read / 0.9 GB/s write)
+under ext4 and F2FS, locally and over RDMA NVMe-oF.  This package models
+that stack with a two-phase service model per request:
+
+1. an *access phase* (fixed latency; seek penalty when the request does
+   not continue a sequential stream), overlapped up to the device queue
+   depth, and
+2. a *transfer phase* serialized through the device's read or write
+   bandwidth.
+
+Small random reads are therefore latency-bound and scale with queue
+depth; large sequential reads are bandwidth-bound — the two regimes whose
+gap prefetching exploits.  Prefetch requests carry a low priority class
+and are deferred while blocking I/O is queued (the congestion control
+§4.7 describes).
+"""
+
+from repro.storage.device import (
+    BLOCKING,
+    PREFETCH,
+    DeviceStats,
+    IORequest,
+    StorageDevice,
+)
+from repro.storage.filesystem import EXT4, F2FS, FilesystemProfile
+from repro.storage.nvme import NVMeDevice, NVMeParams
+from repro.storage.remote import RemoteNVMeDevice, RemoteParams
+
+__all__ = [
+    "BLOCKING",
+    "DeviceStats",
+    "EXT4",
+    "F2FS",
+    "FilesystemProfile",
+    "IORequest",
+    "NVMeDevice",
+    "NVMeParams",
+    "PREFETCH",
+    "RemoteNVMeDevice",
+    "RemoteParams",
+    "StorageDevice",
+]

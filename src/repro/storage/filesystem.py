@@ -1,0 +1,46 @@
+"""File-system profiles (ext4, F2FS).
+
+The paper switches between ext4 and flash-optimized F2FS (§5.1, Fig. 7d)
+to show the design is file-system agnostic.  A profile perturbs the
+device cost constants the way the FS's on-disk layout does:
+
+* ext4 — extent-based, update-in-place; the baseline profile.
+* F2FS — log-structured for flash: random writes become sequential log
+  appends (lower write cost), and the flash-friendly layout trims a bit
+  of per-request overhead for reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["EXT4", "F2FS", "FilesystemProfile"]
+
+
+@dataclass(frozen=True)
+class FilesystemProfile:
+    """Multiplicative adjustments a file system applies to device costs."""
+
+    name: str
+    read_bandwidth_factor: float = 1.0
+    write_bandwidth_factor: float = 1.0
+    latency_factor: float = 1.0
+    # Extra per-write journal/metadata cost, as a fraction of bytes written.
+    write_amplification: float = 1.0
+
+
+EXT4 = FilesystemProfile(
+    name="ext4",
+    read_bandwidth_factor=1.0,
+    write_bandwidth_factor=1.0,
+    latency_factor=1.0,
+    write_amplification=1.05,  # jbd2 journal overhead
+)
+
+F2FS = FilesystemProfile(
+    name="f2fs",
+    read_bandwidth_factor=1.04,   # flash-aligned extents
+    write_bandwidth_factor=1.15,  # random writes become log appends
+    latency_factor=0.92,
+    write_amplification=1.0,
+)

@@ -1,0 +1,59 @@
+"""Remote NVMe-oF (RDMA) storage model.
+
+The paper's remote configuration connects the host to an NVMe target over
+InfiniBand RDMA (§5.1, Fig. 8a).  Relative to the local device this adds
+a fixed network round trip to every request and caps throughput at the
+fabric's bandwidth.  The higher fixed cost per request is exactly what
+amplifies CrossPrefetch's batched, larger prefetch requests on remote
+storage in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatsRegistry
+from repro.storage.device import StorageDevice
+from repro.storage.filesystem import EXT4, FilesystemProfile
+from repro.storage.nvme import NVMeParams
+
+__all__ = ["RemoteNVMeDevice", "RemoteParams"]
+
+MB = 1 << 20
+
+
+@dataclass(frozen=True)
+class RemoteParams:
+    """Fabric constants layered over :class:`NVMeParams`."""
+
+    rtt: float = 30.0                          # µs network round trip
+    network_bandwidth: float = 1200 * MB / 1e6  # bytes/µs fabric cap
+
+
+class RemoteNVMeDevice(StorageDevice):
+    """NVMe target reached over RDMA NVMe-oF."""
+
+    def __init__(self, sim: Simulator,
+                 params: Optional[NVMeParams] = None,
+                 remote: Optional[RemoteParams] = None,
+                 fs: FilesystemProfile = EXT4,
+                 stats_registry: Optional[StatsRegistry] = None):
+        params = params or NVMeParams()
+        remote = remote or RemoteParams()
+        self.params = params
+        self.remote = remote
+        super().__init__(
+            sim,
+            name=f"nvmeof[{fs.name}]",
+            queue_depth=params.queue_depth,
+            read_bandwidth=min(params.read_bandwidth,
+                               remote.network_bandwidth),
+            write_bandwidth=min(params.write_bandwidth,
+                                remote.network_bandwidth),
+            access_latency=params.access_latency + remote.rtt,
+            seq_latency=params.seq_latency + remote.rtt,
+            fs=fs,
+            stats_registry=stats_registry,
+        )

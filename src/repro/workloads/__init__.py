@@ -1,0 +1,36 @@
+"""Workloads: every benchmark the paper evaluates with.
+
+* :mod:`repro.workloads.microbench` — the §5.2 multi-threaded
+  private/shared × sequential/random microbenchmark, plus the Fig. 6
+  readers+writers variant.
+* :mod:`repro.workloads.lsm` — a compact LSM key-value store standing in
+  for RocksDB (memtable, WAL, leveled SSTs, compaction).
+* :mod:`repro.workloads.dbbench` — db_bench-style drivers (readseq,
+  readreverse, readrandom, multireadrandom, readwhilescanning).
+* :mod:`repro.workloads.ycsb` — YCSB workloads A–F with a Zipfian
+  generator.
+* :mod:`repro.workloads.snappy` — the parallel streaming-compression
+  workload of Fig. 9b.
+* :mod:`repro.workloads.filebench` — seqread / randread / mongodb /
+  videoserver personalities of Fig. 8b.
+* :mod:`repro.workloads.mmapbench` — the Table-4 mmap workloads.
+"""
+
+from repro.workloads.microbench import (
+    MicrobenchConfig,
+    MicrobenchResult,
+    SharedRwConfig,
+    run_microbench,
+    run_shared_rw,
+)
+from repro.workloads.zipfian import ScrambledZipfian, ZipfianGenerator
+
+__all__ = [
+    "MicrobenchConfig",
+    "MicrobenchResult",
+    "ScrambledZipfian",
+    "SharedRwConfig",
+    "ZipfianGenerator",
+    "run_microbench",
+    "run_shared_rw",
+]

@@ -1,0 +1,118 @@
+"""db_bench-style drivers over :class:`~repro.workloads.lsm.LsmDb`.
+
+The paper's RocksDB experiments (Figs. 2, 7, 10, Table 5) use these
+access patterns:
+
+* ``readrandom`` — uniform point gets;
+* ``multireadrandom`` — batched-but-random: each op draws a batch of
+  keys and MultiGets them (sorted inside the batch);
+* ``readseq`` / ``readreverse`` — full iterators, each thread scanning
+  its keyspace partition forward / backward;
+* ``readwhilescanning`` — one full-scan thread while the rest issue
+  random gets.
+
+RocksDB's application-side belief, which APPonly acts on: point-query
+files are random (prefetching off), iterator files sequential.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.harness.metrics import ApproachMetrics, collect_metrics
+from repro.os.kernel import Kernel
+from repro.runtimes.base import HINT_RANDOM, HINT_SEQUENTIAL, IORuntime
+from repro.workloads.lsm import DbConfig, LsmDb
+
+__all__ = ["DbBenchConfig", "PATTERNS", "run_dbbench"]
+
+PATTERNS = ("readseq", "readreverse", "readrandom", "multireadrandom",
+            "readwhilescanning")
+
+
+@dataclass
+class DbBenchConfig:
+    """One db_bench invocation (sizes already scaled)."""
+
+    pattern: str = "multireadrandom"
+    nthreads: int = 8
+    ops_per_thread: int = 1000
+    batch_size: int = 8              # multireadrandom keys per op
+    scan_fraction: float = 1.0       # portion of keyspace a scan covers
+    db: DbConfig = None              # type: ignore[assignment]
+    seed: int = 11
+
+    def __post_init__(self):
+        if self.pattern not in PATTERNS:
+            raise ValueError(f"bad pattern {self.pattern!r}; "
+                             f"choose from {PATTERNS}")
+        if self.db is None:
+            self.db = DbConfig()
+
+
+def run_dbbench(kernel: Kernel, runtime: IORuntime,
+                config: DbBenchConfig) -> ApproachMetrics:
+    db = LsmDb(kernel, runtime, config.db)
+    db.populate()
+    done: list[tuple[int, float]] = []
+
+    def getter(tid: int, multiget: bool) -> Generator:
+        rng = random.Random(config.seed * 131 + tid)
+        ctx = db.new_thread(HINT_RANDOM)
+        t0 = kernel.now
+        ops = 0
+        for _ in range(config.ops_per_thread):
+            if multiget:
+                keys = [rng.randrange(config.db.num_keys)
+                        for _ in range(config.batch_size)]
+                yield from db.multiget(ctx, keys)
+                ops += config.batch_size
+            else:
+                yield from db.get(ctx, rng.randrange(config.db.num_keys))
+                ops += 1
+        yield from ctx.close_all()
+        done.append((ops, kernel.now - t0))
+
+    def scanner(tid: int, reverse: bool) -> Generator:
+        ctx = db.new_thread(HINT_SEQUENTIAL)
+        t0 = kernel.now
+        part = config.db.num_keys // config.nthreads
+        span = max(1, int(part * config.scan_fraction))
+        start = tid * part + (span - 1 if reverse else 0)
+        nkeys = yield from db.scan(ctx, start, span, reverse=reverse)
+        yield from ctx.close_all()
+        done.append((nkeys, kernel.now - t0))
+
+    pattern = config.pattern
+    for tid in range(config.nthreads):
+        if pattern == "readseq":
+            kernel.sim.process(scanner(tid, False), name=f"scan[{tid}]")
+        elif pattern == "readreverse":
+            kernel.sim.process(scanner(tid, True), name=f"rscan[{tid}]")
+        elif pattern == "readrandom":
+            kernel.sim.process(getter(tid, False), name=f"get[{tid}]")
+        elif pattern == "multireadrandom":
+            kernel.sim.process(getter(tid, True), name=f"mget[{tid}]")
+        elif pattern == "readwhilescanning":
+            if tid == 0:
+                kernel.sim.process(scanner(tid, False),
+                                   name=f"scan[{tid}]")
+            else:
+                kernel.sim.process(getter(tid, False), name=f"get[{tid}]")
+    kernel.run()
+
+    duration = max(d[1] for d in done)
+    ops = sum(d[0] for d in done)
+    registry = kernel.registry
+    return collect_metrics(
+        runtime.name, kernel,
+        duration_us=duration,
+        bytes_read=int(registry.get("device.read_bytes")),
+        ops=ops,
+        hit_pages=int(registry.get("cache.demand_hits")),
+        miss_pages=int(registry.get("cache.demand_misses")),
+        nthreads=config.nthreads,
+        extra={"pattern": pattern, "db_bytes": db.db_bytes},
+    )

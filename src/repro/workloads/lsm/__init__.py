@@ -1,0 +1,21 @@
+"""A compact LSM key-value store standing in for RocksDB.
+
+The paper's RocksDB results hinge on its *I/O pattern*, not its key
+encoding: per-thread file descriptors over shared SST files, an index
+block lookup followed by a data block read per point get, sorted batch
+gets (MultiGet), forward/backward iterators, WAL appends, memtable
+flushes, and background compaction.  This package implements exactly
+that surface over the simulated VFS, with no application block cache —
+like the paper's setup, it leans entirely on the OS page cache.
+
+Layout: ``LsmDb`` keeps a write path (WAL + memtable + L0) and a
+compacted L1 of fixed-size, non-overlapping SSTables.  ``populate``
+builds the L1 directly (files created in place, no simulated I/O) the
+way db_bench's fill phase would have.
+"""
+
+from repro.workloads.lsm.db import DbConfig, LsmDb, ThreadCtx
+from repro.workloads.lsm.memtable import Memtable
+from repro.workloads.lsm.sstable import SSTable
+
+__all__ = ["DbConfig", "LsmDb", "Memtable", "SSTable", "ThreadCtx"]

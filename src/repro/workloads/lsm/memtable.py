@@ -1,0 +1,46 @@
+"""The in-memory write buffer."""
+
+from __future__ import annotations
+
+__all__ = ["Memtable"]
+
+
+class Memtable:
+    """Sorted-map stand-in; tracks approximate byte footprint."""
+
+    def __init__(self, value_size: int, flush_bytes: int):
+        if flush_bytes <= 0:
+            raise ValueError(f"flush_bytes must be positive: {flush_bytes}")
+        self.value_size = value_size
+        self.flush_bytes = flush_bytes
+        self._data: dict[int, int] = {}  # key -> write sequence
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._data
+
+    @property
+    def bytes_used(self) -> int:
+        return len(self._data) * self.value_size
+
+    @property
+    def full(self) -> bool:
+        return self.bytes_used >= self.flush_bytes
+
+    def put(self, key: int, seq: int) -> None:
+        self._data[key] = seq
+
+    def get(self, key: int) -> int | None:
+        return self._data.get(key)
+
+    def sorted_keys(self) -> list[int]:
+        return sorted(self._data)
+
+    def key_range(self) -> tuple[int, int]:
+        """(lo, hi_exclusive) over buffered keys."""
+        if not self._data:
+            raise ValueError("empty memtable has no key range")
+        keys = self._data.keys()
+        return min(keys), max(keys) + 1

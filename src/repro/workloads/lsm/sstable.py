@@ -1,0 +1,91 @@
+"""Sorted string table model.
+
+An SSTable covers a contiguous key range.  On disk it is an index
+region (one fixed-size entry per data block, packed into the leading
+blocks) followed by data blocks holding ``keys_per_block`` values each.
+The byte layout matters only insofar as it drives I/O offsets: a point
+get reads one index block then one data block, an iterator streams data
+blocks in order — the patterns the page cache and prefetchers see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SSTable"]
+
+INDEX_ENTRY_BYTES = 16
+
+
+@dataclass
+class SSTable:
+    """Metadata for one on-"disk" table."""
+
+    path: str
+    level: int
+    key_lo: int           # inclusive
+    key_hi: int           # exclusive
+    value_size: int
+    block_size: int
+
+    def __post_init__(self):
+        if self.key_hi <= self.key_lo:
+            raise ValueError(f"empty SSTable key range: "
+                             f"[{self.key_lo}, {self.key_hi})")
+        if self.value_size <= 0 or self.value_size > self.block_size:
+            raise ValueError(f"bad value size: {self.value_size}")
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def num_keys(self) -> int:
+        return self.key_hi - self.key_lo
+
+    @property
+    def keys_per_block(self) -> int:
+        return max(1, self.block_size // self.value_size)
+
+    @property
+    def num_data_blocks(self) -> int:
+        kpb = self.keys_per_block
+        return (self.num_keys + kpb - 1) // kpb
+
+    @property
+    def index_bytes(self) -> int:
+        return self.num_data_blocks * INDEX_ENTRY_BYTES
+
+    @property
+    def index_blocks(self) -> int:
+        return (self.index_bytes + self.block_size - 1) // self.block_size
+
+    @property
+    def data_start(self) -> int:
+        """Byte offset of the first data block."""
+        return self.index_blocks * self.block_size
+
+    @property
+    def file_bytes(self) -> int:
+        return self.data_start + self.num_data_blocks * self.block_size
+
+    # -- lookups ------------------------------------------------------------
+
+    def contains(self, key: int) -> bool:
+        return self.key_lo <= key < self.key_hi
+
+    def data_block_of(self, key: int) -> int:
+        if not self.contains(key):
+            raise KeyError(key)
+        return (key - self.key_lo) // self.keys_per_block
+
+    def data_offset(self, key: int) -> int:
+        """Byte offset of the data block holding ``key``."""
+        return self.data_start + self.data_block_of(key) * self.block_size
+
+    def index_offset(self, key: int) -> int:
+        """Byte offset of the index block covering ``key``'s data block."""
+        entry = self.data_block_of(key) * INDEX_ENTRY_BYTES
+        return (entry // self.block_size) * self.block_size
+
+    def key_at_offset(self, data_block: int) -> int:
+        """First key stored in ``data_block`` (for iterators)."""
+        return self.key_lo + data_block * self.keys_per_block

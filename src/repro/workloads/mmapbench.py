@@ -1,0 +1,81 @@
+"""mmap workloads for Table 4 (readseq / readrandom over mappings)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.harness.metrics import ApproachMetrics, collect_metrics
+from repro.os.kernel import Kernel
+from repro.runtimes.base import HINT_RANDOM, IORuntime
+
+__all__ = ["MmapBenchConfig", "run_mmapbench"]
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+@dataclass
+class MmapBenchConfig:
+    pattern: str = "readseq"        # "readseq" | "readrandom"
+    nthreads: int = 8
+    bytes_per_thread: int = 64 * MB
+    access_size: int = 16 * KB
+    seed: int = 3
+
+    def __post_init__(self):
+        if self.pattern not in ("readseq", "readrandom"):
+            raise ValueError(f"bad mmap pattern {self.pattern!r}")
+
+
+def run_mmapbench(kernel: Kernel, runtime: IORuntime,
+                  config: MmapBenchConfig) -> ApproachMetrics:
+    paths = []
+    for tid in range(config.nthreads):
+        path = f"/mmap/f{tid}"
+        kernel.create_file(path, config.bytes_per_thread)
+        paths.append(path)
+
+    # The application under test distrusts mmap prefetching outright
+    # (Table 4: "APPonly turns off prefetching using madvice" for both
+    # patterns, the stock RocksDB mmap_reads behaviour), so its belief
+    # is always "random"; what a runtime does with that is the policy.
+    hint = HINT_RANDOM
+    done: list[tuple[int, int, int, float]] = []
+
+    def accessor(tid: int) -> Generator:
+        rng = random.Random(config.seed * 71 + tid)
+        mh = yield from runtime.mmap_open(paths[tid], hint)
+        t0 = kernel.now
+        total = hits = faults = 0
+        naccesses = config.bytes_per_thread // config.access_size
+        for i in range(naccesses):
+            if config.pattern == "readseq":
+                off = i * config.access_size
+            else:
+                off = rng.randrange(
+                    0, config.bytes_per_thread - config.access_size)
+                off = (off // 4096) * 4096
+            h, f = yield from runtime.mmap_access(mh, off,
+                                                  config.access_size)
+            total += config.access_size
+            hits += h
+            faults += f
+        done.append((total, hits, faults, kernel.now - t0))
+
+    for tid in range(config.nthreads):
+        kernel.sim.process(accessor(tid), name=f"mmap[{tid}]")
+    kernel.run()
+
+    duration = max(d[3] for d in done)
+    return collect_metrics(
+        runtime.name, kernel,
+        duration_us=duration,
+        bytes_read=sum(d[0] for d in done),
+        ops=sum(d[0] // config.access_size for d in done),
+        hit_pages=sum(d[1] for d in done),
+        miss_pages=sum(d[2] for d in done),
+        nthreads=config.nthreads,
+        extra={"pattern": config.pattern},
+    )

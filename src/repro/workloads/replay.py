@@ -1,0 +1,188 @@
+"""Trace replay: run recorded or synthetic I/O traces through a runtime.
+
+Real deployments judge a prefetcher on *their* workloads, not on
+benchmarks, so the artifact needs a way to replay an application's
+access trace.  A trace is a sequence of records::
+
+    (thread_id, op, path, offset, nbytes)
+
+with ``op`` one of ``read``, ``write``, ``open``, ``close``.  Traces can
+be built programmatically, loaded from a text file (one
+whitespace-separated record per line, ``#`` comments), or generated
+synthetically (:func:`synthesize_trace`).
+
+Replay preserves per-thread ordering; across threads, operations
+interleave however the simulation schedules them — like replaying per-
+thread straces concurrently.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Generator, Iterable, Optional, Sequence
+
+from repro.harness.metrics import ApproachMetrics, collect_metrics
+from repro.os.kernel import Kernel
+from repro.runtimes.base import HINT_NORMAL, IORuntime
+
+__all__ = ["TraceRecord", "load_trace", "replay_trace",
+           "synthesize_trace"]
+
+KB = 1 << 10
+MB = 1 << 20
+
+OPS = ("read", "write", "open", "close", "think")
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace line."""
+
+    thread: int
+    op: str
+    path: str
+    offset: int = 0
+    nbytes: int = 0        # for op == "think": microseconds of compute
+
+    def __post_init__(self):
+        if self.op not in OPS:
+            raise ValueError(f"bad trace op {self.op!r}")
+        if self.offset < 0 or self.nbytes < 0:
+            raise ValueError("negative offset/size in trace record")
+
+
+def load_trace(lines: Iterable[str]) -> list[TraceRecord]:
+    """Parse a text trace: ``thread op path [offset nbytes]`` per line."""
+    records = []
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) not in (3, 5):
+            raise ValueError(f"trace line {lineno}: expected 3 or 5 "
+                             f"fields, got {len(parts)}")
+        thread, op, path = int(parts[0]), parts[1], parts[2]
+        offset = int(parts[3]) if len(parts) == 5 else 0
+        nbytes = int(parts[4]) if len(parts) == 5 else 0
+        records.append(TraceRecord(thread, op, path, offset, nbytes))
+    return records
+
+
+def synthesize_trace(*, nthreads: int = 4, files: int = 4,
+                     file_bytes: int = 32 * MB,
+                     ops_per_thread: int = 200,
+                     io_size: int = 16 * KB,
+                     sequential_fraction: float = 0.7,
+                     think_us: int = 0,
+                     seed: int = 1) -> list[TraceRecord]:
+    """A mixed sequential/random synthetic trace over ``files`` files.
+
+    ``think_us`` inserts per-read compute time — the application work a
+    prefetcher can overlap with I/O.
+    """
+    rng = random.Random(seed)
+    records: list[TraceRecord] = []
+    for thread in range(nthreads):
+        path = f"/trace/f{thread % files}"
+        records.append(TraceRecord(thread, "open", path))
+        pos = rng.randrange(0, file_bytes // 2) // io_size * io_size
+        for _ in range(ops_per_thread):
+            if rng.random() < sequential_fraction:
+                pos = (pos + io_size) % (file_bytes - io_size)
+            else:
+                pos = rng.randrange(0, file_bytes - io_size) \
+                    // io_size * io_size
+            records.append(TraceRecord(thread, "read", path, pos,
+                                       io_size))
+            if think_us > 0:
+                records.append(TraceRecord(thread, "think", path,
+                                           0, think_us))
+        records.append(TraceRecord(thread, "close", path))
+    return records
+
+
+def replay_trace(kernel: Kernel, runtime: IORuntime,
+                 records: Sequence[TraceRecord],
+                 file_bytes: Optional[dict[str, int]] = None,
+                 default_file_bytes: int = 32 * MB) -> ApproachMetrics:
+    """Replay ``records``; creates any files the trace references.
+
+    Returns metrics with per-op latency samples filled in.
+    """
+    sizes = dict(file_bytes or {})
+    for record in records:
+        if record.op == "think":
+            continue
+        if record.path not in sizes:
+            sizes[record.path] = default_file_bytes
+        needed = record.offset + record.nbytes
+        if needed > sizes[record.path]:
+            sizes[record.path] = needed
+    for path, size in sizes.items():
+        if not kernel.vfs.exists(path):
+            kernel.create_file(path, size)
+
+    per_thread: dict[int, list[TraceRecord]] = {}
+    for record in records:
+        per_thread.setdefault(record.thread, []).append(record)
+
+    done: list[dict] = []
+
+    def player(thread: int, ops: list[TraceRecord]) -> Generator:
+        handles: dict[str, object] = {}
+        t0 = kernel.now
+        stats = dict(bytes_read=0, bytes_written=0, hits=0, misses=0,
+                     ops=0, latencies=[])
+        for record in ops:
+            start = kernel.now
+            if record.op == "think":
+                yield kernel.sim.timeout(float(record.nbytes))
+            elif record.op == "open":
+                handles[record.path] = yield from runtime.open(
+                    record.path, HINT_NORMAL)
+            elif record.op == "close":
+                handle = handles.pop(record.path, None)
+                if handle is not None:
+                    yield from runtime.close(handle)
+            else:
+                handle = handles.get(record.path)
+                if handle is None:
+                    handle = yield from runtime.open(record.path,
+                                                     HINT_NORMAL)
+                    handles[record.path] = handle
+                if record.op == "read":
+                    result = yield from runtime.pread(
+                        handle, record.offset, record.nbytes)
+                    stats["bytes_read"] += result.nbytes
+                    stats["hits"] += result.hit_pages
+                    stats["misses"] += result.miss_pages
+                else:
+                    written = yield from runtime.pwrite(
+                        handle, record.offset, record.nbytes)
+                    stats["bytes_written"] += written
+            stats["ops"] += 1
+            stats["latencies"].append(kernel.now - start)
+        stats["duration"] = kernel.now - t0
+        done.append(stats)
+
+    for thread, ops in per_thread.items():
+        kernel.sim.process(player(thread, ops),
+                           name=f"replay[{thread}]")
+    kernel.run()
+
+    latencies: list[float] = []
+    for stats in done:
+        latencies.extend(stats["latencies"])
+    return collect_metrics(
+        runtime.name, kernel,
+        duration_us=max(s["duration"] for s in done),
+        bytes_read=sum(s["bytes_read"] for s in done),
+        bytes_written=sum(s["bytes_written"] for s in done),
+        ops=sum(s["ops"] for s in done),
+        hit_pages=sum(s["hits"] for s in done),
+        miss_pages=sum(s["misses"] for s in done),
+        nthreads=len(per_thread),
+        latencies_us=latencies,
+    )

@@ -1,0 +1,120 @@
+"""YCSB core workloads A–F over the LSM store (Fig. 9a).
+
+Standard mixes (Cooper et al.):
+
+====  ==========================  =========================
+A     50% read / 50% update       Zipfian
+B     95% read / 5% update        Zipfian
+C     100% read                   Zipfian
+D     95% read / 5% insert        latest
+E     95% scan / 5% insert        Zipfian, scans of ~50 keys
+F     50% read / 50% read-modify-write   Zipfian
+====  ==========================  =========================
+
+The paper runs the post-warm-up phase with 16 client threads, 4 KB
+values, Zipfian request distribution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.harness.metrics import ApproachMetrics, collect_metrics
+from repro.os.kernel import Kernel
+from repro.runtimes.base import HINT_RANDOM, IORuntime
+from repro.workloads.lsm import DbConfig, LsmDb
+from repro.workloads.zipfian import ScrambledZipfian
+
+__all__ = ["WORKLOADS", "YcsbConfig", "run_ycsb"]
+
+# (read, update, insert, scan, rmw) fractions per workload.
+WORKLOADS: dict[str, tuple[float, float, float, float, float]] = {
+    "A": (0.50, 0.50, 0.00, 0.00, 0.00),
+    "B": (0.95, 0.05, 0.00, 0.00, 0.00),
+    "C": (1.00, 0.00, 0.00, 0.00, 0.00),
+    "D": (0.95, 0.00, 0.05, 0.00, 0.00),
+    "E": (0.00, 0.00, 0.05, 0.95, 0.00),
+    "F": (0.50, 0.00, 0.00, 0.00, 0.50),
+}
+
+
+@dataclass
+class YcsbConfig:
+    workload: str = "C"
+    nthreads: int = 16
+    ops_per_thread: int = 500
+    scan_length: int = 50
+    zipf_theta: float = 0.99
+    db: DbConfig = None  # type: ignore[assignment]
+    seed: int = 23
+
+    def __post_init__(self):
+        if self.workload not in WORKLOADS:
+            raise ValueError(f"unknown YCSB workload {self.workload!r}")
+        if self.db is None:
+            self.db = DbConfig()
+
+
+def run_ycsb(kernel: Kernel, runtime: IORuntime,
+             config: YcsbConfig) -> ApproachMetrics:
+    db = LsmDb(kernel, runtime, config.db)
+    db.populate()
+    read_f, update_f, insert_f, scan_f, rmw_f = WORKLOADS[config.workload]
+    insert_cursor = [config.db.num_keys]  # D/E inserts append new keys
+    done: list[tuple[int, float]] = []
+
+    def client(tid: int) -> Generator:
+        rng = random.Random(config.seed * 389 + tid)
+        zipf = ScrambledZipfian(config.db.num_keys,
+                                config.zipf_theta,
+                                random.Random(config.seed * 389 + tid + 1))
+        ctx = db.new_thread(HINT_RANDOM)
+        t0 = kernel.now
+        ops = 0
+        for _ in range(config.ops_per_thread):
+            dice = rng.random()
+            if dice < read_f:
+                if config.workload == "D":
+                    # "latest": strongly favour recent inserts.
+                    span = max(1, insert_cursor[0] // 10)
+                    key = insert_cursor[0] - 1 - min(
+                        zipf() % span, insert_cursor[0] - 1)
+                else:
+                    key = zipf()
+                yield from db.get(ctx, key)
+            elif dice < read_f + update_f:
+                yield from db.put(ctx, zipf())
+            elif dice < read_f + update_f + insert_f:
+                key = insert_cursor[0]
+                insert_cursor[0] += 1
+                yield from db.put(ctx, key)
+            elif dice < read_f + update_f + insert_f + scan_f:
+                start = zipf()
+                yield from db.scan(ctx, start, config.scan_length)
+            else:  # read-modify-write
+                key = zipf()
+                yield from db.get(ctx, key)
+                yield from db.put(ctx, key)
+            ops += 1
+        yield from ctx.close_all()
+        done.append((ops, kernel.now - t0))
+
+    for tid in range(config.nthreads):
+        kernel.sim.process(client(tid), name=f"ycsb[{tid}]")
+    kernel.run()
+
+    duration = max(d[1] for d in done)
+    registry = kernel.registry
+    return collect_metrics(
+        runtime.name, kernel,
+        duration_us=duration,
+        bytes_read=int(registry.get("device.read_bytes")),
+        bytes_written=int(registry.get("device.write_bytes")),
+        ops=sum(d[0] for d in done),
+        hit_pages=int(registry.get("cache.demand_hits")),
+        miss_pages=int(registry.get("cache.demand_misses")),
+        nthreads=config.nthreads,
+        extra={"workload": config.workload, **db.stats},
+    )

@@ -1,0 +1,94 @@
+"""Zipfian key generator (Gray et al., as used by YCSB).
+
+YCSB's request distribution: item ranks follow a Zipf law with constant
+``theta`` (0.99 by default).  This is the standard incremental
+implementation from "Quickly Generating Billion-Record Synthetic
+Databases" (Gray et al., SIGMOD '94), the same algorithm YCSB ships.
+
+``ScrambledZipfian`` spreads the hot items across the keyspace with a
+multiplicative hash, like YCSB's ``ScrambledZipfianGenerator`` — without
+it, the hottest keys would all sit in the first SST file.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+__all__ = ["ScrambledZipfian", "ZipfianGenerator"]
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv1a_64(value: int) -> int:
+    """FNV-1a hash of an int's 8 bytes (YCSB's scramble hash)."""
+    h = _FNV_OFFSET
+    for _ in range(8):
+        octet = value & 0xFF
+        value >>= 8
+        h ^= octet
+        h = (h * _FNV_PRIME) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+class ZipfianGenerator:
+    """Draws ranks in [0, nitems) with Zipf(theta) popularity."""
+
+    def __init__(self, nitems: int, theta: float = 0.99,
+                 rng: Optional[random.Random] = None):
+        if nitems <= 0:
+            raise ValueError(f"nitems must be positive: {nitems}")
+        if not 0 < theta < 1:
+            raise ValueError(f"theta must be in (0, 1): {theta}")
+        self.nitems = nitems
+        self.theta = theta
+        self.rng = rng or random.Random()
+        self.zetan = self._zeta(nitems, theta)
+        self.zeta2 = self._zeta(min(2, nitems), theta)
+        self.alpha = 1.0 / (1.0 - theta)
+        denominator = 1 - self.zeta2 / self.zetan
+        if denominator == 0.0:  # degenerate: nitems <= 2
+            self.eta = 0.0
+        else:
+            self.eta = ((1 - (2.0 / nitems) ** (1 - theta))
+                        / denominator)
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        # Exact for small n; Euler-Maclaurin tail for large n keeps
+        # construction O(1)-ish without materially changing the law.
+        cutoff = min(n, 10_000)
+        total = sum(1.0 / (i ** theta) for i in range(1, cutoff + 1))
+        if n > cutoff:
+            # integral approximation of the remaining tail
+            total += ((n ** (1 - theta)) - (cutoff ** (1 - theta))) \
+                / (1 - theta)
+        return total
+
+    def next_rank(self) -> int:
+        u = self.rng.random()
+        uz = u * self.zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.nitems *
+                   ((self.eta * u - self.eta + 1) ** self.alpha))
+
+    def __call__(self) -> int:
+        rank = self.next_rank()
+        return min(rank, self.nitems - 1)
+
+
+class ScrambledZipfian:
+    """Zipfian ranks scattered uniformly over the keyspace."""
+
+    def __init__(self, nitems: int, theta: float = 0.99,
+                 rng: Optional[random.Random] = None):
+        self.nitems = nitems
+        self._zipf = ZipfianGenerator(nitems, theta, rng)
+
+    def __call__(self) -> int:
+        return fnv1a_64(self._zipf()) % self.nitems

@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.os.kernel import Kernel
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+@pytest.fixture
+def kernel():
+    """A small machine with Cross-OS enabled (64 MB RAM)."""
+    k = Kernel(memory_bytes=64 * MB, cross_enabled=True)
+    yield k
+    k.shutdown()
+
+
+@pytest.fixture
+def plain_kernel():
+    """A small machine without Cross-OS."""
+    k = Kernel(memory_bytes=64 * MB, cross_enabled=False)
+    yield k
+    k.shutdown()
+
+
+def drive(kernel, gen, name="test"):
+    """Run a generator to completion inside the kernel's simulator and
+    return its value."""
+    proc = kernel.sim.process(gen, name=name)
+    kernel.run()
+    assert proc.processed, f"process {name} did not finish"
+    return proc.value

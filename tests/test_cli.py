@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "OSonly" in out
+        assert "fig7b" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_unknown_approach(self, capsys):
+        code = main(["workload", "--approach", "MagicCache"])
+        assert code == 2
+        assert "unknown approach" in capsys.readouterr().err
+
+    def test_every_experiment_registered(self):
+        expected = {"fig2", "fig5", "fig6", "tab4", "fig7a", "fig7b",
+                    "fig7c", "fig7d", "tab5", "fig10", "fig8a",
+                    "fig8b", "fig9a", "fig9b"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestWorkloadCommand:
+    def test_microbench_runs(self, capsys):
+        code = main(["workload", "--kind", "microbench",
+                     "--pattern", "seq", "--threads", "2",
+                     "--memory-mb", "32", "--data-mb", "16",
+                     "--approach", "OSonly"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "OSonly" in out
+        assert "MB/s" in out
+
+    def test_snappy_runs(self, capsys):
+        code = main(["workload", "--kind", "snappy", "--threads", "2",
+                     "--memory-mb", "32", "--data-mb", "32",
+                     "--approach", "OSonly"])
+        assert code == 0
+        assert "snappy" in capsys.readouterr().out
+
+    def test_dbbench_runs(self, capsys):
+        code = main(["workload", "--kind", "dbbench",
+                     "--pattern", "readrandom", "--threads", "2",
+                     "--memory-mb", "64", "--data-mb", "16",
+                     "--approach", "OSonly"])
+        assert code == 0
+        assert "dbbench" in capsys.readouterr().out

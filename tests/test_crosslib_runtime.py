@@ -1,0 +1,248 @@
+"""Integration tests for the CROSS-LIB runtime."""
+
+import pytest
+
+from repro.crosslib.config import CrossLibConfig
+from repro.crosslib.runtime import CrossLibRuntime
+from repro.os.kernel import Kernel
+from repro.runtimes.base import HINT_RANDOM, HINT_SEQUENTIAL
+from tests.conftest import drive
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+def make(kernel, **flags):
+    cfg = CrossLibConfig()
+    for key, value in flags.items():
+        setattr(cfg, key, value)
+    return CrossLibRuntime(kernel, cfg)
+
+
+class TestBasics:
+    def test_requires_cross_kernel(self, plain_kernel):
+        with pytest.raises(ValueError):
+            CrossLibRuntime(plain_kernel)
+
+    def test_open_disables_stock_readahead(self, kernel):
+        kernel.create_file("/a", 1 * MB)
+        runtime = make(kernel)
+
+        def body():
+            h = yield from runtime.open("/a", HINT_SEQUENTIAL)
+            return h
+
+        h = drive(kernel, body())
+        assert h.file.ra.enabled is False
+        runtime.teardown()
+
+    def test_read_write_roundtrip(self, kernel):
+        kernel.create_file("/a", 1 * MB)
+        runtime = make(kernel, aggressive=False)
+
+        def body():
+            h = yield from runtime.open("/a", HINT_RANDOM)
+            r = yield from runtime.pread(h, 0, 64 * KB)
+            n = yield from runtime.pwrite(h, 0, 64 * KB)
+            yield from runtime.close(h)
+            return r, n
+
+        r, n = drive(kernel, body())
+        assert r.nbytes == 64 * KB
+        assert n == 64 * KB
+        runtime.teardown()
+
+    def test_shared_state_per_inode(self, kernel):
+        kernel.create_file("/a", 1 * MB)
+        runtime = make(kernel)
+
+        def body():
+            h1 = yield from runtime.open("/a")
+            h2 = yield from runtime.open("/a")
+            return h1.ufd.state is h2.ufd.state
+
+        assert drive(kernel, body()) is True
+        runtime.teardown()
+
+
+class TestSequentialPrefetch:
+    def test_sequential_stream_prefetches_and_elides(self, kernel):
+        kernel.create_file("/a", 16 * MB)
+        runtime = make(kernel)
+
+        def body():
+            h = yield from runtime.open("/a", HINT_SEQUENTIAL)
+            while h.pos < 16 * MB:
+                yield from runtime.read_seq(h, 64 * KB)
+
+        drive(kernel, body())
+        registry = kernel.registry
+        assert registry.get("syscalls.readahead_info") > 0
+        # Far fewer syscalls than reads thanks to the frontier hysteresis.
+        assert registry.get("syscalls.readahead_info") \
+            < registry.get("syscalls.read") / 2
+        misses = registry.get("cache.demand_misses")
+        hits = registry.get("cache.demand_hits")
+        assert misses / (hits + misses) < 0.10
+        runtime.teardown()
+
+    def test_backward_stream_prefetches(self, kernel):
+        kernel.create_file("/a", 8 * MB)
+        runtime = make(kernel)
+
+        def body():
+            h = yield from runtime.open("/a", HINT_SEQUENTIAL)
+            nblocks = 8 * MB // 4096
+            for i in range(nblocks - 1, -1, -1):
+                yield from runtime.pread(h, i * 4096, 4096)
+
+        drive(kernel, body())
+        registry = kernel.registry
+        misses = registry.get("cache.demand_misses")
+        hits = registry.get("cache.demand_hits")
+        assert misses / (hits + misses) < 0.10
+        runtime.teardown()
+
+    def test_user_bitmap_elides_redundant_prefetch(self, kernel):
+        kernel.create_file("/a", 4 * MB)
+        runtime = make(kernel, aggressive=False)
+
+        def body():
+            h = yield from runtime.open("/a", HINT_SEQUENTIAL)
+            # First pass populates; second pass must elide.
+            for _pass in range(2):
+                h.pos = 0
+                while h.pos < 4 * MB:
+                    yield from runtime.read_seq(h, 64 * KB)
+                h.ufd.frontier_fwd = 0  # reset hysteresis between passes
+
+        drive(kernel, body())
+        assert kernel.registry.get("cross.elided_prefetch") > 0
+        runtime.teardown()
+
+
+class TestFetchall:
+    def test_fetchall_loads_whole_file_on_open(self, kernel):
+        inode = kernel.create_file("/a", 8 * MB)
+        runtime = make(kernel, fetchall=True, predict=False,
+                       aggressive=False)
+
+        def body():
+            yield from runtime.open("/a", HINT_RANDOM)
+            yield kernel.sim.timeout(1e6)
+
+        drive(kernel, body())
+        assert inode.cache.cached_pages == 8 * MB // 4096
+        runtime.teardown()
+
+    def test_fetchall_only_once_per_file(self, kernel):
+        kernel.create_file("/a", 4 * MB)
+        runtime = make(kernel, fetchall=True, predict=False,
+                       aggressive=False)
+
+        def body():
+            yield from runtime.open("/a", HINT_RANDOM)
+            yield from runtime.open("/a", HINT_RANDOM)
+            yield kernel.sim.timeout(1e6)
+
+        drive(kernel, body())
+        assert kernel.device.stats.read_bytes == 4 * MB
+        runtime.teardown()
+
+
+class TestAggressive:
+    def test_initial_prefetch_on_open(self, kernel):
+        inode = kernel.create_file("/a", 8 * MB)
+        runtime = make(kernel, aggressive=True)
+
+        def body():
+            yield from runtime.open("/a", HINT_RANDOM)
+            yield kernel.sim.timeout(1e6)
+
+        drive(kernel, body())
+        initial = runtime.config.aggressive_initial_bytes // 4096
+        assert inode.cache.cached_pages >= initial
+        runtime.teardown()
+
+    def test_bulk_load_fills_file_under_free_memory(self, kernel):
+        inode = kernel.create_file("/a", 8 * MB)
+        runtime = make(kernel, aggressive=True)
+
+        def body():
+            h = yield from runtime.open("/a", HINT_RANDOM)
+            for i in range(64):
+                yield from runtime.pread(h, (i * 97) % 2000 * 4096, 4096)
+            yield kernel.sim.timeout(1e6)
+
+        drive(kernel, body())
+        # Bulk loading marches through the file beyond what was read.
+        assert inode.cache.cached_pages > 512
+        runtime.teardown()
+
+    def test_prefetch_stops_below_low_watermark(self):
+        kernel = Kernel(memory_bytes=4 * MB, cross_enabled=True)
+        kernel.create_file("/a", 32 * MB)
+        runtime = make(kernel, aggressive=True)
+
+        def body():
+            h = yield from runtime.open("/a", HINT_SEQUENTIAL)
+            while h.pos < 16 * MB:
+                yield from runtime.read_seq(h, 64 * KB)
+
+        drive(kernel, body())
+        # With 4 MB of RAM the budget must have dropped requests or the
+        # evictor must have run; either way memory stayed bounded.
+        assert kernel.mem.used_pages <= kernel.mem.total_pages + 512
+        runtime.teardown()
+        kernel.shutdown()
+
+    def test_evictor_reclaims_inactive_files(self):
+        kernel = Kernel(memory_bytes=16 * MB, cross_enabled=True)
+        for i in range(4):
+            kernel.create_file(f"/f{i}", 8 * MB)
+        cfg_kw = dict(aggressive=True)
+        runtime = make(kernel, **cfg_kw)
+        runtime.config.inactive_file_us = 1000.0  # fast-ripen for test
+
+        def body():
+            for i in range(4):
+                h = yield from runtime.open(f"/f{i}", HINT_SEQUENTIAL)
+                while h.pos < 8 * MB:
+                    yield from runtime.read_seq(h, 256 * KB)
+                yield from runtime.close(h)
+                yield kernel.sim.timeout(5000)
+
+        drive(kernel, body())
+        assert runtime.budget.evictions > 0
+        runtime.teardown()
+        kernel.shutdown()
+
+
+class TestMmapWatcher:
+    def test_mmap_sequential_prefetches(self, kernel):
+        kernel.create_file("/a", 8 * MB)
+        runtime = make(kernel)
+
+        def body():
+            mh = yield from runtime.mmap_open("/a", HINT_SEQUENTIAL)
+            pos = 0
+            while pos < 8 * MB:
+                yield from runtime.mmap_access(mh, pos, 64 * KB)
+                pos += 64 * KB
+
+        drive(kernel, body())
+        assert kernel.registry.get("syscalls.readahead_info") > 0
+        runtime.teardown()
+
+    def test_teardown_stops_workers_and_watchers(self, kernel):
+        kernel.create_file("/a", 1 * MB)
+        runtime = make(kernel)
+
+        def body():
+            yield from runtime.mmap_open("/a", HINT_SEQUENTIAL)
+
+        drive(kernel, body())
+        runtime.teardown()
+        kernel.run()  # deliver the interrupts
+        for worker in runtime.workers._workers:
+            assert not worker.is_alive

@@ -1,0 +1,169 @@
+"""Tests for the storage device models."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.storage import (
+    BLOCKING,
+    EXT4,
+    F2FS,
+    NVMeDevice,
+    NVMeParams,
+    PREFETCH,
+    RemoteNVMeDevice,
+    StorageDevice,
+)
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+def run_reads(device, sim, requests):
+    """Submit (offset, nbytes, priority) reads; return completion times."""
+    times = {}
+
+    def submitter():
+        events = []
+        for i, (offset, nbytes, priority) in enumerate(requests):
+            ev = device.read(offset, nbytes, priority=priority, stream=1)
+            ev.callbacks.append(
+                lambda _e, i=i: times.__setitem__(i, sim.now))
+            events.append(ev)
+        yield sim.all_of(events)
+
+    sim.process(submitter())
+    sim.run()
+    return times
+
+
+class TestServiceModel:
+    def test_sequential_faster_than_random(self):
+        sim = Simulator()
+        dev = NVMeDevice(sim)
+        # Two back-to-back sequential reads vs two random ones.
+        t_seq = run_reads(dev, sim, [(0, 64 * KB, BLOCKING),
+                                     (64 * KB, 64 * KB, BLOCKING)])
+        sim2 = Simulator()
+        dev2 = NVMeDevice(sim2)
+        t_rand = run_reads(dev2, sim2, [(0, 64 * KB, BLOCKING),
+                                        (10 * MB, 64 * KB, BLOCKING)])
+        assert max(t_seq.values()) < max(t_rand.values())
+
+    def test_large_reads_approach_bandwidth(self):
+        sim = Simulator()
+        dev = NVMeDevice(sim)
+        nbytes = 64 * MB
+        times = run_reads(dev, sim, [(0, nbytes, BLOCKING)])
+        mbps = nbytes / MB / (times[0] / 1e6)
+        assert 1200 < mbps < 1500  # ~1.4 GB/s device
+
+    def test_small_random_reads_latency_bound(self):
+        sim = Simulator()
+        dev = NVMeDevice(sim)
+        times = run_reads(dev, sim, [(i * 10 * MB, 4 * KB, BLOCKING)
+                                     for i in range(4)])
+        # Each ~latency-bound but overlapped via queue depth.
+        assert max(times.values()) < 4 * dev.access_latency
+
+    def test_write_uses_write_bandwidth(self):
+        sim = Simulator()
+        dev = NVMeDevice(sim)
+        done = {}
+
+        def submitter():
+            ev = dev.write(0, 32 * MB, stream=1)
+            ev.callbacks.append(lambda _e: done.setdefault("t", sim.now))
+            yield ev
+
+        sim.process(submitter())
+        sim.run()
+        mbps = 32 / (done["t"] / 1e6)
+        assert 700 < mbps < 1000  # 0.9 GB/s device
+
+    def test_bad_request_rejected(self):
+        sim = Simulator()
+        dev = NVMeDevice(sim)
+        with pytest.raises(ValueError):
+            dev.submit("read", 0, 0)
+        with pytest.raises(ValueError):
+            dev.submit("scribble", 0, 4096)
+
+    def test_stream_tracking_and_forget(self):
+        sim = Simulator()
+        dev = NVMeDevice(sim)
+        run_reads(dev, sim, [(0, 4 * KB, BLOCKING),
+                             (4 * KB, 4 * KB, BLOCKING)])
+        assert dev.stats.sequential_hits == 1
+        dev.forget_stream(1)
+        sim2 = Simulator()  # fresh run to confirm reset behaviour
+        assert dev.stats.sequential_hits == 1
+
+
+class TestPriorities:
+    def test_blocking_dispatched_before_prefetch(self):
+        sim = Simulator()
+        # Single-slot device makes ordering observable.
+        dev = StorageDevice(
+            sim, name="tiny", queue_depth=1,
+            read_bandwidth=100.0, write_bandwidth=100.0,
+            access_latency=10.0, seq_latency=1.0)
+        order = []
+
+        def submitter():
+            # Occupy the device, then queue prefetch before blocking.
+            first = dev.read(0, 4 * KB, priority=BLOCKING, stream=1)
+            pf = dev.read(10 * MB, 4 * KB, priority=PREFETCH, stream=2)
+            bl = dev.read(20 * MB, 4 * KB, priority=BLOCKING, stream=3)
+            pf.callbacks.append(lambda _e: order.append("prefetch"))
+            bl.callbacks.append(lambda _e: order.append("blocking"))
+            yield sim.all_of([first, pf, bl])
+
+        sim.process(submitter())
+        sim.run()
+        assert order == ["blocking", "prefetch"]
+
+    def test_prefetch_in_flight_cap(self):
+        sim = Simulator()
+        dev = NVMeDevice(sim)
+        cap = dev.max_prefetch_in_flight
+        events = [dev.read(i * 10 * MB, 4 * KB, priority=PREFETCH,
+                           stream=i) for i in range(cap + 4)]
+        assert dev._in_flight_prefetch <= cap
+
+    def test_stats_track_prefetch_separately(self):
+        sim = Simulator()
+        dev = NVMeDevice(sim)
+        run_reads(dev, sim, [(0, 8 * KB, BLOCKING),
+                             (5 * MB, 8 * KB, PREFETCH)])
+        assert dev.stats.reads == 2
+        assert dev.stats.prefetch_reads == 1
+        assert dev.stats.prefetch_bytes == 8 * KB
+
+
+class TestVariants:
+    def test_remote_slower_than_local_for_small_reads(self):
+        sim1, sim2 = Simulator(), Simulator()
+        local = NVMeDevice(sim1)
+        remote = RemoteNVMeDevice(sim2)
+        t_local = run_reads(local, sim1, [(0, 4 * KB, BLOCKING)])
+        t_remote = run_reads(remote, sim2, [(0, 4 * KB, BLOCKING)])
+        assert t_remote[0] > t_local[0]
+
+    def test_f2fs_profile_changes_write_cost(self):
+        sim1, sim2 = Simulator(), Simulator()
+        ext4_dev = NVMeDevice(sim1, fs=EXT4)
+        f2fs_dev = NVMeDevice(sim2, fs=F2FS)
+        assert f2fs_dev.write_bandwidth > ext4_dev.write_bandwidth
+        assert f2fs_dev.access_latency < ext4_dev.access_latency
+
+    def test_queue_depth_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            StorageDevice(sim, name="bad", queue_depth=0,
+                          read_bandwidth=1, write_bandwidth=1,
+                          access_latency=1, seq_latency=1)
+
+    def test_params_defaults_match_paper_device(self):
+        params = NVMeParams()
+        assert params.read_bandwidth * 1e6 / MB == pytest.approx(1400)
+        assert params.write_bandwidth * 1e6 / MB == pytest.approx(900)

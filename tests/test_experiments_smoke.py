@@ -1,0 +1,123 @@
+"""Smoke tests: every experiment function runs at miniature scale and
+produces a printable report with the expected rows/columns.
+
+(The full-size shape assertions live in benchmarks/.)
+"""
+
+import pytest
+
+from repro.harness.experiments import (
+    run_fig2_motivation,
+    run_fig5_microbench,
+    run_fig6_shared_rw,
+    run_fig7a_threads,
+    run_fig7b_patterns,
+    run_fig7c_memory,
+    run_fig8b_filebench,
+    run_fig9a_ycsb,
+    run_fig9b_snappy,
+    run_fig10_prefetch_limit,
+    run_tab4_mmap,
+    run_tab5_breakdown,
+)
+
+MB = 1 << 20
+
+TWO = ("APPonly", "CrossP[+predict+opt]")
+
+
+def test_fig2_smoke():
+    results, report = run_fig2_motivation(nthreads=2, ops_per_thread=20,
+                                          num_keys=20_000)
+    assert "Fig. 2" in report
+    assert set(results) == {"APPonly", "APPonly[fincore]", "OSonly",
+                            "CrossP[+predict+opt]"}
+
+
+def test_fig5_smoke():
+    results, report = run_fig5_microbench(
+        nthreads=2, memory_bytes=16 * MB, cells=("shared-rand",),
+        approaches=TWO)
+    assert "Fig. 5" in report and "Table 3" in report
+    assert set(results) == {"shared-rand"}
+
+
+def test_fig6_smoke():
+    results, report = run_fig6_shared_rw(
+        reader_counts=(2,), file_bytes=16 * MB, memory_bytes=16 * MB,
+        ops_per_thread=64, approaches=TWO)
+    assert "Fig. 6" in report
+    assert "2" in results
+
+
+def test_tab4_smoke():
+    results, report = run_tab4_mmap(nthreads=2,
+                                    bytes_per_thread=4 * MB,
+                                    memory_bytes=32 * MB)
+    assert "Table 4" in report
+    assert set(results) == {"readseq", "readrandom"}
+
+
+def test_fig7a_smoke():
+    results, report = run_fig7a_threads(thread_counts=(2,),
+                                        ops_per_thread=20,
+                                        num_keys=20_000,
+                                        memory_bytes=48 * MB,
+                                        approaches=TWO)
+    assert "Fig. 7a" in report
+
+
+def test_fig7b_smoke():
+    results, report = run_fig7b_patterns(nthreads=2, num_keys=10_000,
+                                         memory_bytes=48 * MB,
+                                         approaches=TWO)
+    assert "Fig. 7b" in report
+    assert set(results) == {"readseq", "readreverse", "readrandom",
+                            "multireadrandom", "readwhilescanning"}
+
+
+def test_fig7c_smoke():
+    results, report = run_fig7c_memory(ratios=("1:2",), nthreads=2,
+                                       ops_per_thread=20,
+                                       num_keys=20_000,
+                                       approaches=TWO)
+    assert "Fig. 7c" in report
+
+
+def test_tab5_smoke():
+    results, report = run_tab5_breakdown(nthreads=2, ops_per_thread=20,
+                                         num_keys=20_000,
+                                         memory_bytes=48 * MB)
+    assert "Table 5" in report
+    assert len(results) == 5
+
+
+def test_fig10_smoke():
+    results, report = run_fig10_prefetch_limit(
+        limits_kb=(128,), nthreads=2, ops_per_thread=20,
+        num_keys=20_000, memory_bytes=48 * MB)
+    assert "Fig. 10" in report
+
+
+def test_fig8b_smoke():
+    results, report = run_fig8b_filebench(
+        instances=2, threads_per_instance=1,
+        bytes_per_instance=4 * MB, memory_bytes=32 * MB,
+        personalities=("seqread",), approaches=TWO)
+    assert "Fig. 8b" in report
+
+
+def test_fig9a_smoke():
+    results, report = run_fig9a_ycsb(workloads=("C",), nthreads=2,
+                                     ops_per_thread=20,
+                                     num_keys=20_000,
+                                     memory_bytes=48 * MB,
+                                     approaches=TWO)
+    assert "Fig. 9a" in report
+
+
+def test_fig9b_smoke():
+    results, report = run_fig9b_snappy(ratios=("1:1",), nthreads=2,
+                                       total_bytes=32 * MB,
+                                       approaches=TWO)
+    assert "Fig. 9b" in report

@@ -1,0 +1,139 @@
+"""Tests for metrics, reports, machine configs, and the runner."""
+
+import pytest
+
+from repro.harness.configs import MachineConfig, Scale
+from repro.harness.metrics import ApproachMetrics, collect_metrics
+from repro.harness.report import format_matrix, format_table
+from repro.harness.runner import make_kernel, run_approaches
+from repro.os.kernel import Kernel
+from repro.storage.nvme import NVMeDevice
+from repro.storage.remote import RemoteNVMeDevice
+from repro.workloads.microbench import MicrobenchConfig, run_microbench
+
+GB = 1 << 30
+MB = 1 << 20
+
+
+class TestScale:
+    def test_divides_sizes(self):
+        scale = Scale(64)
+        assert scale.bytes(128 * GB) == 2 * GB
+        assert scale.count(6400) == 100
+        assert str(scale) == "1/64"
+
+    def test_floors(self):
+        scale = Scale(1024)
+        assert scale.bytes(1 * MB) == 1 * MB  # never below 1 MB
+        assert scale.count(3) == 1
+
+
+class TestMachineConfig:
+    def test_presets(self):
+        local = MachineConfig.local_ext4()
+        assert local.fs.name == "ext4"
+        assert not local.remote
+        f2fs = MachineConfig.local_f2fs()
+        assert f2fs.fs.name == "f2fs"
+        remote = MachineConfig.remote_nvmeof()
+        assert remote.remote
+        motivation = MachineConfig.motivation()
+        assert motivation.memory_bytes == 128 * GB
+
+    def test_device_factory_builds_right_type(self):
+        kernel = make_kernel(MachineConfig.local_ext4(), "OSonly")
+        assert isinstance(kernel.device, NVMeDevice)
+        kernel.shutdown()
+        kernel = make_kernel(MachineConfig.remote_nvmeof(), "OSonly")
+        assert isinstance(kernel.device, RemoteNVMeDevice)
+        kernel.shutdown()
+
+    def test_cross_enabled_follows_approach(self):
+        machine = MachineConfig.local_ext4()
+        plain = make_kernel(machine, "OSonly")
+        cross = make_kernel(machine, "CrossP[+predict+opt]")
+        assert plain.cross is None
+        assert cross.cross is not None
+        plain.shutdown()
+        cross.shutdown()
+
+    def test_scaled_memory(self):
+        machine = MachineConfig.local_ext4(Scale(80))
+        assert machine.scaled_memory_bytes == 1 * GB
+
+
+class TestMetrics:
+    def test_derived_quantities(self):
+        m = ApproachMetrics(approach="x", duration_us=1e6,
+                            bytes_read=100 * MB, ops=5000,
+                            hit_pages=75, miss_pages=25,
+                            lock_wait_us=2e5, thread_time_us=1e6)
+        assert m.throughput_mbps == pytest.approx(100.0)
+        assert m.kops == pytest.approx(5.0)
+        assert m.miss_pct == pytest.approx(25.0)
+        assert m.lock_pct == pytest.approx(20.0)
+
+    def test_zero_duration_safe(self):
+        m = ApproachMetrics(approach="x")
+        assert m.throughput_mbps == 0.0
+        assert m.kops == 0.0
+        assert m.miss_pct == 0.0
+        assert m.lock_pct == 0.0
+
+    def test_speedup(self):
+        fast = ApproachMetrics("f", duration_us=1e6, bytes_read=200 * MB)
+        slow = ApproachMetrics("s", duration_us=1e6, bytes_read=100 * MB)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+
+    def test_collect_pulls_kernel_telemetry(self):
+        kernel = Kernel(memory_bytes=16 * MB)
+        kernel.registry.count("syscalls.read", 7)
+        m = collect_metrics("t", kernel, duration_us=1000.0, ops=10)
+        assert m.syscalls["read"] == 7
+        kernel.shutdown()
+
+
+class TestReport:
+    def _metrics(self, name, mbps):
+        return ApproachMetrics(approach=name, duration_us=1e6,
+                               bytes_read=int(mbps * MB))
+
+    def test_format_table_contains_rows(self):
+        results = {"A": self._metrics("A", 100),
+                   "B": self._metrics("B", 200)}
+        text = format_table("My Table", results)
+        assert "My Table" in text
+        assert "A" in text and "B" in text
+        assert "100.0" in text and "200.0" in text
+
+    def test_format_table_custom_columns_and_note(self):
+        results = {"A": self._metrics("A", 1)}
+        text = format_table("T", results,
+                            columns=[("ops", lambda m: f"{m.ops}")],
+                            note="shape: A wins")
+        assert "ops" in text
+        assert "shape: A wins" in text
+
+    def test_format_matrix(self):
+        series = {"A": {"x1": 1.0, "x2": 2.0}, "B": {"x1": 3.0}}
+        text = format_matrix("M", series, xlabel="sweep")
+        assert "M" in text
+        assert "x1" in text and "x2" in text
+        assert "-" in text  # missing cell placeholder
+
+
+class TestRunner:
+    def test_run_approaches_isolated_kernels(self):
+        machine = MachineConfig.local_ext4()
+
+        def workload(kernel, runtime):
+            cfg = MicrobenchConfig(nthreads=2, total_bytes=8 * MB,
+                                   pattern="seq", sharing="private")
+            return run_microbench(kernel, runtime, cfg)
+
+        results = run_approaches(machine, ("OSonly", "APPonly"),
+                                 workload, memory_bytes=32 * MB)
+        assert set(results) == {"OSonly", "APPonly"}
+        for name, metrics in results.items():
+            assert metrics.approach == name
+            assert metrics.throughput_mbps > 0

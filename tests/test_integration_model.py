@@ -1,0 +1,151 @@
+"""Model-based integration tests: random operation sequences against a
+reference model of cache contents, plus determinism checks."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.os.kernel import Kernel
+from repro.os.vfs import FADV_DONTNEED, FADV_RANDOM
+from tests.conftest import drive
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+class TestCacheModel:
+    """Drive the VFS with random reads/evictions and check the per-inode
+    bitmap/cache agree with a reference set at every step.
+
+    Memory is sized so reclaim never triggers (reclaim is modelled
+    separately); readahead is off so residency is exactly what was read.
+    """
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(
+        st.tuples(st.sampled_from(["read", "evict"]),
+                  st.integers(0, 255), st.integers(1, 64)),
+        min_size=1, max_size=25))
+    def test_residency_matches_reference(self, ops):
+        kernel = Kernel(memory_bytes=64 * MB, cross_enabled=True)
+        inode = kernel.create_file("/m", 256 * 4096)
+        reference: set[int] = set()
+
+        def body():
+            f = kernel.vfs.open_sync("/m")
+            yield from kernel.vfs.fadvise(f, FADV_RANDOM)
+            for op, start, count in ops:
+                count = min(count, 256 - start)
+                if count <= 0:
+                    continue
+                if op == "read":
+                    yield from kernel.vfs.read(f, start * 4096,
+                                               count * 4096)
+                    reference.update(range(start, start + count))
+                else:
+                    yield from kernel.vfs.fadvise(
+                        f, FADV_DONTNEED, start * 4096, count * 4096)
+                    reference.difference_update(
+                        range(start, start + count))
+                # Invariants after every operation:
+                assert inode.cache.cached_pages == len(reference)
+                assert inode.cross.bitmap.count_set() == len(reference)
+                for block in range(0, 256, 7):
+                    assert inode.cache.present.test(block) \
+                        == (block in reference)
+
+        drive(kernel, body())
+        assert kernel.mem.used_pages == len(reference)
+        kernel.shutdown()
+
+
+class TestDeterminism:
+    def _run_once(self, approach="CrossP[+predict+opt]"):
+        from repro.runtimes.factory import build_runtime, needs_cross
+        from repro.workloads.microbench import (
+            MicrobenchConfig,
+            run_microbench,
+        )
+        kernel = Kernel(memory_bytes=48 * MB,
+                        cross_enabled=needs_cross(approach))
+        runtime = build_runtime(approach, kernel)
+        cfg = MicrobenchConfig(nthreads=4, total_bytes=96 * MB,
+                               pattern="rand", sharing="shared",
+                               seed=77)
+        metrics = run_microbench(kernel, runtime, cfg)
+        runtime.teardown()
+        snapshot = kernel.registry.snapshot()
+        kernel.shutdown()
+        return metrics, snapshot
+
+    def test_identical_runs_identical_results(self):
+        """The whole stack is deterministic given seeds."""
+        m1, s1 = self._run_once()
+        m2, s2 = self._run_once()
+        assert m1.duration_us == m2.duration_us
+        assert m1.miss_pages == m2.miss_pages
+        assert s1 == s2
+
+    def test_different_seeds_differ(self):
+        from repro.runtimes.factory import build_runtime
+        from repro.workloads.microbench import (
+            MicrobenchConfig,
+            run_microbench,
+        )
+        results = []
+        for seed in (1, 2):
+            kernel = Kernel(memory_bytes=48 * MB, cross_enabled=False)
+            runtime = build_runtime("OSonly", kernel)
+            cfg = MicrobenchConfig(nthreads=4, total_bytes=96 * MB,
+                                   pattern="rand", sharing="shared",
+                                   seed=seed)
+            results.append(run_microbench(kernel, runtime, cfg))
+            runtime.teardown()
+            kernel.shutdown()
+        assert results[0].duration_us != results[1].duration_us
+
+
+class TestMemoryInvariants:
+    def test_accounting_consistent_after_churn(self):
+        """used_pages equals the sum of per-inode residency after heavy
+        mixed traffic with reclaim."""
+        kernel = Kernel(memory_bytes=12 * MB, cross_enabled=True)
+        paths = [f"/churn{i}" for i in range(4)]
+        inodes = [kernel.create_file(p, 8 * MB) for p in paths]
+        rng = random.Random(3)
+
+        def worker(path):
+            f = kernel.vfs.open_sync(path)
+            for _ in range(150):
+                off = rng.randrange(0, 8 * MB - 64 * KB)
+                off = off // 4096 * 4096
+                yield from kernel.vfs.read(f, off, 64 * KB)
+
+        for path in paths:
+            kernel.sim.process(worker(path))
+        kernel.run()
+        total_cached = sum(i.cache.cached_pages for i in inodes)
+        assert kernel.mem.used_pages == total_cached
+        assert kernel.mem.used_pages <= kernel.mem.total_pages + 64
+        # Cross-OS bitmaps agree with the caches they mirror.
+        for inode in inodes:
+            assert inode.cross.bitmap.count_set() \
+                == inode.cache.cached_pages
+        kernel.shutdown()
+
+    def test_no_leak_after_unlink_all(self):
+        kernel = Kernel(memory_bytes=32 * MB, cross_enabled=False)
+        for i in range(3):
+            kernel.create_file(f"/f{i}", 4 * MB)
+
+        def body():
+            for i in range(3):
+                f = kernel.vfs.open_sync(f"/f{i}")
+                yield from kernel.vfs.read(f, 0, 4 * MB)
+
+        drive(kernel, body())
+        for i in range(3):
+            kernel.vfs.unlink(f"/f{i}")
+        assert kernel.mem.used_pages == 0
+        kernel.shutdown()

@@ -1,0 +1,153 @@
+"""Unit tests for the memory budget and the prefetch worker pool."""
+
+import pytest
+
+from repro.crosslib.config import CrossLibConfig
+from repro.crosslib.membudget import (
+    MODE_AGGRESSIVE,
+    MODE_NORMAL,
+    MODE_OFF,
+    MemoryBudget,
+)
+from repro.crosslib.runtime import CrossLibRuntime
+from repro.crosslib.workers import PrefetchRequest
+from repro.os.kernel import Kernel
+from repro.runtimes.base import HINT_RANDOM
+from tests.conftest import drive
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+@pytest.fixture
+def runtime(kernel):
+    rt = CrossLibRuntime(kernel)
+    yield rt
+    rt.teardown()
+
+
+class TestModes:
+    def test_mode_thresholds(self, runtime):
+        budget = runtime.budget
+        budget.update(free_pages=90, total_pages=100)
+        assert budget.mode == MODE_AGGRESSIVE
+        budget.update(free_pages=15, total_pages=100)
+        assert budget.mode == MODE_NORMAL
+        budget.update(free_pages=2, total_pages=100)
+        assert budget.mode == MODE_OFF
+        assert not budget.allow_prefetch
+
+    def test_non_aggressive_config_is_always_normal(self, kernel):
+        cfg = CrossLibConfig(aggressive=False)
+        rt = CrossLibRuntime(kernel, cfg)
+        rt.budget.update(free_pages=1, total_pages=100)
+        assert rt.budget.mode == MODE_NORMAL
+        assert rt.budget.allow_prefetch
+        rt.teardown()
+
+    def test_fetchall_is_memory_insensitive(self, kernel):
+        cfg = CrossLibConfig(fetchall=True, aggressive=False,
+                             predict=False)
+        rt = CrossLibRuntime(kernel, cfg)
+        rt.budget.update(free_pages=0, total_pages=100)
+        assert rt.budget.allow_prefetch
+        rt.teardown()
+
+    def test_pressure_latches_bulk_off(self, runtime):
+        budget = runtime.budget
+        budget.update(free_pages=90, total_pages=100)
+        assert budget.allow_bulk
+        budget.saw_pressure = True
+        assert not budget.allow_bulk
+        assert budget.allow_aggressive  # open-time prefetch still OK
+
+
+class TestEvictor:
+    def test_no_eviction_above_watermark(self, runtime):
+        budget = runtime.budget
+        budget.update(free_pages=90, total_pages=100)
+
+        def body():
+            freed = yield from budget.maybe_evict()
+            return freed
+
+        assert drive(runtime.kernel, body()) == 0
+
+    def test_evicts_oldest_inactive_file(self, kernel):
+        rt = CrossLibRuntime(kernel)
+        rt.config.inactive_file_us = 100.0
+        kernel.create_file("/old", 4 * MB)
+        kernel.create_file("/new", 4 * MB)
+
+        def body():
+            h_old = yield from rt.open("/old", HINT_RANDOM)
+            yield from rt.pread(h_old, 0, 2 * MB)
+            yield from rt.close(h_old)
+            yield kernel.sim.timeout(10_000)
+            h_new = yield from rt.open("/new", HINT_RANDOM)
+            yield from rt.pread(h_new, 0, 2 * MB)
+            rt.budget.update(free_pages=1, total_pages=100)
+            freed = yield from rt.budget.maybe_evict()
+            return freed
+
+        freed = drive(kernel, body())
+        assert freed > 0
+        assert kernel.vfs.lookup("/old").cache.cached_pages == 0
+        assert kernel.vfs.lookup("/new").cache.cached_pages > 0
+        rt.teardown()
+
+
+class TestWorkers:
+    def test_request_served_and_marks_cleared(self, kernel):
+        rt = CrossLibRuntime(kernel, CrossLibConfig(aggressive=False))
+        kernel.create_file("/a", 4 * MB)
+
+        def body():
+            handle = yield from rt.open("/a", HINT_RANDOM)
+            state = handle.ufd.state
+            state.tree.mark_requested(0, 64)
+            rt.workers.submit(PrefetchRequest(state, 0, 64))
+            yield kernel.sim.timeout(1e6)
+            return state
+
+        state = drive(kernel, body())
+        assert rt.workers.requests_served == 1
+        assert state.tree.missing_runs(0, 64) == []  # now cached
+        assert kernel.vfs.lookup("/a").cache.cached_pages >= 64
+        rt.teardown()
+
+    def test_requests_dropped_when_budget_off(self, kernel):
+        rt = CrossLibRuntime(kernel)
+        kernel.create_file("/a", 4 * MB)
+
+        def body():
+            handle = yield from rt.open("/a", HINT_RANDOM)
+            state = handle.ufd.state
+            rt.budget.update(free_pages=0, total_pages=100)
+            state.tree.mark_requested(128, 64)
+            rt.workers.submit(PrefetchRequest(state, 128, 64))
+            yield kernel.sim.timeout(1e6)
+            return state
+
+        state = drive(kernel, body())
+        assert kernel.registry.get("cross.dropped_requests") >= 1
+        # Dedup marks were released so a later pass can retry.
+        assert state.tree.missing_runs(128, 64) == [(128, 64)]
+        rt.teardown()
+
+    def test_backlog_visible(self, kernel):
+        rt = CrossLibRuntime(kernel, CrossLibConfig(nr_workers=1,
+                                                    aggressive=False))
+        kernel.create_file("/a", 8 * MB)
+
+        def body():
+            handle = yield from rt.open("/a", HINT_RANDOM)
+            state = handle.ufd.state
+            for i in range(6):
+                rt.workers.submit(PrefetchRequest(state, i * 256, 256))
+            return rt.workers.backlog
+
+        backlog = drive(kernel, body())
+        assert backlog >= 0  # drained by the time the run finishes
+        assert rt.workers.requests_served == 6
+        rt.teardown()

@@ -1,0 +1,141 @@
+"""Tests for the chunk LRU and the memory manager."""
+
+import pytest
+
+from repro.os.lru import ChunkLru
+from repro.os.memory import MemoryManager
+from repro.os.kernel import Kernel
+
+MB = 1 << 20
+
+
+class TestChunkLru:
+    def test_insert_and_victim_order(self):
+        lru = ChunkLru()
+        for chunk in range(5):
+            lru.inserted((1, chunk))
+        assert lru.pop_victim() == (1, 0)
+        assert lru.pop_victim() == (1, 1)
+
+    def test_touch_promotes_on_second_reference(self):
+        lru = ChunkLru()
+        lru.inserted((1, 0))
+        lru.inserted((1, 1))
+        lru.touched((1, 0))           # referenced
+        assert lru.active_count == 0
+        lru.touched((1, 0))           # promoted
+        assert lru.active_count == 1
+        # Victim must now be the never-touched chunk.
+        assert lru.pop_victim() == (1, 1)
+
+    def test_removed(self):
+        lru = ChunkLru()
+        lru.inserted((1, 0))
+        lru.removed((1, 0))
+        assert lru.pop_victim() is None
+        assert len(lru) == 0
+
+    def test_refill_from_active_when_inactive_empty(self):
+        lru = ChunkLru()
+        for chunk in range(3):
+            lru.inserted((1, chunk))
+            lru.touched((1, chunk))
+            lru.touched((1, chunk))
+        assert lru.inactive_count == 0
+        victim = lru.pop_victim()
+        assert victim == (1, 0)  # oldest active demoted first
+
+    def test_exclude_protects_fresh_chunk(self):
+        lru = ChunkLru()
+        lru.inserted((1, 0))
+        victim = lru.pop_victim(exclude={(1, 0)})
+        assert victim is None
+        # the protected chunk survives
+        assert (1, 0) in lru
+
+    def test_exclude_skips_to_next_victim(self):
+        lru = ChunkLru()
+        lru.inserted((1, 0))
+        lru.inserted((1, 1))
+        victim = lru.pop_victim(exclude={(1, 0)})
+        assert victim == (1, 1)
+        assert (1, 0) in lru
+
+    def test_contains(self):
+        lru = ChunkLru()
+        assert (1, 0) not in lru
+        lru.inserted((1, 0))
+        assert (1, 0) in lru
+
+
+class TestMemoryManager:
+    def test_charge_and_uncharge(self):
+        mem = MemoryManager(total_pages=100)
+        mem.charge(40)
+        assert mem.used_pages == 40
+        assert mem.free_pages == 60
+        mem.uncharge(10)
+        assert mem.used_pages == 30
+
+    def test_uncharge_below_zero_raises(self):
+        mem = MemoryManager(total_pages=10)
+        with pytest.raises(RuntimeError):
+            mem.uncharge(1)
+
+    def test_bad_construction(self):
+        with pytest.raises(ValueError):
+            MemoryManager(total_pages=0)
+        with pytest.raises(ValueError):
+            MemoryManager(total_pages=10, chunk_blocks=0)
+
+    def test_free_fraction(self):
+        mem = MemoryManager(total_pages=200)
+        mem.charge(50)
+        assert mem.free_fraction == pytest.approx(0.75)
+
+
+class TestReclaimIntegration:
+    """Reclaim through a real kernel so evictions hit a real cache."""
+
+    def _fill(self, kernel, path, nbytes):
+        inode = kernel.create_file(path, nbytes)
+
+        def filler():
+            file = kernel.vfs.open_sync(path)
+            pos = 0
+            while pos < nbytes:
+                yield from kernel.vfs.read(file, pos, 1 * MB)
+                pos += 1 * MB
+
+        kernel.sim.process(filler())
+        kernel.run()
+        return inode
+
+    def test_memory_stays_bounded_under_oversubscription(self):
+        kernel = Kernel(memory_bytes=8 * MB, cross_enabled=False)
+        self._fill(kernel, "/big", 32 * MB)
+        assert kernel.mem.used_pages <= kernel.mem.total_pages
+        assert kernel.mem.reclaimed_pages > 0
+        kernel.shutdown()
+
+    def test_eviction_clears_cache_bits(self):
+        kernel = Kernel(memory_bytes=8 * MB, cross_enabled=True)
+        inode = self._fill(kernel, "/big", 32 * MB)
+        cached = inode.cache.cached_pages
+        assert cached <= kernel.mem.total_pages
+        # Cross-OS bitmap mirrors residency even through eviction.
+        assert inode.cross.bitmap.count_set() == cached
+        kernel.shutdown()
+
+    def test_no_reclaim_when_memory_fits(self):
+        kernel = Kernel(memory_bytes=64 * MB, cross_enabled=False)
+        self._fill(kernel, "/small", 4 * MB)
+        assert kernel.mem.reclaimed_pages == 0
+        kernel.shutdown()
+
+    def test_streaming_read_makes_progress_at_tiny_memory(self):
+        """Regression: self-eviction livelock under memory pressure."""
+        kernel = Kernel(memory_bytes=2 * MB, cross_enabled=False)
+        self._fill(kernel, "/big", 16 * MB)  # would hang before the fix
+        assert kernel.mem.used_pages <= kernel.mem.total_pages + 512
+        kernel.shutdown()

@@ -1,0 +1,118 @@
+"""Tests for the mmap fault path."""
+
+from repro.os.kernel import Kernel
+from tests.conftest import drive
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+class TestMmapAccess:
+    def test_cold_access_faults(self, kernel):
+        kernel.create_file("/a", 1 * MB)
+
+        def body():
+            f = kernel.vfs.open_sync("/a")
+            region = kernel.mmap(f)
+            hits, faults = yield from region.access(0, 64 * KB)
+            return region, hits, faults
+
+        region, hits, faults = drive(kernel, body())
+        assert faults == 16
+        assert hits == 0
+        assert region.faults >= 1
+
+    def test_warm_access_costs_nothing(self, kernel):
+        kernel.create_file("/a", 1 * MB)
+
+        def body():
+            f = kernel.vfs.open_sync("/a")
+            region = kernel.mmap(f)
+            yield from region.access(0, 64 * KB)
+            t0 = kernel.now
+            hits, faults = yield from region.access(0, 64 * KB)
+            return hits, faults, kernel.now - t0
+
+        hits, faults, elapsed = drive(kernel, body())
+        assert faults == 0
+        assert hits == 16
+        assert elapsed == 0.0  # no syscall, no copy: pure load
+
+    def test_fault_around_batches_faults(self, kernel):
+        kernel.create_file("/a", 1 * MB)
+
+        def body():
+            f = kernel.vfs.open_sync("/a")
+            region = kernel.mmap(f)
+            yield from region.access(0, 256 * KB)  # 64 blocks
+            return region.faults
+
+        faults = drive(kernel, body())
+        assert faults == 4  # 64 blocks / 16-block fault-around
+
+    def test_madvise_random_faults_per_page(self, kernel):
+        kernel.create_file("/a", 1 * MB)
+
+        def body():
+            f = kernel.vfs.open_sync("/a")
+            region = kernel.mmap(f)
+            region.madvise_random()
+            yield from region.access(0, 256 * KB)
+            return region.faults
+
+        faults = drive(kernel, body())
+        assert faults == 64  # one per page
+
+    def test_madvise_random_slower(self, kernel):
+        kernel.create_file("/a", 2 * MB)
+
+        def run(random_advice):
+            result = {}
+
+            def body():
+                f = kernel.vfs.open_sync("/a" if not random_advice
+                                         else "/b")
+                region = kernel.mmap(f)
+                if random_advice:
+                    region.madvise_random()
+                t0 = kernel.now
+                pos = 0
+                while pos < 1 * MB:
+                    yield from region.access(pos, 64 * KB)
+                    pos += 64 * KB
+                result["t"] = kernel.now - t0
+
+            drive(kernel, body())
+            return result["t"]
+
+        kernel.create_file("/b", 2 * MB)
+        t_normal = run(False)
+        t_random = run(True)
+        assert t_random > t_normal
+
+    def test_access_clamped_to_eof(self, kernel):
+        kernel.create_file("/a", 10 * KB)
+
+        def body():
+            f = kernel.vfs.open_sync("/a")
+            region = kernel.mmap(f)
+            hits, faults = yield from region.access(8 * KB, 64 * KB)
+            return hits + faults
+
+        pages = drive(kernel, body())
+        assert pages == 1  # only the final partial block
+
+    def test_mmap_ra_spawned_on_sequential(self, kernel):
+        kernel.create_file("/a", 8 * MB)
+
+        def body():
+            f = kernel.vfs.open_sync("/a")
+            region = kernel.mmap(f)
+            pos = 0
+            while pos < 2 * MB:
+                yield from region.access(pos, 64 * KB)
+                pos += 64 * KB
+
+        drive(kernel, body())
+        assert kernel.registry.get("fill.mmap_ra") \
+            + kernel.registry.get("fill.os_ra_sync") > 0

@@ -1,0 +1,195 @@
+"""Unit + property tests for the CROSS-LIB pattern predictor."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crosslib.config import CrossLibConfig
+from repro.crosslib.predictor import PatternPredictor, PatternState
+
+
+def feed_sequential(predictor, start=0, count=4, n=10):
+    pos = start
+    for _ in range(n):
+        predictor.observe(pos, count)
+        pos += count
+    return pos
+
+
+class TestStates:
+    def test_opens_random(self):
+        p = PatternPredictor()
+        assert p.state == PatternState.HIGHLY_RANDOM
+        assert p.plan(10_000, relaxed=True) is None
+
+    def test_sequential_reads_saturate_counter(self):
+        p = PatternPredictor()
+        feed_sequential(p, n=10)
+        assert p.state == PatternState.DEFINITELY_SEQUENTIAL
+
+    def test_random_reads_keep_counter_down(self):
+        p = PatternPredictor()
+        for offset in (0, 50_000, 1000, 90_000, 20_000):
+            p.observe(offset, 4)
+        assert p.counter <= 1
+
+    def test_mixed_pattern_lands_midway(self):
+        p = PatternPredictor()
+        pos = 0
+        for _ in range(6):
+            for _ in range(3):  # 3 sequential
+                p.observe(pos, 4)
+                pos += 4
+            pos = pos + 100_000  # far jump
+            p.observe(pos, 4)
+            pos += 4
+        assert 0 < p.counter <= 6
+
+    def test_backward_contiguous_counts_sequential(self):
+        p = PatternPredictor()
+        pos = 1000
+        for _ in range(8):
+            p.observe(pos, 4)
+            pos -= 4
+        assert p.counter >= 5
+        assert p.direction == -1
+
+    def test_forward_stride_detected(self):
+        p = PatternPredictor()
+        pos = 0
+        for _ in range(8):
+            p.observe(pos, 4)
+            pos += 4 + 10  # 10-block gap
+        assert p.counter >= 5
+        assert p.last_gap == 10
+
+    def test_consistent_long_stride_is_predictable(self):
+        cfg = CrossLibConfig()
+        p = PatternPredictor(cfg)
+        pos = 0
+        stride = cfg.stride_blocks * 4  # beyond short-stride window
+        for _ in range(10):
+            p.observe(pos, 4)
+            pos += 4 + stride
+        assert p.counter >= 3
+
+
+class TestPlanning:
+    def test_no_plan_below_threshold(self):
+        cfg = CrossLibConfig()
+        p = PatternPredictor(cfg)
+        p.observe(0, 4)
+        p.observe(4, 4)
+        assert p.counter < cfg.prefetch_threshold
+        assert p.plan(10_000, relaxed=False) is None
+
+    def test_forward_plan_starts_at_stream_end(self):
+        p = PatternPredictor()
+        end = feed_sequential(p, n=10)
+        plan = p.plan(100_000, relaxed=False)
+        assert plan is not None
+        assert plan.start == end
+        assert not plan.backward
+
+    def test_backward_plan(self):
+        p = PatternPredictor()
+        pos = 10_000
+        for _ in range(10):
+            p.observe(pos, 4)
+            pos -= 4
+        plan = p.plan(100_000, relaxed=False)
+        assert plan is not None
+        assert plan.backward
+        assert plan.start + plan.count == pos + 4
+
+    def test_plan_clamped_to_file(self):
+        p = PatternPredictor()
+        end = feed_sequential(p, n=10)
+        plan = p.plan(end + 5, relaxed=True)
+        assert plan.count == 5
+
+    def test_plan_none_at_eof(self):
+        p = PatternPredictor()
+        end = feed_sequential(p, n=10)
+        assert p.plan(end, relaxed=True) is None
+
+    def test_window_grows_exponentially_with_counter(self):
+        cfg = CrossLibConfig()
+        p = PatternPredictor(cfg)
+        windows = []
+        pos = 0
+        for _ in range(10):
+            p.observe(pos, 4)
+            pos += 4
+            windows.append(p.window_blocks(relaxed=False))
+        nonzero = [w for w in windows if w]
+        assert nonzero == sorted(nonzero)
+        assert nonzero[-1] == cfg.base_prefetch_blocks << cfg.counter_max
+
+    def test_relaxed_scaling_needs_sustained_streak(self):
+        cfg = CrossLibConfig()
+        p = PatternPredictor(cfg)
+        feed_sequential(p, n=10)
+        capped = p.window_blocks(relaxed=True)
+        feed_sequential(p, start=10 * 4, n=cfg.streak_threshold)
+        scaled = p.window_blocks(relaxed=True)
+        assert scaled > capped
+
+    def test_run_length_clamps_window(self):
+        """Segmented access: the window stops at the expected run end."""
+        cfg = CrossLibConfig()
+        p = PatternPredictor(cfg)
+        # Several 32-block runs separated by far jumps.
+        pos = 0
+        for _ in range(4):
+            for _ in range(8):
+                p.observe(pos, 4)
+                pos += 4
+            pos += 100_000
+        # Mid-run, the window must not exceed the typical run length.
+        for _ in range(2):
+            p.observe(pos, 4)
+            pos += 4
+        window = p.window_blocks(relaxed=True)
+        assert window <= 32
+
+    def test_tiny_interleaved_run_does_not_poison_estimate(self):
+        """Regression: a 1-block index read must not clamp the window."""
+        cfg = CrossLibConfig()
+        p = PatternPredictor(cfg)
+        p.observe(0, 1)           # index block
+        p.observe(5000, 1)        # jump to data
+        # long backward run
+        pos = 5000
+        for _ in range(30):
+            pos -= 1
+            p.observe(pos, 1)
+        assert p.avg_run_blocks == 0
+        assert p.window_blocks(relaxed=True) >= \
+            cfg.base_prefetch_blocks << cfg.counter_max
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 100_000), st.integers(1, 16)),
+                min_size=1, max_size=60))
+def test_property_counter_stays_in_range(accesses):
+    cfg = CrossLibConfig()
+    p = PatternPredictor(cfg)
+    for start, count in accesses:
+        p.observe(start, count)
+        assert 0 <= p.counter <= cfg.counter_max
+        plan = p.plan(200_000, relaxed=True)
+        if plan is not None:
+            assert plan.count > 0
+            assert plan.start >= 0
+            assert plan.start + plan.count <= 200_000
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(1, 50))
+def test_property_pure_sequential_always_plans_forward(n):
+    p = PatternPredictor()
+    pos = 0
+    for _ in range(max(n, 5)):
+        p.observe(pos, 4)
+        pos += 4
+    plan = p.plan(10**6, relaxed=False)
+    assert plan is not None and not plan.backward

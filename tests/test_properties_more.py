@@ -1,0 +1,136 @@
+"""Additional property-based tests across the stack."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.os.config import KernelConfig
+from repro.os.kernel import Kernel
+from repro.os.readahead import ReadaheadState
+from repro.sim import Simulator
+from repro.sim.sync import Lock, RwLock
+from tests.conftest import drive
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 10_000), st.integers(1, 64)),
+                min_size=1, max_size=60),
+       st.integers(4, 64))
+def test_readahead_plans_always_within_file(accesses, ra_pages):
+    """Whatever the access sequence, plans never exceed file bounds and
+    the window never exceeds its cap."""
+    ra = ReadaheadState(ra_pages=ra_pages)
+    nblocks = 10_100
+    for start, count in accesses:
+        plan = ra.on_demand_miss(start, count, nblocks)
+        assert 0 <= ra.window <= ra.max_window
+        if plan.sync_count:
+            assert plan.sync_start >= 0
+            assert plan.sync_start + plan.sync_count <= nblocks
+            assert plan.marker is None or \
+                plan.sync_start <= plan.marker \
+                < plan.sync_start + plan.sync_count
+        if plan.marker is not None:
+            plan2 = ra.on_marker_hit(plan.marker, nblocks)
+            if plan2.sync_count:
+                assert plan2.sync_start + plan2.sync_count <= nblocks
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.sampled_from(["r", "w"]), min_size=2, max_size=12),
+       st.integers(0, 2**32 - 1))
+def test_rwlock_never_mixes_readers_and_writer(kinds, seed):
+    """Randomized interleavings: at no instant do a writer and a reader
+    hold the lock together, and everyone eventually finishes."""
+    sim = Simulator()
+    rw = RwLock(sim)
+    rng = random.Random(seed)
+    state = {"readers": 0, "writer": 0, "max_readers": 0}
+    finished = []
+
+    def actor(kind, delay, hold):
+        yield sim.timeout(delay)
+        if kind == "r":
+            yield rw.acquire_read()
+            state["readers"] += 1
+            state["max_readers"] = max(state["max_readers"],
+                                       state["readers"])
+            assert state["writer"] == 0
+            yield sim.timeout(hold)
+            state["readers"] -= 1
+            rw.release_read()
+        else:
+            yield rw.acquire_write()
+            state["writer"] += 1
+            assert state["writer"] == 1
+            assert state["readers"] == 0
+            yield sim.timeout(hold)
+            state["writer"] -= 1
+            rw.release_write()
+        finished.append(kind)
+
+    for kind in kinds:
+        sim.process(actor(kind, rng.uniform(0, 5), rng.uniform(0, 5)))
+    sim.run()
+    assert len(finished) == len(kinds)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 8), st.integers(0, 2**32 - 1))
+def test_lock_fairness_fifo(nworkers, seed):
+    """Lock grants follow arrival order exactly."""
+    sim = Simulator()
+    lock = Lock(sim)
+    rng = random.Random(seed)
+    arrivals = sorted((rng.uniform(0, 10), i) for i in range(nworkers))
+    grants = []
+
+    def worker(index, at):
+        yield sim.timeout(at)
+        yield lock.acquire()
+        grants.append(index)
+        yield sim.timeout(20)  # everyone overlaps in the queue
+        lock.release()
+
+    for at, index in arrivals:
+        sim.process(worker(index, at))
+    sim.run()
+    assert grants == [i for _at, i in arrivals]
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 63), st.integers(1, 16)),
+                min_size=1, max_size=20))
+def test_vfs_reads_idempotent_for_residency(ranges):
+    """Reading the same ranges twice leaves residency identical and the
+    second pass is all hits (readahead off, ample memory)."""
+    kernel = Kernel(memory_bytes=32 * MB,
+                    config=KernelConfig(per_inode_lru=False))
+    inode = kernel.create_file("/p", 64 * 4 * KB)
+
+    def body():
+        f = kernel.vfs.open_sync("/p")
+        yield from kernel.vfs.fadvise(f, "random")
+        for start, count in ranges:
+            count = min(count, 64 - start)
+            if count <= 0:
+                continue
+            yield from kernel.vfs.read(f, start * 4 * KB, count * 4 * KB)
+        first = inode.cache.cached_pages
+        misses2 = 0
+        for start, count in ranges:
+            count = min(count, 64 - start)
+            if count <= 0:
+                continue
+            r = yield from kernel.vfs.read(f, start * 4 * KB,
+                                           count * 4 * KB)
+            misses2 += r.miss_pages
+        return first, inode.cache.cached_pages, misses2
+
+    first, second, misses2 = drive(kernel, body())
+    assert first == second
+    assert misses2 == 0
+    kernel.shutdown()

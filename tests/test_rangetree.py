@@ -1,0 +1,193 @@
+"""Unit + property tests for the concurrent range tree."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.os.bitmap import BlockBitmap
+from repro.sim import Simulator, StatsRegistry
+from repro.crosslib.rangetree import RangeTree
+
+
+@pytest.fixture
+def tree():
+    sim = Simulator()
+    return RangeTree(sim, StatsRegistry(), nblocks=10_000,
+                     node_blocks=1024)
+
+
+class TestStructure:
+    def test_nodes_created_lazily(self, tree):
+        assert tree.node_count == 0
+        tree.mark_cached(0, 10)
+        assert tree.node_count == 1
+        tree.mark_cached(5000, 10)
+        assert tree.node_count == 2
+
+    def test_nodes_for_spanning_range(self, tree):
+        nodes = tree.nodes_for(1000, 100)  # crosses node 0 -> 1
+        assert [n.index for n in nodes] == [0, 1]
+
+    def test_nodes_for_empty(self, tree):
+        assert tree.nodes_for(0, 0) == []
+
+    def test_bad_node_blocks(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            RangeTree(sim, StatsRegistry(), 100, node_blocks=0)
+
+
+class TestBitmaps:
+    def test_mark_and_missing(self, tree):
+        tree.mark_cached(100, 50)
+        missing = tree.missing_runs(0, 200)
+        assert missing == [(0, 100), (150, 50)]
+
+    def test_requested_counts_as_covered(self, tree):
+        tree.mark_requested(0, 100)
+        assert tree.missing_runs(0, 100) == []
+        tree.clear_requested(0, 100)
+        assert tree.missing_runs(0, 100) == [(0, 100)]
+
+    def test_cross_node_runs_merge(self, tree):
+        tree.mark_cached(1000, 100)  # spans node boundary at 1024
+        assert tree.cached_runs(900, 300) == [(1000, 100)]
+        assert tree.missing_runs(900, 300) == [(900, 100), (1100, 100)]
+
+    def test_cached_count(self, tree):
+        tree.mark_cached(1000, 100)
+        assert tree.cached_count(0, 10_000) == 100
+        assert tree.cached_count(1050, 10) == 10
+
+    def test_clear_cached(self, tree):
+        tree.mark_cached(0, 2048)
+        tree.clear_cached(512, 1024)
+        assert tree.cached_count(0, 2048) == 1024
+
+    def test_load_window_across_nodes(self, tree):
+        src = BlockBitmap(10_000)
+        src.set_range(1000, 100)
+        bits = src.window(900, 300)
+        tree.load_window(900, 300, bits)
+        assert tree.cached_runs(900, 300) == [(1000, 100)]
+
+
+class TestLocking:
+    def test_read_locks_shared(self):
+        sim = Simulator()
+        tree = RangeTree(sim, StatsRegistry(), 10_000, 1024)
+        active = []
+
+        def reader(name):
+            section = tree.read_locked(0, 10)
+            yield from section.acquire()
+            active.append(name)
+            yield sim.timeout(5)
+            section.release()
+
+        sim.process(reader("a"))
+        sim.process(reader("b"))
+        sim.run(until=1)
+        assert sorted(active) == ["a", "b"]
+
+    def test_write_locks_exclusive_per_node(self):
+        sim = Simulator()
+        registry = StatsRegistry()
+        tree = RangeTree(sim, registry, 10_000, 1024)
+        times = {}
+
+        def writer(name, start):
+            section = tree.write_locked(start, 10)
+            yield from section.acquire()
+            times[name] = sim.now
+            yield sim.timeout(10)
+            section.release()
+
+        # Same node: serialized.  Different node: concurrent.
+        sim.process(writer("same1", 0))
+        sim.process(writer("same2", 20))
+        sim.process(writer("other", 5000))
+        sim.run()
+        assert times["same1"] == 0
+        assert times["same2"] == 10
+        assert times["other"] == 0
+
+    def test_multi_node_lock_ordering_no_deadlock(self):
+        sim = Simulator()
+        tree = RangeTree(sim, StatsRegistry(), 10_000, 1024)
+        done = []
+
+        def worker(name, start):
+            for _ in range(5):
+                section = tree.write_locked(start, 2000)  # 2-3 nodes
+                yield from section.acquire()
+                yield sim.timeout(1)
+                section.release()
+            done.append(name)
+
+        sim.process(worker("a", 0))
+        sim.process(worker("b", 1000))
+        sim.process(worker("c", 2000))
+        sim.run()
+        assert sorted(done) == ["a", "b", "c"]
+
+    def test_single_node_tree_serializes_everything(self):
+        """range_tree=False mode: one node = one big lock."""
+        sim = Simulator()
+        registry = StatsRegistry()
+        tree = RangeTree(sim, registry, 10_000, node_blocks=10_000,
+                         category="crosslib_file")
+        times = {}
+
+        def writer(name, start):
+            section = tree.write_locked(start, 10)
+            yield from section.acquire()
+            times[name] = sim.now
+            yield sim.timeout(10)
+            section.release()
+
+        sim.process(writer("w1", 0))
+        sim.process(writer("w2", 9000))
+        sim.run()
+        assert sorted(times.values()) == [0, 10]
+        assert registry.lock_stats("crosslib_file").contended == 1
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["cached", "requested",
+                                           "clear_req", "clear_cached"]),
+                          st.integers(0, 4999), st.integers(1, 1500)),
+                max_size=30))
+def test_property_tree_matches_flat_bitmaps(ops):
+    sim = Simulator()
+    tree = RangeTree(sim, StatsRegistry(), 5000, node_blocks=512)
+    cached = BlockBitmap(5000)
+    requested = BlockBitmap(5000)
+    for op, start, count in ops:
+        count = min(count, 5000 - start)
+        if count <= 0:
+            continue
+        if op == "cached":
+            tree.mark_cached(start, count)
+            cached.set_range(start, count)
+        elif op == "requested":
+            tree.mark_requested(start, count)
+            requested.set_range(start, count)
+        elif op == "clear_req":
+            tree.clear_requested(start, count)
+            requested.clear_range(start, count)
+        else:
+            tree.clear_cached(start, count)
+            cached.clear_range(start, count)
+    # missing = not cached and not requested, over random windows
+    assert tree.cached_count(0, 5000) == cached.count_set()
+    expected = []
+    for run_s, run_n in cached.missing_runs(0, 5000):
+        expected.extend(requested.missing_runs(run_s, run_n))
+    # merge adjacency like the tree does
+    merged = []
+    for s, c in expected:
+        if merged and merged[-1][0] + merged[-1][1] == s:
+            merged[-1] = (merged[-1][0], merged[-1][1] + c)
+        else:
+            merged.append((s, c))
+    assert tree.missing_runs(0, 5000) == merged

@@ -1,0 +1,99 @@
+"""Tests for the Linux-style readahead state machine."""
+
+from repro.os.readahead import ReadaheadState
+
+
+class TestWindowGrowth:
+    def test_initial_window_on_fresh_sequential_stream(self):
+        ra = ReadaheadState(ra_pages=32)
+        plan = ra.on_demand_miss(0, 4, nblocks=10_000)
+        assert plan.sync_count > 0
+        assert plan.sync_start == 4
+        assert ra.window == 8  # max(4, 2*count)
+
+    def test_window_doubles_up_to_cap(self):
+        ra = ReadaheadState(ra_pages=32)
+        ra.on_demand_miss(0, 4, 10_000)
+        pos = 4
+        for _ in range(4):
+            plan = ra.on_demand_miss(pos, 4, 10_000)
+            pos += 4
+        assert ra.window == 32  # capped at ra_pages
+
+    def test_random_miss_collapses_window_and_plans_nothing(self):
+        ra = ReadaheadState(ra_pages=32)
+        ra.on_demand_miss(0, 4, 10_000)
+        plan = ra.on_demand_miss(5000, 4, 10_000)
+        assert ra.window == 0
+        assert plan.sync_count == 0
+
+    def test_short_forward_stride_counts_as_sequential(self):
+        """§3.1: jumps within the 32-block batch keep the stream alive."""
+        ra = ReadaheadState(ra_pages=32)
+        ra.on_demand_miss(0, 4, 10_000)
+        plan = ra.on_demand_miss(4 + 20, 4, 10_000)  # +20 block stride
+        assert plan.sync_count > 0
+        assert ra.window > 0
+
+    def test_backward_access_is_random_to_the_kernel(self):
+        ra = ReadaheadState(ra_pages=32)
+        ra.on_demand_miss(1000, 4, 10_000)
+        plan = ra.on_demand_miss(996, 4, 10_000)
+        assert plan.sync_count == 0
+        assert ra.window == 0
+
+    def test_plan_clamped_to_file_end(self):
+        ra = ReadaheadState(ra_pages=32)
+        plan = ra.on_demand_miss(0, 4, nblocks=6)
+        assert plan.sync_start + plan.sync_count <= 6
+
+
+class TestMarker:
+    def test_marker_set_within_window(self):
+        ra = ReadaheadState(ra_pages=32)
+        plan = ra.on_demand_miss(0, 4, 10_000)
+        assert plan.marker is not None
+        assert plan.sync_start <= plan.marker \
+            < plan.sync_start + plan.sync_count
+
+    def test_marker_hit_grows_async_window(self):
+        ra = ReadaheadState(ra_pages=32)
+        plan = ra.on_demand_miss(0, 4, 10_000)
+        before = ra.window
+        plan2 = ra.on_marker_hit(plan.marker, 10_000)
+        assert plan2.sync_count > 0
+        assert ra.window >= before
+        assert ra.async_triggers == 1
+
+    def test_marker_hit_disabled(self):
+        ra = ReadaheadState(ra_pages=32)
+        ra.set_random()
+        plan = ra.on_marker_hit(100, 10_000)
+        assert plan.sync_count == 0
+
+
+class TestHints:
+    def test_fadvise_random_disables(self):
+        ra = ReadaheadState(ra_pages=32)
+        ra.set_random()
+        plan = ra.on_demand_miss(0, 4, 10_000)
+        assert plan.sync_count == 0
+        assert not ra.enabled
+
+    def test_fadvise_sequential_doubles_cap(self):
+        ra = ReadaheadState(ra_pages=32)
+        ra.set_sequential()
+        assert ra.max_window == 64
+
+    def test_fadvise_normal_restores(self):
+        ra = ReadaheadState(ra_pages=32)
+        ra.set_random()
+        ra.set_normal()
+        assert ra.enabled
+        assert ra.max_window == 32
+
+    def test_note_sequential_pos(self):
+        ra = ReadaheadState(ra_pages=32)
+        ra.on_demand_miss(0, 4, 10_000)
+        assert ra.note_sequential_pos(4, 4) is True
+        assert ra.note_sequential_pos(100, 4) is False

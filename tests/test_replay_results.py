@@ -1,0 +1,183 @@
+"""Tests for trace replay and results persistence/comparison."""
+
+import pytest
+
+from repro.harness.metrics import ApproachMetrics
+from repro.harness.results import (
+    compare_results,
+    load_results,
+    save_results,
+)
+from repro.os.kernel import Kernel
+from repro.runtimes import build_runtime
+from repro.workloads.replay import (
+    TraceRecord,
+    load_trace,
+    replay_trace,
+    synthesize_trace,
+)
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+class TestTraceParsing:
+    def test_load_trace_text(self):
+        text = """
+        # a comment
+        0 open /data/a
+        0 read /data/a 0 16384
+        0 write /data/a 16384 4096
+        0 close /data/a
+        """
+        records = load_trace(text.splitlines())
+        assert len(records) == 4
+        assert records[1] == TraceRecord(0, "read", "/data/a", 0, 16384)
+
+    def test_bad_op_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord(0, "scribble", "/a")
+
+    def test_bad_field_count(self):
+        with pytest.raises(ValueError):
+            load_trace(["0 read /a 0"])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord(0, "read", "/a", -1, 10)
+
+    def test_synthesize_deterministic(self):
+        a = synthesize_trace(seed=5)
+        b = synthesize_trace(seed=5)
+        assert a == b
+        assert a != synthesize_trace(seed=6)
+
+
+class TestReplay:
+    def _replay(self, records, approach="OSonly", memory=64 * MB):
+        from repro.runtimes.factory import needs_cross
+        kernel = Kernel(memory_bytes=memory,
+                        cross_enabled=needs_cross(approach))
+        runtime = build_runtime(approach, kernel)
+        metrics = replay_trace(kernel, runtime, records)
+        runtime.teardown()
+        kernel.shutdown()
+        return metrics
+
+    def test_replay_reads_and_writes(self):
+        records = load_trace([
+            "0 open /t/a",
+            "0 read /t/a 0 65536",
+            "0 write /t/a 65536 16384",
+            "0 close /t/a",
+        ])
+        metrics = self._replay(records)
+        assert metrics.bytes_read == 65536
+        assert metrics.bytes_written == 16384
+        assert metrics.ops == 4
+        assert len(metrics.latencies_us) == 4
+
+    def test_replay_creates_files_sized_to_trace(self):
+        records = [TraceRecord(0, "read", "/big/x", 100 * MB, 64 * KB)]
+        kernel = Kernel(memory_bytes=64 * MB)
+        runtime = build_runtime("OSonly", kernel)
+        replay_trace(kernel, runtime, records)
+        assert kernel.vfs.lookup("/big/x").size >= 100 * MB + 64 * KB
+        runtime.teardown()
+        kernel.shutdown()
+
+    def test_implicit_open_on_read(self):
+        records = [TraceRecord(0, "read", "/t/i", 0, 4096)]
+        metrics = self._replay(records)
+        assert metrics.bytes_read == 4096
+
+    def test_multi_thread_replay(self):
+        records = synthesize_trace(nthreads=4, ops_per_thread=50)
+        metrics = self._replay(records)
+        assert metrics.ops == 4 * 52  # opens + reads + closes
+        assert metrics.p99_us >= metrics.p50_us > 0
+
+    def test_crossprefetch_improves_backward_trace(self):
+        """A backward stream (kernel readahead's blind spot) replayed
+        under both runtimes: CROSS-LIB's direction-aware prefetching
+        must win decisively."""
+        records = []
+        for thread in range(2):
+            path = f"/rt/f{thread}"
+            records.append(TraceRecord(thread, "open", path))
+            pos = 16 * MB
+            for _ in range(400):
+                pos -= 16 * KB
+                records.append(TraceRecord(thread, "read", path, pos,
+                                           16 * KB))
+                records.append(TraceRecord(thread, "think", path, 0, 20))
+            records.append(TraceRecord(thread, "close", path))
+        base = self._replay(records, "APPonly")
+        cross = self._replay(records, "CrossP[+predict+opt]")
+        assert cross.duration_us < 0.7 * base.duration_us
+        assert cross.miss_pages < base.miss_pages
+
+    def test_think_records_advance_time_only(self):
+        records = [TraceRecord(0, "think", "/t/none", 0, 5000)]
+        metrics = self._replay(records)
+        assert metrics.bytes_read == 0
+        assert metrics.duration_us >= 5000
+
+
+class TestResultsPersistence:
+    def _metrics(self, name, mbps):
+        return ApproachMetrics(approach=name, duration_us=1e6,
+                               bytes_read=int(mbps * MB))
+
+    def test_save_and_load_flat(self, tmp_path):
+        results = {"A": self._metrics("A", 100.0)}
+        path = save_results(results, tmp_path / "r.json",
+                            experiment="fig5")
+        data = load_results(path)
+        assert data["experiment"] == "fig5"
+        assert data["cells"]["A"]["throughput_mbps"] \
+            == pytest.approx(100.0)
+
+    def test_save_nested_results(self, tmp_path):
+        results = {"1:2": {"A": self._metrics("A", 10.0)}}
+        path = save_results(results, tmp_path / "n.json")
+        data = load_results(path)
+        assert "1:2/A" in data["cells"]
+
+    def test_compare_flags_large_deltas(self, tmp_path):
+        old = save_results({"A": self._metrics("A", 100.0),
+                            "B": self._metrics("B", 50.0)},
+                           tmp_path / "old.json")
+        new = save_results({"A": self._metrics("A", 100.0),
+                            "B": self._metrics("B", 80.0)},
+                           tmp_path / "new.json")
+        report = compare_results(load_results(old), load_results(new))
+        assert "1 cell(s) changed" in report
+        assert "<<" in report
+
+    def test_compare_handles_missing_cells(self, tmp_path):
+        old = save_results({"A": self._metrics("A", 1.0)},
+                           tmp_path / "o.json")
+        new = save_results({"B": self._metrics("B", 1.0)},
+                           tmp_path / "n.json")
+        report = compare_results(load_results(old), load_results(new))
+        assert report.count("missing") == 2
+
+
+class TestLatencyPercentiles:
+    def test_percentiles(self):
+        metrics = ApproachMetrics(approach="x",
+                                  latencies_us=list(range(1, 101)))
+        assert metrics.p50_us == pytest.approx(50.5)
+        assert metrics.p99_us == pytest.approx(99.01)
+        assert metrics.mean_latency_us == pytest.approx(50.5)
+
+    def test_empty_and_single(self):
+        assert ApproachMetrics(approach="x").p99_us == 0.0
+        one = ApproachMetrics(approach="x", latencies_us=[7.0])
+        assert one.p50_us == 7.0
+
+    def test_out_of_range_rejected(self):
+        metrics = ApproachMetrics(approach="x", latencies_us=[1.0])
+        with pytest.raises(ValueError):
+            metrics.latency_percentile(101)

@@ -1,0 +1,163 @@
+"""Tests for the baseline runtimes and the approach factory."""
+
+import pytest
+
+from repro.os.kernel import Kernel
+from repro.runtimes import (
+    APPROACHES,
+    AppOnlyRuntime,
+    FincoreRuntime,
+    HINT_RANDOM,
+    HINT_SEQUENTIAL,
+    OsOnlyRuntime,
+    build_runtime,
+)
+from repro.runtimes.factory import needs_cross
+from tests.conftest import drive
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+class TestFactory:
+    def test_all_approaches_buildable(self):
+        for approach in APPROACHES:
+            kernel = Kernel(memory_bytes=16 * MB,
+                            cross_enabled=needs_cross(approach))
+            runtime = build_runtime(approach, kernel)
+            assert runtime.name == approach
+            runtime.teardown()
+            kernel.shutdown()
+
+    def test_unknown_approach_rejected(self, kernel):
+        with pytest.raises(ValueError):
+            build_runtime("NoSuchThing", kernel)
+
+    def test_needs_cross(self):
+        assert needs_cross("CrossP[+predict+opt]")
+        assert not needs_cross("APPonly")
+        assert not needs_cross("OSonly")
+
+    def test_table2_approaches_present(self):
+        for name in ("APPonly", "APPonly[fincore]", "OSonly",
+                     "CrossP[+predict]", "CrossP[+predict+opt]",
+                     "CrossP[+fetchall+opt]"):
+            assert name in APPROACHES
+
+
+class TestOsOnly:
+    def test_no_hint_side_effects(self, plain_kernel):
+        plain_kernel.create_file("/a", 1 * MB)
+        runtime = OsOnlyRuntime(plain_kernel)
+
+        def body():
+            h = yield from runtime.open("/a", HINT_RANDOM)
+            return h
+
+        h = drive(plain_kernel, body())
+        assert h.file.ra.enabled is True  # OSonly ignores app beliefs
+        assert plain_kernel.registry.get("syscalls.fadvise") == 0
+
+
+class TestAppOnly:
+    def test_random_hint_disables_readahead(self, plain_kernel):
+        plain_kernel.create_file("/a", 1 * MB)
+        runtime = AppOnlyRuntime(plain_kernel)
+
+        def body():
+            h = yield from runtime.open("/a", HINT_RANDOM)
+            return h
+
+        h = drive(plain_kernel, body())
+        assert h.file.ra.enabled is False
+
+    def test_sequential_hint_issues_readahead_calls(self, plain_kernel):
+        plain_kernel.create_file("/a", 8 * MB)
+        runtime = AppOnlyRuntime(plain_kernel)
+
+        def body():
+            h = yield from runtime.open("/a", HINT_SEQUENTIAL)
+            while h.pos < 4 * MB:
+                yield from runtime.read_seq(h, 64 * KB)
+
+        drive(plain_kernel, body())
+        assert plain_kernel.registry.get("syscalls.readahead") >= 2
+
+    def test_believed_frontier_overestimates(self, plain_kernel):
+        """The Fig. 1 pathology: the app believes its 2 MB request was
+        honoured although the kernel clamped it to 128 KB."""
+        plain_kernel.create_file("/a", 8 * MB)
+        runtime = AppOnlyRuntime(plain_kernel)
+
+        def body():
+            h = yield from runtime.open("/a", HINT_SEQUENTIAL)
+            yield plain_kernel.sim.timeout(100_000)
+            return h
+
+        h = drive(plain_kernel, body())
+        believed = h.next_prefetch_block
+        actual = plain_kernel.vfs.lookup("/a").cache.cached_pages
+        assert believed == 2 * MB // 4096
+        assert actual < believed  # under-prefetched
+
+    def test_mmap_random_gets_madvise(self, plain_kernel):
+        plain_kernel.create_file("/a", 1 * MB)
+        runtime = AppOnlyRuntime(plain_kernel)
+
+        def body():
+            mh = yield from runtime.mmap_open("/a", HINT_RANDOM)
+            return mh
+
+        mh = drive(plain_kernel, body())
+        assert mh.region.random_advice is True
+
+
+class TestFincore:
+    def test_background_thread_prefetches(self, plain_kernel):
+        plain_kernel.create_file("/a", 8 * MB)
+        runtime = FincoreRuntime(plain_kernel)
+
+        def body():
+            h = yield from runtime.open("/a", HINT_RANDOM)
+            pos = 0
+            while pos < 2 * MB:
+                yield from runtime.pread(h, pos, 64 * KB)
+                pos += 64 * KB
+            yield plain_kernel.sim.timeout(1e6)
+
+        drive(plain_kernel, body())
+        registry = plain_kernel.registry
+        assert registry.get("syscalls.fincore") >= 1
+        assert registry.get("syscalls.readahead") >= 1
+        runtime.teardown()
+
+    def test_fincore_contends_on_mm_lock(self, plain_kernel):
+        plain_kernel.create_file("/a", 16 * MB)
+        runtime = FincoreRuntime(plain_kernel)
+
+        def reader(tid):
+            h = yield from runtime.open("/a", HINT_RANDOM)
+            pos = tid * 4 * MB
+            while pos < (tid + 1) * 4 * MB:
+                yield from runtime.pread(h, pos, 16 * KB)
+                pos += 16 * KB
+
+        for tid in range(4):
+            plain_kernel.sim.process(reader(tid))
+        plain_kernel.run()
+        # The fincore walks held the mm lock for real simulated time.
+        assert plain_kernel.registry.lock_stats("mm").total_hold == 0 \
+            or plain_kernel.registry.get("syscalls.fincore") > 0
+        runtime.teardown()
+
+    def test_close_unwatches(self, plain_kernel):
+        plain_kernel.create_file("/a", 1 * MB)
+        runtime = FincoreRuntime(plain_kernel)
+
+        def body():
+            h = yield from runtime.open("/a", HINT_RANDOM)
+            yield from runtime.close(h)
+
+        drive(plain_kernel, body())
+        assert runtime._watched == []
+        runtime.teardown()

@@ -1,0 +1,232 @@
+"""Integration tests: every workload runs end-to-end under at least two
+runtimes and reports sane metrics."""
+
+import pytest
+
+from repro.os.kernel import Kernel
+from repro.runtimes import build_runtime
+from repro.runtimes.factory import needs_cross
+from repro.workloads.dbbench import DbBenchConfig, PATTERNS, run_dbbench
+from repro.workloads.filebench import (
+    FilebenchConfig,
+    PERSONALITIES,
+    run_filebench,
+)
+from repro.workloads.lsm import DbConfig
+from repro.workloads.microbench import (
+    MicrobenchConfig,
+    SharedRwConfig,
+    run_microbench,
+    run_shared_rw,
+)
+from repro.workloads.mmapbench import MmapBenchConfig, run_mmapbench
+from repro.workloads.snappy import SnappyConfig, run_snappy
+from repro.workloads.ycsb import WORKLOADS, YcsbConfig, run_ycsb
+
+KB = 1 << 10
+MB = 1 << 20
+
+SMALL_DB = DbConfig(num_keys=20_000, memtable_bytes=256 * KB,
+                    sst_bytes=4 * MB)
+
+
+def fresh(approach, memory=64 * MB):
+    kernel = Kernel(memory_bytes=memory,
+                    cross_enabled=needs_cross(approach))
+    runtime = build_runtime(approach, kernel)
+    return kernel, runtime
+
+
+class TestMicrobench:
+    @pytest.mark.parametrize("pattern", ["seq", "rand"])
+    @pytest.mark.parametrize("sharing", ["private", "shared"])
+    def test_all_cells_run(self, pattern, sharing):
+        kernel, runtime = fresh("OSonly", memory=32 * MB)
+        cfg = MicrobenchConfig(nthreads=2, total_bytes=16 * MB,
+                               pattern=pattern, sharing=sharing)
+        metrics = run_microbench(kernel, runtime, cfg)
+        assert metrics.bytes_read == 16 * MB
+        assert metrics.throughput_mbps > 0
+        assert 0 <= metrics.miss_pct <= 100
+        runtime.teardown()
+        kernel.shutdown()
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            MicrobenchConfig(pattern="zigzag")
+        with pytest.raises(ValueError):
+            MicrobenchConfig(sharing="communal")
+
+    def test_crossp_beats_apponly_on_rand(self):
+        """The core Fig. 5 claim, at miniature scale."""
+        results = {}
+        for approach in ("APPonly", "CrossP[+predict+opt]"):
+            kernel, runtime = fresh(approach, memory=24 * MB)
+            cfg = MicrobenchConfig(nthreads=4, total_bytes=48 * MB,
+                                   pattern="rand", sharing="shared")
+            results[approach] = run_microbench(kernel, runtime, cfg)
+            runtime.teardown()
+            kernel.shutdown()
+        assert results["CrossP[+predict+opt]"].throughput_mbps \
+            > results["APPonly"].throughput_mbps
+
+    def test_shared_rw_reports_write_throughput(self):
+        kernel, runtime = fresh("OSonly", memory=32 * MB)
+        cfg = SharedRwConfig(nreaders=2, nwriters=2,
+                             file_bytes=16 * MB, ops_per_thread=128)
+        metrics = run_shared_rw(kernel, runtime, cfg)
+        assert metrics.bytes_written > 0
+        assert metrics.extra["bytes_read"] > 0
+        runtime.teardown()
+        kernel.shutdown()
+
+
+class TestDbBench:
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_every_pattern_runs(self, pattern):
+        kernel, runtime = fresh("OSonly")
+        cfg = DbBenchConfig(pattern=pattern, nthreads=2,
+                            ops_per_thread=20, scan_fraction=0.2,
+                            db=SMALL_DB)
+        metrics = run_dbbench(kernel, runtime, cfg)
+        assert metrics.ops > 0
+        assert metrics.kops > 0
+        runtime.teardown()
+        kernel.shutdown()
+
+    def test_bad_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            DbBenchConfig(pattern="readdiagonal")
+
+    def test_crossp_wins_readreverse(self):
+        """The headline 3.7x claim, at miniature scale."""
+        results = {}
+        for approach in ("OSonly", "CrossP[+predict+opt]"):
+            kernel, runtime = fresh(approach, memory=128 * MB)
+            cfg = DbBenchConfig(pattern="readreverse", nthreads=2,
+                                scan_fraction=1.0, db=SMALL_DB)
+            results[approach] = run_dbbench(kernel, runtime, cfg)
+            runtime.teardown()
+            kernel.shutdown()
+        assert results["CrossP[+predict+opt]"].kops \
+            > 1.5 * results["OSonly"].kops
+
+
+class TestYcsb:
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    def test_every_workload_runs(self, workload):
+        kernel, runtime = fresh("OSonly")
+        cfg = YcsbConfig(workload=workload, nthreads=2,
+                         ops_per_thread=30, db=SMALL_DB)
+        metrics = run_ycsb(kernel, runtime, cfg)
+        assert metrics.ops == 60
+        runtime.teardown()
+        kernel.shutdown()
+
+    def test_workload_a_writes(self):
+        kernel, runtime = fresh("OSonly")
+        cfg = YcsbConfig(workload="A", nthreads=2, ops_per_thread=50,
+                         db=SMALL_DB)
+        metrics = run_ycsb(kernel, runtime, cfg)
+        assert metrics.extra["puts"] > 0
+        runtime.teardown()
+        kernel.shutdown()
+
+    def test_workload_e_scans(self):
+        kernel, runtime = fresh("OSonly")
+        cfg = YcsbConfig(workload="E", nthreads=2, ops_per_thread=30,
+                         db=SMALL_DB)
+        metrics = run_ycsb(kernel, runtime, cfg)
+        assert metrics.extra["scans"] > 0
+        runtime.teardown()
+        kernel.shutdown()
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            YcsbConfig(workload="Z")
+
+
+class TestSnappy:
+    def test_runs_and_reads_everything(self):
+        kernel, runtime = fresh("OSonly", memory=32 * MB)
+        cfg = SnappyConfig(nthreads=2, total_bytes=32 * MB,
+                           file_bytes=4 * MB)
+        metrics = run_snappy(kernel, runtime, cfg)
+        assert metrics.bytes_read == 32 * MB
+        assert metrics.ops == 8  # files
+        runtime.teardown()
+        kernel.shutdown()
+
+    def test_compute_time_included(self):
+        """Compression CPU must lengthen the run vs a pure-read bound."""
+        kernel, runtime = fresh("OSonly", memory=64 * MB)
+        cfg = SnappyConfig(nthreads=1, total_bytes=16 * MB,
+                           file_bytes=4 * MB, compress_rate=50.0)
+        metrics = run_snappy(kernel, runtime, cfg)
+        # 16 MB at 50 MB/s of CPU alone is 0.32 s.
+        assert metrics.duration_s >= 0.3
+        runtime.teardown()
+        kernel.shutdown()
+
+
+class TestFilebench:
+    @pytest.mark.parametrize("personality", PERSONALITIES)
+    def test_every_personality_runs(self, personality):
+        kernel = Kernel(memory_bytes=64 * MB, cross_enabled=False)
+        cfg = FilebenchConfig(personality=personality, instances=2,
+                              threads_per_instance=2,
+                              bytes_per_instance=8 * MB)
+        metrics = run_filebench(
+            kernel, lambda: build_runtime("OSonly", kernel), cfg)
+        assert metrics.bytes_read > 0
+        kernel.shutdown()
+
+    def test_instances_have_separate_runtimes(self):
+        kernel = Kernel(memory_bytes=64 * MB, cross_enabled=True)
+        built = []
+
+        def factory():
+            runtime = build_runtime("CrossP[+predict+opt]", kernel)
+            built.append(runtime)
+            return runtime
+
+        cfg = FilebenchConfig(personality="seqread", instances=3,
+                              threads_per_instance=1,
+                              bytes_per_instance=4 * MB)
+        run_filebench(kernel, factory, cfg)
+        assert len(built) == 3
+        kernel.shutdown()
+
+    def test_bad_personality_rejected(self):
+        with pytest.raises(ValueError):
+            FilebenchConfig(personality="kafka")
+
+
+class TestMmapBench:
+    @pytest.mark.parametrize("pattern", ["readseq", "readrandom"])
+    def test_patterns_run(self, pattern):
+        kernel, runtime = fresh("OSonly", memory=64 * MB)
+        cfg = MmapBenchConfig(pattern=pattern, nthreads=2,
+                              bytes_per_thread=8 * MB)
+        metrics = run_mmapbench(kernel, runtime, cfg)
+        assert metrics.bytes_read == 16 * MB
+        runtime.teardown()
+        kernel.shutdown()
+
+    def test_apponly_random_madvise_slow(self):
+        """Table 4's APPonly collapse: madvise(RANDOM) faults per page."""
+        results = {}
+        for approach in ("APPonly", "OSonly"):
+            kernel, runtime = fresh(approach, memory=64 * MB)
+            cfg = MmapBenchConfig(pattern="readseq", nthreads=1,
+                                  bytes_per_thread=8 * MB)
+            results[approach] = run_mmapbench(kernel, runtime, cfg)
+            runtime.teardown()
+            kernel.shutdown()
+        # APPonly used NORMAL hint here, so similar; the dedicated
+        # experiment passes RANDOM; this just checks both paths work.
+        assert results["APPonly"].throughput_mbps > 0
+
+    def test_bad_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            MmapBenchConfig(pattern="writeseq")

@@ -1,0 +1,73 @@
+"""Tests for the Zipfian generators."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.zipfian import (
+    ScrambledZipfian,
+    ZipfianGenerator,
+    fnv1a_64,
+)
+
+
+class TestZipfian:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, theta=1.5)
+
+    def test_values_in_range(self):
+        gen = ZipfianGenerator(1000, rng=random.Random(1))
+        for _ in range(2000):
+            assert 0 <= gen() < 1000
+
+    def test_skew_favours_low_ranks(self):
+        gen = ZipfianGenerator(10_000, rng=random.Random(2))
+        counts = Counter(gen() for _ in range(20_000))
+        top = sum(counts[rank] for rank in range(10))
+        # Zipf(0.99): the top-10 ranks get a large share.
+        assert top / 20_000 > 0.15
+        assert counts.most_common(1)[0][0] == 0
+
+    def test_higher_theta_is_more_skewed(self):
+        lo = ZipfianGenerator(1000, theta=0.5, rng=random.Random(3))
+        hi = ZipfianGenerator(1000, theta=0.99, rng=random.Random(3))
+        lo_top = sum(1 for _ in range(5000) if lo() == 0)
+        hi_top = sum(1 for _ in range(5000) if hi() == 0)
+        assert hi_top > lo_top
+
+    def test_deterministic_with_seed(self):
+        a = ZipfianGenerator(1000, rng=random.Random(7))
+        b = ZipfianGenerator(1000, rng=random.Random(7))
+        assert [a() for _ in range(100)] == [b() for _ in range(100)]
+
+    def test_large_nitems_constructs_fast(self):
+        gen = ZipfianGenerator(40_000_000, rng=random.Random(4))
+        assert 0 <= gen() < 40_000_000
+
+
+class TestScrambled:
+    def test_spreads_hot_keys(self):
+        gen = ScrambledZipfian(100_000, rng=random.Random(5))
+        samples = [gen() for _ in range(5000)]
+        hottest = Counter(samples).most_common(1)[0][0]
+        # Scrambling moves rank 0 away from key 0 (with overwhelming
+        # probability for this hash).
+        assert hottest != 0
+        assert all(0 <= s < 100_000 for s in samples)
+
+    def test_fnv_is_stable(self):
+        assert fnv1a_64(0) == fnv1a_64(0)
+        assert fnv1a_64(1) != fnv1a_64(2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 10_000), st.integers(0, 2**32 - 1))
+def test_property_always_in_range(nitems, seed):
+    gen = ScrambledZipfian(nitems, rng=random.Random(seed))
+    for _ in range(50):
+        assert 0 <= gen() < nitems
