@@ -10,11 +10,17 @@ Commands
 ``workload``
     Run a single workload under chosen approaches with custom knobs —
     the quick way to poke at the system without writing a script.
+``trace <experiment>``
+    Run an experiment with span tracing on and export one Chrome
+    ``trace_event`` JSON plus one lock-contention profile per
+    (workload, approach) run.  Open the ``.trace.json`` files in
+    https://ui.perfetto.dev or ``chrome://tracing``.
 
 Examples::
 
     python -m repro list
     python -m repro experiment fig2
+    python -m repro trace fig2 --quick --out traces
     python -m repro workload --kind microbench --pattern rand \
         --approach OSonly --approach "CrossP[+predict+opt]"
 """
@@ -26,10 +32,13 @@ import sys
 from typing import Callable, Optional, Sequence
 
 from repro.harness import experiments as exp
+from repro.harness import runner
 from repro.harness.metrics import ApproachMetrics
 from repro.harness.report import format_table
+from repro.harness.runner import TraceSpec, tracing
 from repro.os.kernel import Kernel
 from repro.runtimes.factory import APPROACHES, build_runtime, needs_cross
+from repro.sim.trace import Tracer
 
 __all__ = ["main"]
 
@@ -63,23 +72,95 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
+# Scaled-down knobs for quick smoke traces (CI and laptops): small
+# enough to finish in a couple of seconds while still exercising the
+# demand-read, prefetch, and lock paths.
+QUICK_ARGS: dict[str, dict] = {
+    "fig2": dict(nthreads=4, ops_per_thread=50, num_keys=20_000),
+    "fig5": dict(nthreads=4),
+    "tab5": dict(nthreads=4, ops_per_thread=50),
+}
+
+
+def _print_trace_summaries(spec: TraceSpec) -> None:
+    for summary in spec.results:
+        span_us = summary["span_lock_wait_us"]
+        reg_us = summary["registry_lock_wait_us"]
+        busy = summary["busy_time_us"]
+        parity = ""
+        if reg_us > 0:
+            parity = f", parity {100.0 * span_us / reg_us:.2f}%"
+        lockpct = f", lock {100.0 * span_us / busy:.2f}%" if busy else ""
+        print(f"  {summary['label']}: {summary['spans']} spans, "
+              f"{summary['instants']} instants, "
+              f"{summary['dropped']} dropped -> {summary['trace']}\n"
+              f"    lock wait {span_us:.1f} us (spans) vs "
+              f"{reg_us:.1f} us (registry){parity}{lockpct}")
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     fn = EXPERIMENTS.get(args.name)
     if fn is None:
         print(f"unknown experiment {args.name!r}; "
               f"choose from {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
-    _results, report = fn()
+    spec: Optional[TraceSpec] = None
+    if getattr(args, "trace_out", None):
+        spec = TraceSpec(out_dir=args.trace_out)
+    with tracing(spec):
+        _results, report = fn()
     print(report)
+    if spec is not None and spec.results:
+        print(f"\nTraces written to {spec.out_dir}/:")
+        _print_trace_summaries(spec)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    fn = EXPERIMENTS.get(args.name)
+    if fn is None:
+        print(f"unknown experiment {args.name!r}; "
+              f"choose from {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    if args.capacity <= 0:
+        print(f"--capacity must be positive: {args.capacity}",
+              file=sys.stderr)
+        return 2
+    kwargs: dict = {}
+    if args.quick:
+        kwargs = QUICK_ARGS.get(args.name, {})
+        if not kwargs:
+            print(f"note: no quick preset for {args.name!r}; "
+                  f"running at full scale", file=sys.stderr)
+    spec = TraceSpec(out_dir=args.out, capacity=args.capacity,
+                     emit_holds=args.holds)
+    with tracing(spec):
+        _results, report = fn(**kwargs)
+    print(report)
+    print(f"\nTraces written to {spec.out_dir}/:")
+    _print_trace_summaries(spec)
     return 0
 
 
 def _run_workload(kind: str, approach: str, *, nthreads: int,
                   memory_mb: int, data_mb: int,
                   pattern: str) -> ApproachMetrics:
+    spec = runner.active_trace_spec()
+    tracer = Tracer(capacity=spec.capacity) if spec is not None else None
     kernel = Kernel(memory_bytes=memory_mb * MB,
-                    cross_enabled=needs_cross(approach))
+                    cross_enabled=needs_cross(approach),
+                    tracer=tracer,
+                    emit_lock_holds=spec.emit_holds
+                    if spec is not None else False)
     runtime = build_runtime(approach, kernel)
+
+    def _finish(metrics: ApproachMetrics) -> ApproachMetrics:
+        if spec is not None:
+            metrics.extra["trace"] = runner.finish_trace(
+                spec, kernel, f"{kind}-{pattern}-{approach}",
+                thread_time_us=metrics.thread_time_us)
+        return metrics
+
     try:
         if kind == "microbench":
             from repro.workloads.microbench import (
@@ -89,7 +170,7 @@ def _run_workload(kind: str, approach: str, *, nthreads: int,
             cfg = MicrobenchConfig(nthreads=nthreads,
                                    total_bytes=data_mb * MB,
                                    pattern=pattern, sharing="shared")
-            return run_microbench(kernel, runtime, cfg)
+            return _finish(run_microbench(kernel, runtime, cfg))
         if kind == "dbbench":
             from repro.workloads.dbbench import (
                 DbBenchConfig,
@@ -100,12 +181,12 @@ def _run_workload(kind: str, approach: str, *, nthreads: int,
                 pattern=pattern if pattern != "rand" else "readrandom",
                 nthreads=nthreads, ops_per_thread=500,
                 db=DbConfig(num_keys=data_mb * MB // 1024))
-            return run_dbbench(kernel, runtime, cfg)
+            return _finish(run_dbbench(kernel, runtime, cfg))
         if kind == "snappy":
             from repro.workloads.snappy import SnappyConfig, run_snappy
             cfg = SnappyConfig(nthreads=nthreads,
                                total_bytes=data_mb * MB)
-            return run_snappy(kernel, runtime, cfg)
+            return _finish(run_snappy(kernel, runtime, cfg))
         raise ValueError(f"unknown workload kind {kind!r}")
     finally:
         runtime.teardown()
@@ -114,18 +195,25 @@ def _run_workload(kind: str, approach: str, *, nthreads: int,
 
 def _cmd_workload(args: argparse.Namespace) -> int:
     approaches = args.approach or ["OSonly", "CrossP[+predict+opt]"]
+    spec: Optional[TraceSpec] = None
+    if getattr(args, "trace_out", None):
+        spec = TraceSpec(out_dir=args.trace_out)
     results = {}
-    for approach in approaches:
-        if approach not in APPROACHES:
-            print(f"unknown approach {approach!r}", file=sys.stderr)
-            return 2
-        results[approach] = _run_workload(
-            args.kind, approach, nthreads=args.threads,
-            memory_mb=args.memory_mb, data_mb=args.data_mb,
-            pattern=args.pattern)
+    with tracing(spec):
+        for approach in approaches:
+            if approach not in APPROACHES:
+                print(f"unknown approach {approach!r}", file=sys.stderr)
+                return 2
+            results[approach] = _run_workload(
+                args.kind, approach, nthreads=args.threads,
+                memory_mb=args.memory_mb, data_mb=args.data_mb,
+                pattern=args.pattern)
     print(format_table(
         f"{args.kind} ({args.pattern}, {args.threads} threads, "
         f"{args.memory_mb} MB RAM, {args.data_mb} MB data)", results))
+    if spec is not None and spec.results:
+        print(f"\nTraces written to {spec.out_dir}/:")
+        _print_trace_summaries(spec)
     return 0
 
 
@@ -141,7 +229,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp = sub.add_parser("experiment",
                            help="run one paper experiment")
     p_exp.add_argument("name", help="e.g. fig2, fig7b, tab5")
+    p_exp.add_argument("--trace-out", default=None, metavar="DIR",
+                       help="also export Chrome traces + lock profiles "
+                            "into DIR")
     p_exp.set_defaults(fn=_cmd_experiment)
+
+    p_tr = sub.add_parser(
+        "trace", help="run an experiment with span tracing on")
+    p_tr.add_argument("name", help="experiment to trace, e.g. fig2")
+    p_tr.add_argument("--out", default="traces", metavar="DIR",
+                      help="output directory (default: traces)")
+    p_tr.add_argument("--capacity", type=int, default=1_000_000,
+                      help="tracer ring-buffer capacity (events)")
+    p_tr.add_argument("--holds", action="store_true",
+                      help="also emit lock *hold* spans to the timeline")
+    p_tr.add_argument("--quick", action="store_true",
+                      help="use scaled-down knobs where available")
+    p_tr.set_defaults(fn=_cmd_trace)
 
     p_wl = sub.add_parser("workload", help="run one workload ad hoc")
     p_wl.add_argument("--kind", default="microbench",
@@ -155,6 +259,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_wl.add_argument("--approach", action="append",
                       help="repeatable; defaults to OSonly + "
                            "CrossP[+predict+opt]")
+    p_wl.add_argument("--trace-out", default=None, metavar="DIR",
+                      help="also export Chrome traces + lock profiles "
+                            "into DIR")
     p_wl.set_defaults(fn=_cmd_workload)
     return parser
 

@@ -107,6 +107,9 @@ class CrossLibRuntime(IORuntime):
         state.last_block = b0
         count = max(1, state.inode.blocks_of(
             min(offset + nbytes, state.inode.size)) - b0)
+        obs = self.registry.observer
+        span = obs.begin("crosslib", "pread", inode=state.inode.id,
+                         block=b0, count=count) if obs is not None else None
 
         if self.config.predict:
             ufd.predictor.observe(b0, count)
@@ -121,7 +124,8 @@ class CrossLibRuntime(IORuntime):
                 yield from self._maybe_enqueue(state, plan)
         yield from self._maybe_bulk_load(state, ufd)
 
-        result = yield from self.vfs.read(handle.file, offset, nbytes)
+        result = yield from self.vfs.read(handle.file, offset, nbytes,
+                                          parent=span)
 
         # The blocks we just read are resident now: remember that in the
         # user bitmap so nobody prefetches them again.  (The bitmap
@@ -131,6 +135,9 @@ class CrossLibRuntime(IORuntime):
         yield from section.acquire()
         state.tree.mark_cached(b0, count)
         section.release()
+        if span is not None:
+            span.end(bytes=result.nbytes, hits=result.hit_pages,
+                     misses=result.miss_pages)
         return result
 
     def pwrite(self, handle: Handle, offset: int,
@@ -195,6 +202,10 @@ class CrossLibRuntime(IORuntime):
         section.release()
         if not missing:
             self.registry.count("cross.elided_prefetch")
+            obs = self.registry.observer
+            if obs is not None:
+                obs.instant("crosslib", "elide", inode=state.inode.id,
+                            start=plan.start, count=plan.count)
             return
         self._submit_runs(state, missing)
 

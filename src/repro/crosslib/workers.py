@@ -64,6 +64,11 @@ class WorkerPool:
             req = yield self.queue.get()
             state = req.state
             budget = runtime.budget
+            obs = runtime.registry.observer
+            span = obs.begin("crosslib", "prefetch_request",
+                             worker=index, inode=state.inode.id,
+                             start=req.start, count=req.count) \
+                if obs is not None else None
             if not budget.allow_prefetch and not cfg.fetchall:
                 # Memory too tight: drop the request, release its
                 # dedup marks so a later pass can retry.
@@ -72,6 +77,8 @@ class WorkerPool:
                 state.tree.clear_requested(req.start, req.count)
                 section.release()
                 runtime.registry.count("cross.dropped_requests")
+                if span is not None:
+                    span.end(dropped=True)
                 continue
             cap = (cfg.max_request_bytes if cfg.relax_limits
                    else cfg.capped_request_bytes)
@@ -99,6 +106,8 @@ class WorkerPool:
             if info.completion is not None \
                     and not info.completion.processed:
                 yield info.completion
+            if span is not None:
+                span.end(submitted=info.prefetch_submitted)
 
     def teardown(self) -> None:
         for worker in self._workers:

@@ -12,7 +12,12 @@ never share state.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional
+import json
+import os
+import re
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Optional
 
 from repro.crosslib.config import CrossLibConfig
 from repro.harness.configs import MachineConfig
@@ -20,20 +25,124 @@ from repro.harness.metrics import ApproachMetrics
 from repro.os.kernel import Kernel
 from repro.runtimes.base import IORuntime
 from repro.runtimes.factory import build_runtime, needs_cross
+from repro.sim.observe import export_chrome_trace
+from repro.sim.trace import Tracer
 
-__all__ = ["make_kernel", "run_approaches", "run_one"]
+__all__ = ["TraceSpec", "active_trace_spec", "finish_trace", "make_kernel",
+           "run_approaches", "run_one", "tracing"]
 
 WorkloadFn = Callable[[Kernel, IORuntime], ApproachMetrics]
 
 
+@dataclass
+class TraceSpec:
+    """Tracing request for the runs inside a :func:`tracing` block.
+
+    The harness keeps one module-global active spec so ``repro trace``
+    can wrap any experiment function without changing its signature:
+    every :func:`run_one` inside the block builds a tracer, wires the
+    kernel's observer, and exports one Chrome trace plus one lock
+    profile per (workload, approach) run into ``out_dir``.
+    """
+
+    out_dir: str
+    capacity: int = 1_000_000
+    emit_holds: bool = False
+    pretty: bool = False
+    # One summary dict per traced run, in execution order.
+    results: list = field(default_factory=list)
+
+
+_active_spec: Optional[TraceSpec] = None
+
+
+def active_trace_spec() -> Optional[TraceSpec]:
+    return _active_spec
+
+
+@contextmanager
+def tracing(spec: Optional[TraceSpec]) -> Iterator[Optional[TraceSpec]]:
+    """Make ``spec`` the active trace spec for runs inside the block."""
+    global _active_spec
+    previous = _active_spec
+    _active_spec = spec
+    try:
+        yield spec
+    finally:
+        _active_spec = previous
+
+
+def _slug(label: str) -> str:
+    slug = re.sub(r"[^A-Za-z0-9_.-]+", "-", label).strip("-")
+    return slug or "run"
+
+
+def finish_trace(spec: TraceSpec, kernel: Kernel, label: str, *,
+                 thread_time_us: float = 0.0) -> dict:
+    """Export one traced run: Chrome JSON + lock-contention profile.
+
+    Returns (and appends to ``spec.results``) a summary comparing the
+    span-derived lock-wait total against the registry's — the two are
+    charged at the same grant instants, so they must agree (the Table-1
+    parity check).
+    """
+    os.makedirs(spec.out_dir, exist_ok=True)
+    base = os.path.join(spec.out_dir, _slug(label))
+    tracer = kernel.tracer
+    observer = kernel.observer
+    export = export_chrome_trace(tracer, base + ".trace.json",
+                                 pretty=spec.pretty)
+    span_wait = observer.profile.total_wait if observer is not None else 0.0
+    registry_wait = kernel.registry.total_lock_wait
+    busy = thread_time_us
+    profile_doc = {
+        "label": label,
+        "busy_time_us": busy,
+        "span_lock_wait_us": span_wait,
+        "registry_lock_wait_us": registry_wait,
+        "span_lock_wait_fraction":
+            observer.profile.lock_wait_fraction(busy)
+            if observer is not None else 0.0,
+        "registry_lock_wait_fraction":
+            kernel.registry.lock_wait_fraction(busy),
+        "events": {
+            "recorded": tracer.recorded,
+            "dropped": tracer.dropped,
+            "spans": export["spans"],
+            "instants": export["instants"],
+        },
+        "categories": observer.profile.to_dict()
+        if observer is not None else {},
+    }
+    with open(base + ".lockprof.json", "w") as fh:
+        json.dump(profile_doc, fh, indent=2)
+    summary = {
+        "label": label,
+        "trace": export["path"],
+        "lockprof": base + ".lockprof.json",
+        "spans": export["spans"],
+        "instants": export["instants"],
+        "dropped": export["dropped"],
+        "span_lock_wait_us": span_wait,
+        "registry_lock_wait_us": registry_wait,
+        "busy_time_us": busy,
+    }
+    spec.results.append(summary)
+    return summary
+
+
 def make_kernel(machine: MachineConfig, approach: str,
-                memory_bytes: Optional[int] = None) -> Kernel:
+                memory_bytes: Optional[int] = None, *,
+                tracer: Optional[Tracer] = None,
+                emit_lock_holds: bool = False) -> Kernel:
     """A cold kernel configured for ``machine`` and ``approach``."""
     return Kernel(
         memory_bytes=memory_bytes or machine.scaled_memory_bytes,
         config=machine.kernel_config,
         device_factory=machine.device_factory(),
         cross_enabled=needs_cross(approach),
+        tracer=tracer,
+        emit_lock_holds=emit_lock_holds,
     )
 
 
@@ -42,7 +151,11 @@ def run_one(machine: MachineConfig, approach: str,
             memory_bytes: Optional[int] = None,
             crosslib_config: Optional[CrossLibConfig] = None
             ) -> ApproachMetrics:
-    kernel = make_kernel(machine, approach, memory_bytes)
+    spec = _active_spec
+    tracer = Tracer(capacity=spec.capacity) if spec is not None else None
+    kernel = make_kernel(machine, approach, memory_bytes, tracer=tracer,
+                         emit_lock_holds=spec.emit_holds
+                         if spec is not None else False)
     runtime = build_runtime(approach, kernel, crosslib_config)
     try:
         metrics = workload(kernel, runtime)
@@ -50,6 +163,11 @@ def run_one(machine: MachineConfig, approach: str,
         runtime.teardown()
         kernel.shutdown()
     metrics.approach = approach
+    if spec is not None:
+        label = getattr(workload, "__name__", "workload")
+        summary = finish_trace(spec, kernel, f"{label}-{approach}",
+                               thread_time_us=metrics.thread_time_us)
+        metrics.extra["trace"] = summary
     return metrics
 
 

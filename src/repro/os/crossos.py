@@ -131,6 +131,11 @@ class CrossOS:
         sim = vfs.sim
         inode = file.inode
         state = self.state(inode)
+        obs = vfs.registry.observer
+        span = obs.begin("crossos", "readahead_info", inode=inode.id,
+                         offset=info.offset, nbytes=info.nbytes,
+                         bitmap_only=info.fetch_bitmap_only) \
+            if obs is not None else None
         yield sim.timeout(cfg.syscall_overhead)
         vfs.registry.count("syscalls.readahead_info")
 
@@ -172,7 +177,7 @@ class CrossOS:
             # the same instant cannot double-submit the same blocks.
             vfs.plan_runs(inode, missing)
             info.completion = sim.process(
-                self._prefetch(inode, missing),
+                self._prefetch(inode, missing, parent=span),
                 name=f"cross_prefetch[{inode.id}:{b0}+{count}]")
         else:
             done = sim.event()
@@ -205,6 +210,8 @@ class CrossOS:
         info.hit_pages = inode.hit_pages
         info.miss_pages = inode.miss_pages
         info.prefetch_disabled = state.prefetch_disabled
+        if span is not None:
+            span.end(submitted=submitted, cached=info.cached_pages)
         if vfs.tracer is not None:
             vfs.tracer.record(sim.now, "readahead_info",
                               inode=inode.id, block=b0, count=count,
@@ -213,17 +220,25 @@ class CrossOS:
         return info
 
     def _prefetch(self, inode: Inode,
-                  runs: list[tuple[int, int]]) -> Generator:
+                  runs: list[tuple[int, int]],
+                  parent=None) -> Generator:
         """Delineated prefetch path: PREFETCH-priority device reads, one
         batched cache insert, one batched bitmap update."""
         cfg = self.config
         state = self.state(inode)
-        pages = yield from self.vfs.prefetch_runs(inode, runs)
+        obs = self.vfs.registry.observer
+        span = obs.begin("crossos", "prefetch", parent=parent,
+                         inode=inode.id,
+                         blocks=sum(n for _s, n in runs)) \
+            if obs is not None else None
+        pages = yield from self.vfs.prefetch_runs(inode, runs, parent=span)
         # Bitmap updated once after completing the entire walk (§4.4);
         # the mirror hooks did the state change, this charges the cost.
         yield state.lock.acquire_write()
         yield self.vfs.sim.timeout(cfg.bitmap_op)
         state.lock.release_write()
+        if span is not None:
+            span.end(pages=pages)
         self.vfs.registry.count("cross.prefetched_pages", pages)
         return pages
 

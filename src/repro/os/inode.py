@@ -27,10 +27,15 @@ class Inode:
 
     def __init__(self, sim: Simulator, path: str, size: int,
                  block_size: int, mem: MemoryManager,
-                 registry: StatsRegistry):
+                 registry: StatsRegistry,
+                 inode_id: Optional[int] = None):
         if size < 0:
             raise ValueError(f"negative file size: {size}")
-        self.id = next(_ids)
+        # The VFS hands out per-kernel ids so two identically-seeded
+        # runs produce identical id streams (and thus identical traces);
+        # the process-global counter is only a fallback for direct
+        # construction in tests.
+        self.id = next(_ids) if inode_id is None else inode_id
         self.path = path
         self.size = size
         self.block_size = block_size

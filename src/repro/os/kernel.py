@@ -18,6 +18,7 @@ from repro.os.memory import MemoryManager
 from repro.os.mmap import MmapRegion
 from repro.os.vfs import VFS, File
 from repro.sim.engine import Simulator
+from repro.sim.observe import Observer
 from repro.sim.stats import StatsRegistry
 from repro.storage.device import StorageDevice
 from repro.storage.nvme import NVMeDevice
@@ -42,15 +43,26 @@ class Kernel:
                  config: Optional[KernelConfig] = None,
                  device_factory: DeviceFactory = _default_device,
                  cross_enabled: bool = False,
-                 tracer=None):
+                 tracer=None,
+                 emit_lock_holds: bool = False):
         self.config = config or KernelConfig()
         self.sim = Simulator()
         self.registry = StatsRegistry()
         self.tracer = tracer
+        # Passing a tracer turns on the span layer: an Observer is wired
+        # into the registry (and thus every lock category) and the
+        # memory manager before any subsystem is built, so span-derived
+        # lock-wait totals match the registry's exactly.
+        self.observer: Optional[Observer] = None
+        if tracer is not None:
+            self.observer = Observer(self.sim, tracer,
+                                     emit_holds=emit_lock_holds)
+            self.registry.attach_observer(self.observer)
         total_pages = max(1, memory_bytes // self.config.page_size)
         self.mem = MemoryManager(total_pages,
                                  chunk_blocks=self.config.chunk_blocks,
                                  per_inode_lru=self.config.per_inode_lru)
+        self.mem.observer = self.observer
         self.device = device_factory(self.sim, self.registry)
         self.vfs = VFS(self.sim, self.device, self.mem, self.config,
                        self.registry)

@@ -36,6 +36,9 @@ class MemoryManager:
         self._caches: dict[int, "PageCache"] = {}
         self.reclaimed_pages = 0
         self.reclaim_passes = 0
+        # Span observer (repro.sim.observe.Observer) or None; reclaim
+        # passes surface as instant events on the "memory" track.
+        self.observer = None
         # Optional hook fired as (inode_id, block_start, nblocks) whenever
         # reclaim evicts pages — Cross-OS uses it to clear bitmap bits.
         self.evict_hooks: list[Callable[[int, int, int], None]] = []
@@ -106,6 +109,10 @@ class MemoryManager:
                 continue
             freed += cache.evict_chunk(chunk)
         self.reclaimed_pages += freed
+        if self.observer is not None:
+            self.observer.instant("memory", "reclaim",
+                                  requested=npages, freed=freed,
+                                  used_pages=self.used_pages)
         return freed
 
     def cache_for(self, inode_id: int) -> Optional["PageCache"]:

@@ -32,6 +32,7 @@ class PageCache:
         self.sim = sim
         self.inode_id = inode_id
         self.mem = mem
+        self.registry = registry
         self.present = BlockBitmap(nblocks)
         self.dirty = BlockBitmap(nblocks)
         self.tree_lock = RwLock(sim, name=f"cache_tree[{inode_id}]",
@@ -143,6 +144,10 @@ class PageCache:
         freed = self.present.count_set(start, count)
         if freed == 0:
             return 0
+        observer = self.registry.observer
+        if observer is not None:
+            observer.instant("pagecache", "evict", inode=self.inode_id,
+                             block=start, pages=freed)
         self.present.clear_range(start, count)
         self.dirty.clear_range(start, count)
         self.mem.uncharge(freed)

@@ -29,12 +29,16 @@ class ReadaheadPlan:
     """What the readahead engine wants read beyond the demand range.
 
     ``sync_start/sync_count`` extend the blocking read itself;
-    ``marker`` is the block on which to set PG_readahead.
+    ``marker`` is the block on which to set PG_readahead.  ``reason``
+    names the state-machine transition that produced the plan
+    ("init" | "ramp" | "collapse" | "marker" | "off"), so traces can
+    show *why* each readahead was (or was not) issued.
     """
 
     sync_start: int = 0
     sync_count: int = 0
     marker: Optional[int] = None
+    reason: str = "off"
 
 
 class ReadaheadState:
@@ -94,12 +98,15 @@ class ReadaheadState:
                 # get_init_ra_size: 2-4x the request, capped.
                 self.window = min(self.max_window, max(4, 2 * count))
                 self.sync_expansions += 1
+                plan.reason = "init"
             else:
                 self.window = min(self.max_window, self.window * 2)
+                plan.reason = "ramp"
         else:
             # A truly random miss restarts the stream: no readahead for
             # this access, window collapses (the paper: "initially to 0").
             self.window = 0
+            plan.reason = "collapse"
         self.prev_end = start + count
         if self.window > 0:
             ra_start = start + count
@@ -117,6 +124,7 @@ class ReadaheadState:
         plan = ReadaheadPlan()
         if not self.enabled:
             return plan
+        plan.reason = "marker"
         self.window = min(self.max_window, max(self.window * 2, 4))
         ra_start = marker + 1
         ra_count = min(self.window, max(0, nblocks - ra_start))

@@ -67,8 +67,9 @@ class ReadResult:
 class File:
     """An open file description: position + per-FD readahead state."""
 
-    def __init__(self, inode: Inode, ra_pages: int):
-        self.fd = next(_fd_ids)
+    def __init__(self, inode: Inode, ra_pages: int,
+                 fd: Optional[int] = None):
+        self.fd = next(_fd_ids) if fd is None else fd
         self.inode = inode
         self.pos = 0
         self.ra = ReadaheadState(ra_pages)
@@ -109,6 +110,9 @@ class VFS:
         self._flusher_proc = sim.process(self._flusher(), name="flusher")
         # Optional event tracer (set by the Kernel when tracing is on).
         self.tracer = None
+        # Per-kernel id streams keep identically-seeded runs identical.
+        self._inode_ids = itertools.count(1)
+        self._fd_ids = itertools.count(3)  # 0-2 are stdio, naturally
 
     # -- namespace ----------------------------------------------------------
 
@@ -117,7 +121,8 @@ class VFS:
         if path in self._inodes:
             raise FileExistsError(path)
         inode = Inode(self.sim, path, size, self.config.block_size,
-                      self.mem, self.registry)
+                      self.mem, self.registry,
+                      inode_id=next(self._inode_ids))
         self._inodes[path] = inode
         self._by_id[inode.id] = inode
         self._inflight[inode.id] = BlockBitmap(inode.nblocks)
@@ -154,13 +159,15 @@ class VFS:
 
     def open_sync(self, path: str) -> File:
         """Zero-cost open for experiment setup."""
-        return File(self.lookup(path), self.config.ra_pages)
+        return File(self.lookup(path), self.config.ra_pages,
+                    fd=next(self._fd_ids))
 
     def open(self, path: str) -> Generator:
         """open(2): returns a File after the syscall cost."""
         yield self.sim.timeout(self.config.syscall_overhead)
         self.registry.count("syscalls.open")
-        return File(self.lookup(path), self.config.ra_pages)
+        return File(self.lookup(path), self.config.ra_pages,
+                    fd=next(self._fd_ids))
 
     def close(self, file: File) -> Generator:
         yield self.sim.timeout(self.config.syscall_overhead)
@@ -169,7 +176,8 @@ class VFS:
 
     # -- read path ------------------------------------------------------------
 
-    def read(self, file: File, offset: int, nbytes: int) -> Generator:
+    def read(self, file: File, offset: int, nbytes: int,
+             parent=None) -> Generator:
         """pread(2).  Returns a :class:`ReadResult`."""
         cfg = self.config
         inode = file.inode
@@ -184,6 +192,10 @@ class VFS:
             return ReadResult(0, 0, 0)
         b0 = offset // cfg.block_size
         count = inode.blocks_of(offset + nbytes) - b0
+        obs = self.registry.observer
+        span = obs.begin("vfs", "read", parent=parent, inode=inode.id,
+                         block=b0, count=count) if obs is not None else None
+        hit_pages = miss_pages = 0
 
         yield inode.rwlock.acquire_read()
         try:
@@ -209,8 +221,14 @@ class VFS:
             if miss_pages:
                 plan = file.ra.on_demand_miss(b0, count, inode.nblocks)
                 if plan.sync_count:
+                    if obs is not None:
+                        obs.instant("readahead", "os_ra_sync",
+                                    inode=inode.id, start=plan.sync_start,
+                                    count=plan.sync_count,
+                                    reason=plan.reason)
                     self._spawn_fill(inode, plan.sync_start, plan.sync_count,
-                                     priority=BLOCKING, tag="os_ra_sync")
+                                     priority=BLOCKING, tag="os_ra_sync",
+                                     parent=span)
                     cache.ra_marker = plan.marker
             else:
                 file.ra.note_sequential_pos(b0, count)
@@ -218,9 +236,15 @@ class VFS:
                     cache.ra_marker = None
                     plan = file.ra.on_marker_hit(marker, inode.nblocks)
                     if plan.sync_count:
+                        if obs is not None:
+                            obs.instant("readahead", "os_ra_async",
+                                        inode=inode.id,
+                                        start=plan.sync_start,
+                                        count=plan.sync_count,
+                                        reason=plan.reason)
                         self._spawn_fill(inode, plan.sync_start,
                                          plan.sync_count, priority=PREFETCH,
-                                         tag="os_ra_async")
+                                         tag="os_ra_async", parent=span)
                         cache.ra_marker = plan.marker
             cpu += count * cfg.copy_per_page
             yield self.sim.timeout(cpu)
@@ -230,9 +254,12 @@ class VFS:
             if not cache.present.all_set(b0, count):
                 yield from self._fill_range(inode, b0, count,
                                             priority=BLOCKING,
-                                            honor_planned=True)
+                                            honor_planned=True,
+                                            parent=span)
         finally:
             inode.rwlock.release_read()
+            if span is not None:
+                span.end(hits=hit_pages, misses=miss_pages)
         if self.tracer is not None:
             self.tracer.record(self.sim.now, "read", inode=inode.id,
                                block=b0, count=count, hits=hit_pages,
@@ -306,13 +333,19 @@ class VFS:
         count = min(want, cfg.ra_syscall_cap_blocks)
         if count <= 0:
             return 0
+        obs = self.registry.observer
+        span = obs.begin("vfs", "readahead_syscall", inode=inode.id,
+                         block=b0, count=count, clamped=want > count) \
+            if obs is not None else None
         # Lookup under the tree read lock, like the kernel ra path.
         cache = inode.cache
         yield cache.tree_lock.acquire_read()
         yield self.sim.timeout(count * cfg.tree_walk_per_block)
         cache.tree_lock.release_read()
         yield from self._fill_range(inode, b0, count, priority=PREFETCH,
-                                    prefetch=True)
+                                    prefetch=True, parent=span)
+        if span is not None:
+            span.end()
         return count
 
     def fadvise(self, file: File, advice: str, offset: int = 0,
@@ -368,6 +401,9 @@ class VFS:
         else:
             count = inode.blocks_of(min(offset + nbytes, inode.size)) - b0
         count = max(0, count)
+        obs = self.registry.observer
+        span = obs.begin("vfs", "fincore", inode=inode.id, block=b0,
+                         count=count) if obs is not None else None
         yield self.mm_lock.acquire()
         try:
             yield cache.tree_lock.acquire_read()
@@ -381,6 +417,8 @@ class VFS:
                 cache.tree_lock.release_read()
         finally:
             self.mm_lock.release()
+            if span is not None:
+                span.end()
         # Copying the residency vector out costs per-byte.
         yield self.sim.timeout(
             snapshot.export_nbytes(b0, count) * cfg.bitmap_copy_per_byte)
@@ -389,18 +427,20 @@ class VFS:
     # -- fill machinery ------------------------------------------------------------
 
     def _spawn_fill(self, inode: Inode, start: int, count: int, *,
-                    priority: int, tag: str, prefetch: bool = True) -> None:
+                    priority: int, tag: str, prefetch: bool = True,
+                    parent=None) -> None:
         """Run a fill in the background (async readahead, WILLNEED)."""
         self.registry.count(f"fill.{tag}")
         self.sim.process(
             self._fill_range(inode, start, count, priority=priority,
-                             prefetch=prefetch),
+                             prefetch=prefetch, parent=parent),
             name=f"{tag}[{inode.id}:{start}+{count}]")
 
     def _fill_range(self, inode: Inode, start: int, count: int, *,
                     priority: int, prefetch: bool = False,
                     wait: bool = True,
-                    honor_planned: bool = False) -> Generator:
+                    honor_planned: bool = False,
+                    parent=None) -> Generator:
         """Ensure blocks [start, start+count) are resident.
 
         Deduplicates against concurrent fills through the inflight bitmap
@@ -424,7 +464,8 @@ class VFS:
                                         planned=planned)
             if runs:
                 pages_read += yield from self._fill_runs(
-                    inode, runs, priority=priority, prefetch=prefetch)
+                    inode, runs, priority=priority, prefetch=prefetch,
+                    parent=parent)
                 continue
             if not wait or cache.present.all_set(start, count):
                 break
@@ -456,13 +497,18 @@ class VFS:
 
     def _fill_runs(self, inode: Inode, runs: list[tuple[int, int]], *,
                    priority: int, prefetch: bool,
-                   premarked: bool = False) -> Generator:
+                   premarked: bool = False, parent=None) -> Generator:
         cfg = self.config
         cache = inode.cache
         inflight = self._inflight[inode.id]
         cond = self._fill_cond[inode.id]
         bs = cfg.block_size
         chunk_blocks = max(1, cfg.io_chunk_bytes // bs)
+        obs = self.registry.observer
+        span = obs.begin("pagecache", "fill", parent=parent,
+                         inode=inode.id, block=runs[0][0] if runs else 0,
+                         runs=len(runs), prefetch=prefetch) \
+            if obs is not None else None
         if not premarked:
             for run_start, run_len in runs:
                 inflight.set_range(run_start, run_len)
@@ -495,6 +541,8 @@ class VFS:
             for run_start, run_len in runs:
                 inflight.clear_range(run_start, run_len)
             cond.notify_all()
+            if span is not None:
+                span.end(pages=total_pages)
         if self.tracer is not None and runs:
             self.tracer.record(self.sim.now, "fill", inode=inode.id,
                                block=runs[0][0], pages=total_pages,
@@ -509,7 +557,8 @@ class VFS:
             planned.set_range(run_start, run_len)
 
     def prefetch_runs(self, inode: Inode,
-                      runs: list[tuple[int, int]]) -> Generator:
+                      runs: list[tuple[int, int]],
+                      parent=None) -> Generator:
         """Chunk-pipelined prefetch of ``runs`` (already planned).
 
         Each 2 MB chunk is re-checked against residency/in-flight state
@@ -524,6 +573,10 @@ class VFS:
         cond = self._fill_cond[inode.id]
         bs = cfg.block_size
         chunk_blocks = max(1, cfg.io_chunk_bytes // bs)
+        obs = self.registry.observer
+        span = obs.begin("pagecache", "prefetch_pipeline", parent=parent,
+                         inode=inode.id, runs=len(runs)) \
+            if obs is not None else None
         total_pages = 0
         try:
             for run_start, run_len in runs:
@@ -534,7 +587,8 @@ class VFS:
                     sub = self._uncovered_runs(cache, inflight, pos, n)
                     if sub:
                         pages = yield from self._fill_runs(
-                            inode, sub, priority=PREFETCH, prefetch=True)
+                            inode, sub, priority=PREFETCH, prefetch=True,
+                            parent=span)
                         total_pages += pages
                     planned.clear_range(pos, n)
                     pos += n
@@ -542,6 +596,8 @@ class VFS:
             for run_start, run_len in runs:
                 planned.clear_range(run_start, run_len)
             cond.notify_all()
+            if span is not None:
+                span.end(pages=total_pages)
         if total_pages:
             self.registry.count("prefetch.pipeline_pages", total_pages)
         return total_pages
@@ -599,6 +655,10 @@ class VFS:
         cache = inode.cache
         bs = cfg.block_size
         amp = self.device.fs.write_amplification
+        obs = self.registry.observer
+        span = obs.begin("vfs", "writeback", inode=inode.id,
+                         blocking=priority == BLOCKING) \
+            if obs is not None else None
         flushed = 0
         events = []
         cleaned: list[tuple[int, int]] = []
@@ -619,6 +679,8 @@ class VFS:
                 cache.clean_range(run_start, run_len)
             if cache.dirty_pages == 0:
                 self._dirty_inodes.discard(inode.id)
+        if span is not None:
+            span.end(pages=flushed)
         self.registry.count("writeback.pages", flushed)
         return flushed
 

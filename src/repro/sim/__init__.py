@@ -36,24 +36,43 @@ from repro.sim.engine import (
     Simulator,
     Timeout,
 )
+from repro.sim.observe import (
+    ContentionProfile,
+    Observer,
+    Span,
+    SpanHandle,
+    export_chrome_trace,
+    profile_from_spans,
+    spans_from,
+)
 from repro.sim.stats import Counter, LockStats, StatsRegistry
 from repro.sim.sync import Condition, Lock, Queue, RwLock, Semaphore
+from repro.sim.trace import TraceEvent, Tracer
 
 __all__ = [
     "AllOf",
     "AnyOf",
     "Condition",
+    "ContentionProfile",
     "Counter",
     "Event",
     "Interrupt",
     "Lock",
     "LockStats",
+    "Observer",
     "Process",
     "Queue",
     "RwLock",
     "Semaphore",
     "SimulationError",
     "Simulator",
+    "Span",
+    "SpanHandle",
     "StatsRegistry",
+    "TraceEvent",
+    "Tracer",
     "Timeout",
+    "export_chrome_trace",
+    "profile_from_spans",
+    "spans_from",
 ]

@@ -1,0 +1,451 @@
+"""Span-based observability: request lifecycles, Chrome traces, lock profiles.
+
+The paper's headline evidence is *where time goes* — lock-wait
+percentages (Table 1), miss orderings (Table 3), prefetch-vs-demand
+overlap — and scalar counters cannot show it.  This module adds a span
+layer on top of :class:`~repro.sim.trace.Tracer`: every demand read,
+prefetch, writeback, lock wait, and device request gets a span with a
+begin/end in simulated µs, a subsystem category, an optional parent, and
+free-form attributes.
+
+Three consumers:
+
+* :func:`export_chrome_trace` writes the span stream as Chrome/Perfetto
+  ``trace_event`` JSON — load it in ``chrome://tracing`` or
+  https://ui.perfetto.dev to scrub through a run;
+* :class:`ContentionProfile` aggregates lock wait/hold spans into
+  per-category histograms and reproduces Table 1's "time on locks %"
+  directly from spans (it must agree with
+  ``StatsRegistry.lock_wait_fraction`` — both are fed by the same
+  grant events);
+* :func:`spans_from` reconstructs structured :class:`Span` objects from
+  a tracer for ad-hoc analysis.
+
+Tracing is opt-in: when no :class:`Observer` is attached (the default),
+instrumentation sites see ``None`` and pay one attribute load.
+
+Usage::
+
+    tracer = Tracer(capacity=1_000_000)
+    kernel = Kernel(tracer=tracer, cross_enabled=True)   # wires an Observer
+    ... run a workload ...
+    export_chrome_trace(tracer, "run.trace.json")
+    print(kernel.observer.profile.format_table(busy_time_us))
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.trace import TraceEvent, Tracer
+
+__all__ = [
+    "ContentionProfile",
+    "Observer",
+    "Span",
+    "SpanHandle",
+    "export_chrome_trace",
+    "profile_from_spans",
+    "spans_from",
+]
+
+# Tracer event kinds used by the span layer.  Reserved attribute keys are
+# underscore-prefixed so span payload attrs (inode=, pages=, ...) cannot
+# collide with them.
+SPAN_KIND = "span"
+INSTANT_KIND = "instant"
+_RESERVED = ("_cat", "_name", "_begin", "_id", "_parent")
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed span, reconstructed from the tracer stream."""
+
+    id: int
+    parent: Optional[int]
+    category: str
+    name: str
+    begin: float
+    end: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.begin
+
+
+class SpanHandle:
+    """An open span; call :meth:`end` (or use as a context manager)."""
+
+    __slots__ = ("observer", "id", "parent", "category", "name",
+                 "begin", "attrs", "_open")
+
+    def __init__(self, observer: "Observer", span_id: int,
+                 parent: Optional[int], category: str, name: str,
+                 begin: float, attrs: Dict[str, Any]):
+        self.observer = observer
+        self.id = span_id
+        self.parent = parent
+        self.category = category
+        self.name = name
+        self.begin = begin
+        self.attrs = attrs
+        self._open = True
+
+    def end(self, **attrs: Any) -> None:
+        """Close the span at the current simulated time."""
+        if not self._open:
+            return
+        self._open = False
+        if attrs:
+            self.attrs.update(attrs)
+        self.observer._emit(self.category, self.name, self.begin,
+                            self.id, self.parent, self.attrs)
+
+    def __enter__(self) -> "SpanHandle":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.end()
+
+
+class _Histogram:
+    """Log2-bucketed duration histogram (µs)."""
+
+    # Bucket upper bounds in µs; the last bucket is open-ended.
+    BOUNDS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+              512.0, 1024.0, 4096.0, 16384.0, 65536.0)
+
+    __slots__ = ("counts", "overflow")
+
+    def __init__(self):
+        self.counts = [0] * len(self.BOUNDS)
+        self.overflow = 0
+
+    def add(self, value: float) -> None:
+        for i, bound in enumerate(self.BOUNDS):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.overflow += 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts) + self.overflow
+
+    def to_dict(self) -> Dict[str, int]:
+        out = {f"le_{bound:g}us": count
+               for bound, count in zip(self.BOUNDS, self.counts)
+               if count}
+        if self.overflow:
+            out["overflow"] = self.overflow
+        return out
+
+
+class _CategoryProfile:
+    """Wait/hold aggregates for one lock category."""
+
+    __slots__ = ("category", "waits", "wait_total", "max_wait",
+                 "wait_hist", "holds", "hold_total", "max_hold",
+                 "hold_hist")
+
+    def __init__(self, category: str):
+        self.category = category
+        self.waits = 0
+        self.wait_total = 0.0
+        self.max_wait = 0.0
+        self.wait_hist = _Histogram()
+        self.holds = 0
+        self.hold_total = 0.0
+        self.max_hold = 0.0
+        self.hold_hist = _Histogram()
+
+    def record_wait(self, waited: float) -> None:
+        self.waits += 1
+        self.wait_total += waited
+        if waited > self.max_wait:
+            self.max_wait = waited
+        self.wait_hist.add(waited)
+
+    def record_hold(self, held: float) -> None:
+        self.holds += 1
+        self.hold_total += held
+        if held > self.max_hold:
+            self.max_hold = held
+        self.hold_hist.add(held)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "waits": self.waits,
+            "wait_total_us": self.wait_total,
+            "max_wait_us": self.max_wait,
+            "wait_histogram": self.wait_hist.to_dict(),
+            "holds": self.holds,
+            "hold_total_us": self.hold_total,
+            "max_hold_us": self.max_hold,
+            "hold_histogram": self.hold_hist.to_dict(),
+        }
+
+
+class ContentionProfile:
+    """Per-category lock contention, aggregated from wait/hold spans.
+
+    ``total_wait`` over every category equals
+    ``StatsRegistry.total_lock_wait`` for the same run: both are charged
+    at the same lock-grant instants.  ``lock_wait_fraction`` therefore
+    reproduces the paper's Table-1 "time on locks %" from spans alone.
+    """
+
+    def __init__(self):
+        self.categories: Dict[str, _CategoryProfile] = {}
+
+    def _cat(self, category: str) -> _CategoryProfile:
+        prof = self.categories.get(category)
+        if prof is None:
+            prof = _CategoryProfile(category)
+            self.categories[category] = prof
+        return prof
+
+    def record_wait(self, category: str, waited: float) -> None:
+        self._cat(category).record_wait(waited)
+
+    def record_hold(self, category: str, held: float) -> None:
+        self._cat(category).record_hold(held)
+
+    @property
+    def total_wait(self) -> float:
+        return sum(c.wait_total for c in self.categories.values())
+
+    @property
+    def total_hold(self) -> float:
+        return sum(c.hold_total for c in self.categories.values())
+
+    def lock_wait_fraction(self, busy_time: float) -> float:
+        """Fraction of ``busy_time`` lost queued on locks (Table 1)."""
+        if busy_time <= 0:
+            return 0.0
+        return min(1.0, self.total_wait / busy_time)
+
+    def top(self, n: int = 5) -> list:
+        """The ``n`` most contended categories by total wait time."""
+        ranked = sorted(self.categories.values(),
+                        key=lambda c: c.wait_total, reverse=True)
+        return ranked[:n]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {name: prof.to_dict()
+                for name, prof in sorted(self.categories.items())}
+
+    def format_table(self, busy_time: Optional[float] = None) -> str:
+        lines = [f"{'category':<16} {'waits':>8} {'wait us':>12} "
+                 f"{'max us':>10} {'holds':>10} {'hold us':>12}"]
+        for prof in sorted(self.categories.values(),
+                           key=lambda c: c.wait_total, reverse=True):
+            lines.append(
+                f"{prof.category:<16} {prof.waits:>8} "
+                f"{prof.wait_total:>12.1f} {prof.max_wait:>10.1f} "
+                f"{prof.holds:>10} {prof.hold_total:>12.1f}")
+        total = self.total_wait
+        summary = f"total lock wait: {total:.1f} us"
+        if busy_time:
+            summary += (f" ({100.0 * self.lock_wait_fraction(busy_time):.2f}%"
+                        f" of {busy_time:.0f} us busy time)")
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+class Observer:
+    """The span emitter attached to one simulation.
+
+    Spans flow through the kernel's :class:`Tracer` (so capacity,
+    dropping, and kind counts are shared with plain events) while lock
+    wait/hold durations are additionally aggregated into
+    :attr:`profile` online — ring-buffer drops never distort Table-1
+    numbers.
+    """
+
+    def __init__(self, sim: Simulator, tracer: Tracer, *,
+                 emit_holds: bool = False):
+        self.sim = sim
+        self.tracer = tracer
+        # Lock *hold* spans outnumber everything else; they only enter
+        # the timeline when asked for (the profile sees them always).
+        self.emit_holds = emit_holds
+        self.profile = ContentionProfile()
+        self._next_id = 0
+        self.spans_emitted = 0
+
+    # -- span API -----------------------------------------------------------
+
+    def begin(self, category: str, name: str,
+              parent: Optional[SpanHandle] = None,
+              **attrs: Any) -> SpanHandle:
+        """Open a span at the current simulated time."""
+        self._next_id += 1
+        return SpanHandle(self, self._next_id,
+                          parent.id if parent is not None else None,
+                          category, name, self.sim.now, attrs)
+
+    def complete(self, category: str, name: str, begin: float, *,
+                 parent: Optional[int] = None, **attrs: Any) -> None:
+        """Record a span that ends now and began at ``begin``."""
+        self._next_id += 1
+        self._emit(category, name, begin, self._next_id, parent, attrs)
+
+    def instant(self, category: str, name: str, **attrs: Any) -> None:
+        """Record a point event (a decision, an eviction, a drop)."""
+        if not self.tracer.enabled:
+            return
+        self.tracer.record(self.sim.now, INSTANT_KIND,
+                           _cat=category, _name=name, **attrs)
+
+    # -- lock feed (called by sim.sync via LockStats.observer) ---------------
+
+    def lock_wait(self, category: str, since: float, **attrs: Any) -> None:
+        """A waiter queued at ``since`` was granted the lock now."""
+        waited = self.sim.now - since
+        self.profile.record_wait(category, waited)
+        self.complete("lock", category, since, **attrs)
+
+    def lock_hold(self, category: str, since: float, **attrs: Any) -> None:
+        """A lock held since ``since`` was released now."""
+        held = self.sim.now - since
+        self.profile.record_hold(category, held)
+        if self.emit_holds:
+            self.complete("lock", f"{category}.hold", since, **attrs)
+
+    # -- internals -----------------------------------------------------------
+
+    def _emit(self, category: str, name: str, begin: float,
+              span_id: int, parent: Optional[int],
+              attrs: Dict[str, Any]) -> None:
+        if not self.tracer.enabled:
+            return
+        self.spans_emitted += 1
+        self.tracer.record(self.sim.now, SPAN_KIND,
+                           _cat=category, _name=name, _begin=begin,
+                           _id=span_id, _parent=parent, **attrs)
+
+
+# -- reconstruction & export ---------------------------------------------------
+
+
+def spans_from(tracer: Tracer,
+               category: Optional[str] = None) -> Iterator[Span]:
+    """Rebuild :class:`Span` objects from a tracer's retained events."""
+    for event in tracer.events(SPAN_KIND):
+        span = _span_of(event)
+        if category is None or span.category == category:
+            yield span
+
+
+def _span_of(event: TraceEvent) -> Span:
+    reserved: Dict[str, Any] = {}
+    attrs: Dict[str, Any] = {}
+    for key, value in event.attrs:
+        if key in _RESERVED:
+            reserved[key] = value
+        else:
+            attrs[key] = value
+    return Span(id=reserved.get("_id", 0),
+                parent=reserved.get("_parent"),
+                category=reserved.get("_cat", ""),
+                name=reserved.get("_name", ""),
+                begin=reserved.get("_begin", event.time),
+                end=event.time,
+                attrs=attrs)
+
+
+def profile_from_spans(spans) -> ContentionProfile:
+    """Aggregate a span stream into a fresh :class:`ContentionProfile`.
+
+    Only meaningful when the tracer dropped nothing; the live
+    ``Observer.profile`` is immune to drops and should be preferred.
+    """
+    profile = ContentionProfile()
+    for span in spans:
+        if span.category != "lock":
+            continue
+        if span.name.endswith(".hold"):
+            profile.record_hold(span.name[:-len(".hold")], span.duration)
+        else:
+            profile.record_wait(span.name, span.duration)
+    return profile
+
+
+def export_chrome_trace(tracer: Tracer, path: str, *,
+                        pretty: bool = False) -> Dict[str, Any]:
+    """Write the tracer's retained events as Chrome ``trace_event`` JSON.
+
+    Spans become complete ("X") events, instants and legacy flat events
+    become instant ("i") events.  Each category gets its own named track
+    (tid), so ``chrome://tracing`` shows vfs / pagecache / crossos /
+    storage / lock timelines stacked.  Returns a small summary dict.
+    """
+    events: list = []
+    tids: Dict[str, int] = {}
+
+    def tid_of(category: str) -> int:
+        tid = tids.get(category)
+        if tid is None:
+            tid = len(tids) + 1
+            tids[category] = tid
+        return tid
+
+    n_spans = n_instants = 0
+    for event in tracer.events():
+        if event.kind == SPAN_KIND:
+            span = _span_of(event)
+            args = dict(span.attrs)
+            if span.parent is not None:
+                args["parent_span"] = span.parent
+            events.append({
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "ts": span.begin,
+                "dur": max(0.0, span.duration),
+                "pid": 0,
+                "tid": tid_of(span.category),
+                "id": span.id,
+                "args": args,
+            })
+            n_spans += 1
+        else:
+            if event.kind == INSTANT_KIND:
+                attrs = dict(event.attrs)
+                cat = attrs.pop("_cat", "trace")
+                name = attrs.pop("_name", "instant")
+            else:
+                cat = "trace"
+                name = event.kind
+                attrs = dict(event.attrs)
+            events.append({
+                "name": name,
+                "cat": cat,
+                "ph": "i",
+                "s": "t",
+                "ts": event.time,
+                "pid": 0,
+                "tid": tid_of(cat),
+                "args": attrs,
+            })
+            n_instants += 1
+
+    meta = [{"name": "process_name", "ph": "M", "pid": 0,
+             "args": {"name": "repro-sim"}}]
+    for category, tid in tids.items():
+        meta.append({"name": "thread_name", "ph": "M", "pid": 0,
+                     "tid": tid, "args": {"name": category}})
+
+    doc = {"traceEvents": meta + events, "displayTimeUnit": "ms",
+           "otherData": {"dropped_events": tracer.dropped}}
+    with open(path, "w") as fh:
+        # default=str: attr payloads are caller-supplied; a stray object
+        # should degrade to its repr, not kill the export.
+        json.dump(doc, fh, indent=2 if pretty else None, default=str)
+    return {"path": path, "spans": n_spans, "instants": n_instants,
+            "dropped": tracer.dropped}

@@ -11,7 +11,7 @@ paper does.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Any, Dict, Optional
 
 __all__ = ["Counter", "LockStats", "StatsRegistry"]
 
@@ -36,6 +36,9 @@ class LockStats:
     contended: int = 0
     total_wait: float = 0.0  # simulated µs spent queued
     total_hold: float = 0.0  # simulated µs the lock was held
+    # Optional span observer (repro.sim.observe.Observer); the sync
+    # primitives reach it through here to emit lock wait/hold spans.
+    observer: Optional[Any] = field(default=None, repr=False, compare=False)
 
     def record_acquire(self, waited: float) -> None:
         self.acquisitions += 1
@@ -53,11 +56,20 @@ class StatsRegistry:
     def __init__(self):
         self.locks: Dict[str, LockStats] = {}
         self.counters: Dict[str, Counter] = {}
+        # Span observer shared by every subsystem holding this registry
+        # (None when tracing is off; see repro.sim.observe).
+        self.observer: Optional[Any] = None
+
+    def attach_observer(self, observer: Any) -> None:
+        """Wire a span observer into the registry and every lock category."""
+        self.observer = observer
+        for stats in self.locks.values():
+            stats.observer = observer
 
     def lock_stats(self, category: str) -> LockStats:
         stats = self.locks.get(category)
         if stats is None:
-            stats = LockStats(category)
+            stats = LockStats(category, observer=self.observer)
             self.locks[category] = stats
         return stats
 

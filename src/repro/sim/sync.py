@@ -69,11 +69,19 @@ class Lock:
             raise SimulationError(f"release of unheld lock {self.name!r}")
         if self.stats is not None:
             self.stats.record_hold(self.sim.now - self._acquired_at)
+            obs = self.stats.observer
+            if obs is not None:
+                obs.lock_hold(self.stats.category, self._acquired_at,
+                              lock=self.name)
         if self._waiters:
             ev, enqueued = self._waiters.popleft()
             self._acquired_at = self.sim.now
             if self.stats is not None:
                 self.stats.record_acquire(self.sim.now - enqueued)
+                obs = self.stats.observer
+                if obs is not None and self.sim.now > enqueued:
+                    obs.lock_wait(self.stats.category, enqueued,
+                                  lock=self.name)
             ev.succeed()
         else:
             self._locked = False
@@ -150,23 +158,33 @@ class RwLock:
             raise SimulationError(f"release_write of unheld {self.name!r}")
         if self.stats is not None:
             self.stats.record_hold(self.sim.now - self._writer_since)
+            obs = self.stats.observer
+            if obs is not None:
+                obs.lock_hold(self.stats.category, self._writer_since,
+                              lock=self.name, writer=True)
         self._writer = False
         self._grant()
+
+    def _granted_after_wait(self, enqueued: float) -> None:
+        if self.stats is None:
+            return
+        self.stats.record_acquire(self.sim.now - enqueued)
+        obs = self.stats.observer
+        if obs is not None and self.sim.now > enqueued:
+            obs.lock_wait(self.stats.category, enqueued, lock=self.name)
 
     def _grant(self) -> None:
         if self._wait_writers:
             ev, enqueued = self._wait_writers.popleft()
             self._writer = True
             self._writer_since = self.sim.now
-            if self.stats is not None:
-                self.stats.record_acquire(self.sim.now - enqueued)
+            self._granted_after_wait(enqueued)
             ev.succeed()
             return
         while self._wait_readers:
             ev, enqueued = self._wait_readers.popleft()
             self._readers += 1
-            if self.stats is not None:
-                self.stats.record_acquire(self.sim.now - enqueued)
+            self._granted_after_wait(enqueued)
             ev.succeed()
 
     def read_held(self, body: Generator) -> Generator:
@@ -230,6 +248,10 @@ class Semaphore:
             ev, enqueued = self._waiters.popleft()
             if self.stats is not None:
                 self.stats.record_acquire(self.sim.now - enqueued)
+                obs = self.stats.observer
+                if obs is not None and self.sim.now > enqueued:
+                    obs.lock_wait(self.stats.category, enqueued,
+                                  lock=self.name)
             ev.succeed()
         else:
             self._in_use -= 1

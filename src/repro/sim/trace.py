@@ -1,15 +1,21 @@
 """Optional event tracing for simulations.
 
 A :class:`Tracer` records structured events — I/O submissions and
-completions, lock acquisitions, prefetch decisions — with simulated
-timestamps, so experiments can be inspected after the fact ("when did
-the prefetch for block X land relative to the demand read?").  Tracing
-is opt-in and costs nothing when disabled.
+completions, lock acquisitions, prefetch decisions, spans from
+:mod:`repro.sim.observe` — with simulated timestamps, so experiments can
+be inspected after the fact ("when did the prefetch for block X land
+relative to the demand read?").  Tracing is opt-in and costs nothing
+when disabled.
+
+Events are recorded in nondecreasing time order (simulated time never
+goes backward), which :meth:`Tracer.between` exploits: a kept-sorted
+time index makes range queries O(log n + matches) instead of rebuilding
+the full time list per call, and the ring drop path is O(1) via a deque
+(``list.pop(0)`` used to make every record O(n) once full).
 
 Usage::
 
     tracer = Tracer(capacity=100_000)
-    tracer.attach_registry_counts(kernel.registry)   # optional
     tracer.record(kernel.now, "prefetch", inode=3, start=128, count=64)
     ...
     for event in tracer.between(1_000, 2_000):
@@ -20,9 +26,10 @@ Usage::
 from __future__ import annotations
 
 import bisect
-from collections import Counter
-from dataclasses import dataclass, field
-from typing import Any, Iterator, Optional
+from collections import Counter, deque
+from dataclasses import dataclass
+from itertools import islice
+from typing import Any, Deque, Iterator, Optional
 
 __all__ = ["TraceEvent", "Tracer"]
 
@@ -54,7 +61,12 @@ class Tracer:
             raise ValueError(f"capacity must be positive: {capacity}")
         self.capacity = capacity
         self.enabled = enabled
-        self._events: list[TraceEvent] = []
+        self._events: Deque[TraceEvent] = deque()
+        # Sorted time index mirroring _events; drops trim it lazily
+        # (_stale counts dead leading entries) so record() stays O(1)
+        # amortized and between() stays a pure bisect.
+        self._times: list[float] = []
+        self._stale = 0
         self._dropped = 0
         self._kind_counts: Counter = Counter()
 
@@ -65,15 +77,26 @@ class Tracer:
     def dropped(self) -> int:
         return self._dropped
 
+    @property
+    def recorded(self) -> int:
+        """Total events ever recorded (retained + dropped)."""
+        return len(self._events) + self._dropped
+
     def record(self, time: float, kind: str, **attrs: Any) -> None:
         if not self.enabled:
             return
         self._kind_counts[kind] += 1
         if len(self._events) >= self.capacity:
-            self._events.pop(0)
+            self._events.popleft()
             self._dropped += 1
+            self._stale += 1
+            if self._stale >= self.capacity:
+                # Amortized compaction: at most one entry copied per drop.
+                del self._times[:self._stale]
+                self._stale = 0
         self._events.append(
             TraceEvent(time, kind, tuple(sorted(attrs.items()))))
+        self._times.append(time)
 
     # -- queries ------------------------------------------------------------
 
@@ -84,10 +107,13 @@ class Tracer:
 
     def between(self, start: float, end: float,
                 kind: Optional[str] = None) -> Iterator[TraceEvent]:
-        times = [e.time for e in self._events]
-        lo = bisect.bisect_left(times, start)
+        times = self._times
+        lo = max(bisect.bisect_left(times, start), self._stale)
         hi = bisect.bisect_right(times, end)
-        for event in self._events[lo:hi]:
+        if hi <= lo:
+            return
+        for event in islice(self._events, lo - self._stale,
+                            hi - self._stale):
             if kind is None or event.kind == kind:
                 yield event
 
@@ -109,5 +135,7 @@ class Tracer:
 
     def clear(self) -> None:
         self._events.clear()
+        self._times.clear()
+        self._stale = 0
         self._dropped = 0
         self._kind_counts.clear()

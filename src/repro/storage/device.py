@@ -37,6 +37,9 @@ class IORequest:
     stream: int = 0
     submitted_at: float = 0.0
     done: Optional[Event] = None
+    # Filled in by the scheduler for telemetry/span export.
+    queue_wait: float = 0.0
+    sequential: bool = False
 
     def __post_init__(self):
         if self.nbytes <= 0:
@@ -207,6 +210,8 @@ class StorageDevice:
         now = self.sim.now
         waited = now - req.submitted_at
         sequential = self._stream_pos.get(req.stream) == req.offset
+        req.queue_wait = waited
+        req.sequential = sequential
         self._stream_pos[req.stream] = req.offset + req.nbytes
 
         latency = self.seq_latency if sequential else self.access_latency
@@ -244,5 +249,15 @@ class StorageDevice:
         self._in_flight -= 1
         if req.priority == PREFETCH:
             self._in_flight_prefetch -= 1
+        if self.registry is not None:
+            observer = self.registry.observer
+            if observer is not None:
+                observer.complete(
+                    "storage", req.kind, req.submitted_at,
+                    device=self.name, stream=req.stream,
+                    nbytes=req.nbytes,
+                    prefetch=req.priority == PREFETCH,
+                    sequential=req.sequential,
+                    queue_wait_us=round(req.queue_wait, 3))
         req.done.succeed(req)
         self._dispatch()

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main
@@ -57,3 +59,51 @@ class TestWorkloadCommand:
                      "--approach", "OSonly"])
         assert code == 0
         assert "dbbench" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_unknown_experiment(self, capsys):
+        assert main(["trace", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_trace_fig2_quick(self, tmp_path, capsys):
+        out_dir = tmp_path / "traces"
+        code = main(["trace", "fig2", "--quick", "--out", str(out_dir)])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "Traces written to" in stdout
+
+        traces = sorted(out_dir.glob("*.trace.json"))
+        lockprofs = sorted(out_dir.glob("*.lockprof.json"))
+        assert len(traces) == 4 and len(lockprofs) == 4  # one per approach
+
+        cross = [p for p in traces if "CrossP" in p.name]
+        assert len(cross) == 1
+        doc = json.loads(cross[0].read_text())
+        events = doc["traceEvents"]
+        assert doc["otherData"]["dropped_events"] == 0
+        names = {(e.get("cat"), e.get("name")) for e in events
+                 if e.get("ph") == "X"}
+        # Demand-read lifecycle, prefetch lifecycle, and lock spans.
+        assert ("vfs", "read") in names
+        assert ("crossos", "prefetch") in names
+        assert any(cat == "lock" for cat, _n in names)
+
+        # Span-derived lock-wait must match the registry within 1%.
+        for prof_path in lockprofs:
+            prof = json.loads(prof_path.read_text())
+            span_us = prof["span_lock_wait_us"]
+            reg_us = prof["registry_lock_wait_us"]
+            assert abs(span_us - reg_us) <= 0.01 * max(reg_us, 1e-9)
+
+    def test_workload_trace_out(self, tmp_path, capsys):
+        out_dir = tmp_path / "wl"
+        code = main(["workload", "--kind", "microbench",
+                     "--pattern", "seq", "--threads", "2",
+                     "--memory-mb", "32", "--data-mb", "16",
+                     "--approach", "CrossP[+predict+opt]",
+                     "--trace-out", str(out_dir)])
+        assert code == 0
+        assert "Traces written to" in capsys.readouterr().out
+        assert list(out_dir.glob("*.trace.json"))
+        assert list(out_dir.glob("*.lockprof.json"))

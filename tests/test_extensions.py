@@ -222,6 +222,42 @@ class TestTracer:
         assert "read" in tracer.summary()
         kernel.shutdown()
 
+    def test_ring_wraparound_keeps_index_consistent(self):
+        # Regression: record() used list.pop(0) (O(n) per drop) and
+        # between() rebuilt the whole time list per query.  Push twice
+        # the capacity through and check drops, ordering, and range
+        # queries against the retained window.
+        capacity = 64
+        tracer = Tracer(capacity=capacity)
+        total = 2 * capacity
+        for i in range(total):
+            tracer.record(float(i), "tick", i=i)
+        assert len(tracer) == capacity
+        assert tracer.dropped == capacity
+        assert tracer.recorded == total
+        retained = list(tracer.events())
+        assert [e.attr("i") for e in retained] == \
+            list(range(capacity, total))
+        times = [e.time for e in retained]
+        assert times == sorted(times)
+        # between() on the surviving window, straddling the drop
+        # boundary, and fully inside the dropped prefix.
+        got = [e.attr("i") for e in tracer.between(capacity + 5,
+                                                   capacity + 9)]
+        assert got == list(range(capacity + 5, capacity + 10))
+        assert [e.attr("i") for e in tracer.between(0, capacity - 1)] == []
+        straddle = [e.attr("i") for e in tracer.between(10, capacity + 2)]
+        assert straddle == list(range(capacity, capacity + 3))
+
+    def test_between_after_many_wraps(self):
+        tracer = Tracer(capacity=8)
+        for i in range(100):
+            tracer.record(float(i), "tick", i=i)
+        assert [e.attr("i") for e in tracer.between(95, 97)] == [95, 96, 97]
+        tracer.clear()
+        tracer.record(1.0, "tick", i=0)
+        assert [e.attr("i") for e in tracer.between(0, 2)] == [0]
+
     def test_event_str_and_clear(self):
         tracer = Tracer()
         tracer.record(5.0, "demo", a=1)

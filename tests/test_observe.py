@@ -1,0 +1,236 @@
+"""Tests for the span-based observability layer (repro.sim.observe)."""
+
+import json
+
+from repro.os.crossos import CacheInfo
+from repro.os.kernel import Kernel
+from repro.runtimes.factory import build_runtime
+from repro.sim.engine import Simulator
+from repro.sim.observe import (
+    ContentionProfile,
+    Observer,
+    export_chrome_trace,
+    profile_from_spans,
+    spans_from,
+)
+from repro.sim.trace import Tracer
+from tests.conftest import drive
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+def _traced_kernel(**kwargs):
+    tracer = Tracer(capacity=500_000)
+    kernel = Kernel(memory_bytes=48 * MB, cross_enabled=True,
+                    tracer=tracer, **kwargs)
+    return kernel, tracer
+
+
+class TestSpanApi:
+    def test_begin_end_roundtrip(self):
+        sim = Simulator()
+        tracer = Tracer()
+        obs = Observer(sim, tracer)
+        span = obs.begin("vfs", "read", inode=7)
+
+        def body():
+            yield sim.timeout(12.5)
+            span.end(pages=3)
+
+        sim.process(body())
+        sim.run()
+        spans = list(spans_from(tracer))
+        assert len(spans) == 1
+        got = spans[0]
+        assert got.category == "vfs" and got.name == "read"
+        assert got.begin == 0.0 and got.end == 12.5
+        assert got.duration == 12.5
+        assert got.attrs == {"inode": 7, "pages": 3}
+        assert got.parent is None
+
+    def test_parent_linkage_and_context_manager(self):
+        sim = Simulator()
+        tracer = Tracer()
+        obs = Observer(sim, tracer)
+        with obs.begin("a", "outer") as outer:
+            obs.begin("b", "inner", parent=outer).end()
+        spans = {s.name: s for s in spans_from(tracer)}
+        assert spans["inner"].parent == spans["outer"].id
+        assert spans["outer"].parent is None
+
+    def test_end_is_idempotent(self):
+        sim = Simulator()
+        tracer = Tracer()
+        obs = Observer(sim, tracer)
+        span = obs.begin("x", "once")
+        span.end()
+        span.end()
+        assert len(list(spans_from(tracer))) == 1
+
+    def test_instants_and_disabled_tracer(self):
+        sim = Simulator()
+        tracer = Tracer(enabled=False)
+        obs = Observer(sim, tracer)
+        obs.instant("memory", "reclaim", freed=4)
+        obs.begin("x", "y").end()
+        assert len(tracer) == 0
+        # The profile still aggregates even with the tracer disabled.
+        obs.lock_wait("cache_tree", since=0.0)
+        assert obs.profile.total_wait == 0.0
+        assert obs.profile.categories["cache_tree"].waits == 1
+
+
+class TestContentionProfile:
+    def test_wait_hold_aggregation(self):
+        prof = ContentionProfile()
+        prof.record_wait("cache_tree", 10.0)
+        prof.record_wait("cache_tree", 30.0)
+        prof.record_wait("inode", 5.0)
+        prof.record_hold("cache_tree", 2.0)
+        assert prof.total_wait == 45.0
+        assert prof.total_hold == 2.0
+        cat = prof.categories["cache_tree"]
+        assert cat.waits == 2 and cat.max_wait == 30.0
+        assert prof.top(1)[0].category == "cache_tree"
+
+    def test_lock_wait_fraction_clamps(self):
+        prof = ContentionProfile()
+        prof.record_wait("x", 500.0)
+        assert prof.lock_wait_fraction(1000.0) == 0.5
+        assert prof.lock_wait_fraction(100.0) == 1.0
+        assert prof.lock_wait_fraction(0.0) == 0.0
+
+    def test_histogram_buckets_and_table(self):
+        prof = ContentionProfile()
+        for waited in (0.5, 3.0, 100.0, 1e6):
+            prof.record_wait("x", waited)
+        d = prof.to_dict()["x"]
+        assert d["waits"] == 4
+        assert d["wait_histogram"]["le_1us"] == 1
+        assert d["wait_histogram"]["overflow"] == 1
+        table = prof.format_table(busy_time=2e6)
+        assert "x" in table and "total lock wait" in table
+
+
+class TestKernelIntegration:
+    def _run(self, kernel, nbytes=512 * KB):
+        kernel.create_file("/data", 4 * MB)
+        runtime = build_runtime("CrossP[+predict+opt]", kernel)
+
+        def body():
+            handle = yield from runtime.open("/data")
+            for i in range(0, nbytes, 16 * KB):
+                yield from runtime.pread(handle, i, 16 * KB)
+            yield from runtime.close(handle)
+
+        drive(kernel, body())
+        runtime.teardown()
+        return runtime
+
+    def test_full_path_emits_spans(self):
+        kernel, tracer = _traced_kernel()
+        self._run(kernel)
+        cats = {(s.category, s.name) for s in spans_from(tracer)}
+        assert ("vfs", "read") in cats          # demand read lifecycle
+        assert ("crosslib", "pread") in cats
+        assert ("crossos", "readahead_info") in cats
+        assert ("crossos", "prefetch") in cats  # prefetch lifecycle
+        assert ("pagecache", "fill") in cats
+        assert ("storage", "read") in cats
+        kernel.shutdown()
+
+    def test_parenting_links_read_to_fill(self):
+        kernel, tracer = _traced_kernel()
+        self._run(kernel)
+        spans = list(spans_from(tracer))
+        by_id = {s.id: s for s in spans}
+        fills = [s for s in spans if s.name == "fill"]
+        assert fills, "no pagecache fill spans recorded"
+        parents = {by_id[s.parent].name for s in fills
+                   if s.parent in by_id}
+        assert parents & {"read", "prefetch_pipeline", "readahead_syscall"}
+
+    def test_span_lock_wait_matches_registry(self):
+        kernel, tracer = _traced_kernel()
+        self._run(kernel, nbytes=2 * MB)
+        observer = kernel.observer
+        assert observer is not None
+        span_wait = observer.profile.total_wait
+        registry_wait = kernel.registry.total_lock_wait
+        assert span_wait == registry_wait
+        # And the stream-rebuilt profile agrees when nothing dropped.
+        assert tracer.dropped == 0
+        rebuilt = profile_from_spans(spans_from(tracer))
+        assert rebuilt.total_wait == span_wait
+        kernel.shutdown()
+
+    def test_lock_hold_profile_always_on_emission_opt_in(self):
+        kernel, tracer = _traced_kernel()
+        self._run(kernel)
+        assert kernel.observer.profile.total_hold > 0
+        hold_spans = [s for s in spans_from(tracer)
+                      if s.category == "lock" and s.name.endswith(".hold")]
+        assert hold_spans == []  # not emitted unless emit_lock_holds
+        kernel.shutdown()
+
+        kernel2, tracer2 = _traced_kernel(emit_lock_holds=True)
+        self._run(kernel2)
+        hold_spans = [s for s in spans_from(tracer2)
+                      if s.category == "lock" and s.name.endswith(".hold")]
+        assert hold_spans
+        kernel2.shutdown()
+
+    def test_no_tracer_means_no_observer(self):
+        kernel = Kernel(memory_bytes=32 * MB, cross_enabled=True)
+        assert kernel.observer is None
+        assert kernel.registry.observer is None
+        kernel.shutdown()
+
+    def test_readahead_info_span_carries_submission(self):
+        kernel, tracer = _traced_kernel()
+        kernel.create_file("/a", 2 * MB)
+
+        def body():
+            f = kernel.vfs.open_sync("/a")
+            info = yield from kernel.cross.readahead_info(
+                f, CacheInfo(offset=0, nbytes=1 * MB))
+            return info
+
+        info = drive(kernel, body())
+        spans = [s for s in spans_from(tracer)
+                 if s.name == "readahead_info"]
+        assert len(spans) == 1
+        assert spans[0].attrs["submitted"] == info.prefetch_submitted > 0
+        kernel.shutdown()
+
+
+class TestChromeExport:
+    def test_export_is_valid_trace_event_json(self, tmp_path):
+        kernel, tracer = _traced_kernel()
+        TestKernelIntegration()._run(kernel)
+        path = tmp_path / "run.trace.json"
+        summary = export_chrome_trace(tracer, str(path))
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert doc["otherData"]["dropped_events"] == 0
+        phases = {e["ph"] for e in events}
+        assert phases >= {"X", "i", "M"}
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == summary["spans"]
+        for e in complete:
+            assert e["dur"] >= 0
+            assert isinstance(e["ts"], float)
+        # Category tracks are named via metadata events.
+        names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert {"vfs", "storage"} <= names
+        kernel.shutdown()
+
+    def test_export_handles_unserializable_attrs(self, tmp_path):
+        sim = Simulator()
+        tracer = Tracer()
+        obs = Observer(sim, tracer)
+        obs.begin("x", "odd", payload=object()).end()
+        path = tmp_path / "odd.trace.json"
+        export_chrome_trace(tracer, str(path))
+        json.loads(path.read_text())  # must not raise

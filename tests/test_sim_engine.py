@@ -281,3 +281,108 @@ def test_simultaneous_events_fifo_order():
         sim.process(proc(name))
     sim.run()
     assert order == ["a", "b", "c"]
+
+
+# -- interrupt/failure edge cases ------------------------------------------
+
+
+def test_interrupt_while_waiting_on_all_of():
+    """Interrupting a process parked on a composite event must detach
+    its resume callback: when the children later fire, the process is
+    not resumed a second time."""
+    sim = Simulator()
+    log = []
+
+    def waiter():
+        try:
+            yield sim.all_of([sim.timeout(50), sim.timeout(80)])
+            log.append("completed")
+        except Interrupt as intr:
+            log.append(("interrupted", intr.cause))
+            # Keep living past the children's fire times.
+            yield sim.timeout(100)
+            log.append("after")
+
+    def killer(target):
+        yield sim.timeout(10)
+        target.interrupt("stop")
+
+    p = sim.process(waiter())
+    sim.process(killer(p))
+    sim.run()
+    assert log == [("interrupted", "stop"), "after"]
+
+
+def test_interrupt_while_waiting_on_any_of():
+    sim = Simulator()
+    log = []
+
+    def waiter():
+        try:
+            yield sim.any_of([sim.timeout(50), sim.timeout(80)])
+            log.append("completed")
+        except Interrupt as intr:
+            log.append(("interrupted", intr.cause))
+            yield sim.timeout(100)
+            log.append("after")
+
+    def killer(target):
+        yield sim.timeout(10)
+        target.interrupt("teardown")
+
+    p = sim.process(waiter())
+    sim.process(killer(p))
+    sim.run()
+    assert log == [("interrupted", "teardown"), "after"]
+
+
+def test_any_of_child_failure_propagates_first():
+    """AnyOf fails as soon as its first child fails, even when another
+    child would have succeeded later."""
+    sim = Simulator()
+    seen = []
+
+    def failer(ev):
+        yield sim.timeout(5)
+        ev.fail(RuntimeError("boom"))
+
+    def waiter(ev):
+        try:
+            yield sim.any_of([ev, sim.timeout(50)])
+            seen.append("ok")
+        except RuntimeError as exc:
+            seen.append(("failed", str(exc), sim.now))
+
+    ev = sim.event()
+    sim.process(failer(ev))
+    sim.process(waiter(ev))
+    sim.run()
+    assert seen == [("failed", "boom", 5.0)]
+
+
+def test_all_of_child_failure_propagates():
+    sim = Simulator()
+    seen = []
+
+    def waiter():
+        ev = sim.event()
+        ev.fail(ValueError("bad"), delay=1)
+        try:
+            yield sim.all_of([sim.timeout(50), ev])
+        except ValueError as exc:
+            seen.append(str(exc))
+
+    sim.process(waiter())
+    sim.run()
+    assert seen == ["bad"]
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(SimulationError):
+        ev.fail("not an exception")
+    # The event must still be usable after the rejected fail().
+    ev.succeed(42)
+    sim.run()
+    assert ev.value == 42

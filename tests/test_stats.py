@@ -1,0 +1,91 @@
+"""Tests for the stats registry and lock accounting (repro.sim.stats)."""
+
+from repro.sim.engine import Simulator
+from repro.sim.observe import Observer
+from repro.sim.stats import Counter, LockStats, StatsRegistry
+from repro.sim.trace import Tracer
+
+
+class TestCounter:
+    def test_default_increment_and_amount(self):
+        c = Counter("ops")
+        c.add()
+        c.add(2.5)
+        assert c.value == 3.5
+
+
+class TestLockStats:
+    def test_uncontended_acquire_counts_no_wait(self):
+        stats = LockStats("cache_tree")
+        stats.record_acquire(0.0)
+        assert stats.acquisitions == 1
+        assert stats.contended == 0
+        assert stats.total_wait == 0.0
+
+    def test_contended_acquire_accumulates_wait(self):
+        stats = LockStats("cache_tree")
+        stats.record_acquire(0.0)
+        stats.record_acquire(12.5)
+        stats.record_acquire(7.5)
+        assert stats.acquisitions == 3
+        assert stats.contended == 2
+        assert stats.total_wait == 20.0
+
+    def test_record_hold(self):
+        stats = LockStats("inode")
+        stats.record_hold(4.0)
+        stats.record_hold(1.0)
+        assert stats.total_hold == 5.0
+
+
+class TestStatsRegistry:
+    def test_lock_stats_is_idempotent_per_category(self):
+        reg = StatsRegistry()
+        a = reg.lock_stats("cache_tree")
+        b = reg.lock_stats("cache_tree")
+        assert a is b
+
+    def test_total_lock_wait_sums_categories(self):
+        reg = StatsRegistry()
+        reg.lock_stats("a").record_acquire(10.0)
+        reg.lock_stats("b").record_acquire(15.0)
+        assert reg.total_lock_wait == 25.0
+
+    def test_lock_wait_fraction_clamps_at_one(self):
+        reg = StatsRegistry()
+        reg.lock_stats("a").record_acquire(500.0)
+        assert reg.lock_wait_fraction(1000.0) == 0.5
+        assert reg.lock_wait_fraction(100.0) == 1.0
+        assert reg.lock_wait_fraction(0.0) == 0.0
+        assert reg.lock_wait_fraction(-5.0) == 0.0
+
+    def test_snapshot_key_layout(self):
+        reg = StatsRegistry()
+        reg.count("syscalls.read", 3)
+        lock = reg.lock_stats("cache_tree")
+        lock.record_acquire(0.0)
+        lock.record_acquire(8.0)
+        snap = reg.snapshot()
+        assert snap["syscalls.read"] == 3
+        assert snap["lock.cache_tree.wait"] == 8.0
+        assert snap["lock.cache_tree.acquisitions"] == 2.0
+        assert snap["lock.cache_tree.contended"] == 1.0
+        # Exactly the counter keys plus three keys per lock category.
+        assert set(snap) == {"syscalls.read", "lock.cache_tree.wait",
+                             "lock.cache_tree.acquisitions",
+                             "lock.cache_tree.contended"}
+
+    def test_counter_get_default(self):
+        reg = StatsRegistry()
+        assert reg.get("missing") == 0.0
+        assert reg.get("missing", 7.0) == 7.0
+
+    def test_attach_observer_covers_existing_and_new_categories(self):
+        reg = StatsRegistry()
+        before = reg.lock_stats("early")
+        obs = Observer(Simulator(), Tracer())
+        reg.attach_observer(obs)
+        after = reg.lock_stats("late")
+        assert reg.observer is obs
+        assert before.observer is obs
+        assert after.observer is obs
