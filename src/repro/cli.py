@@ -15,11 +15,16 @@ Commands
     ``trace_event`` JSON plus one lock-contention profile per
     (workload, approach) run.  Open the ``.trace.json`` files in
     https://ui.perfetto.dev or ``chrome://tracing``.
+``check [names...]``
+    Run experiment presets at quick scale with the invariant auditor
+    attached (conservation, deadlock, leak checks), plus a randomized
+    concurrent stress harness.  Non-zero exit on any violation.
 
 Examples::
 
     python -m repro list
     python -m repro experiment fig2
+    python -m repro check fig2 fig5 --stress 5
     python -m repro trace fig2 --quick --out traces
     python -m repro workload --kind microbench --pattern rand \
         --approach OSonly --approach "CrossP[+predict+opt]"
@@ -35,7 +40,7 @@ from repro.harness import experiments as exp
 from repro.harness import runner
 from repro.harness.metrics import ApproachMetrics
 from repro.harness.report import format_table
-from repro.harness.runner import TraceSpec, tracing
+from repro.harness.runner import TraceSpec, auditing, tracing
 from repro.os.kernel import Kernel
 from repro.runtimes.factory import APPROACHES, build_runtime, needs_cross
 from repro.sim.trace import Tracer
@@ -72,13 +77,40 @@ def _cmd_list(_args: argparse.Namespace) -> int:
     return 0
 
 
-# Scaled-down knobs for quick smoke traces (CI and laptops): small
-# enough to finish in a couple of seconds while still exercising the
-# demand-read, prefetch, and lock paths.
+# Scaled-down knobs for quick smoke runs (CI, laptops, and the
+# ``repro check`` invariant sweep): small enough that each experiment
+# finishes in a couple of seconds while still exercising the
+# demand-read, prefetch, reclaim, and lock paths.  Every experiment has
+# a preset so ``repro check`` covers all of them.
 QUICK_ARGS: dict[str, dict] = {
     "fig2": dict(nthreads=4, ops_per_thread=50, num_keys=20_000),
-    "fig5": dict(nthreads=4),
-    "tab5": dict(nthreads=4, ops_per_thread=50),
+    "fig5": dict(nthreads=4, memory_bytes=48 * MB,
+                 cells=("shared-seq", "shared-rand")),
+    "fig6": dict(reader_counts=(2, 4), nwriters=2, file_bytes=48 * MB,
+                 memory_bytes=32 * MB, ops_per_thread=128),
+    "tab4": dict(nthreads=2, bytes_per_thread=16 * MB,
+                 memory_bytes=96 * MB),
+    "fig7a": dict(thread_counts=(2, 4), ops_per_thread=50,
+                  num_keys=20_000, memory_bytes=32 * MB),
+    "fig7b": dict(nthreads=2, num_keys=20_000, memory_bytes=32 * MB,
+                  ops_scale=0.05),
+    "fig7c": dict(ratios=("1:3", "1:1"), nthreads=2, ops_per_thread=60,
+                  num_keys=20_000),
+    "fig7d": dict(nthreads=2, num_keys=20_000, memory_bytes=32 * MB,
+                  ops_scale=0.05),
+    "tab5": dict(nthreads=4, ops_per_thread=50, num_keys=20_000,
+                 memory_bytes=32 * MB),
+    "fig10": dict(limits_kb=(32, 512), nthreads=2, ops_per_thread=50,
+                  num_keys=20_000, memory_bytes=32 * MB),
+    "fig8a": dict(nthreads=2, num_keys=20_000, memory_bytes=32 * MB,
+                  ops_scale=0.05),
+    "fig8b": dict(instances=2, threads_per_instance=2,
+                  bytes_per_instance=8 * MB, memory_bytes=32 * MB,
+                  personalities=("seqread", "randread")),
+    "fig9a": dict(workloads=("A", "C"), nthreads=2, ops_per_thread=100,
+                  num_keys=20_000, memory_bytes=32 * MB),
+    "fig9b": dict(ratios=("1:3", "1:1"), nthreads=2,
+                  total_bytes=64 * MB),
 }
 
 
@@ -107,12 +139,56 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     spec: Optional[TraceSpec] = None
     if getattr(args, "trace_out", None):
         spec = TraceSpec(out_dir=args.trace_out)
-    with tracing(spec):
+    with tracing(spec), auditing(bool(getattr(args, "audit", False))):
         _results, report = fn()
     print(report)
     if spec is not None and spec.results:
         print(f"\nTraces written to {spec.out_dir}/:")
         _print_trace_summaries(spec)
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Run experiment presets + the stress harness under the auditor."""
+    from repro.sim.audit import AuditError, run_stress
+
+    names = args.names or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}; "
+              f"choose from {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    failures = 0
+    warnings = 0
+    for name in names:
+        kwargs = QUICK_ARGS.get(name, {}) if not args.full else {}
+        try:
+            with auditing():
+                fn = EXPERIMENTS[name]
+                fn(**kwargs)
+        except AuditError as exc:
+            failures += 1
+            print(f"  FAIL {name}: {exc}")
+            continue
+        print(f"  ok   {name}")
+    for i in range(args.stress):
+        seed = args.seed + i
+        try:
+            summary = run_stress(seed)
+        except AuditError as exc:
+            failures += 1
+            print(f"  FAIL stress(seed={seed}): {exc}")
+            continue
+        warnings += len(summary["warnings"])
+        print(f"  ok   stress(seed={seed}): "
+              f"{summary['read_bytes'] >> 20} MB read, "
+              f"{summary['mirror_checks']} mirror checks")
+    if warnings:
+        print(f"{warnings} lock-order warning(s) recorded (non-fatal)")
+    if failures:
+        print(f"{failures} check(s) FAILED", file=sys.stderr)
+        return 1
+    print("all invariant checks passed")
     return 0
 
 
@@ -151,7 +227,8 @@ def _run_workload(kind: str, approach: str, *, nthreads: int,
                     cross_enabled=needs_cross(approach),
                     tracer=tracer,
                     emit_lock_holds=spec.emit_holds
-                    if spec is not None else False)
+                    if spec is not None else False,
+                    audit=runner.audit_enabled())
     runtime = build_runtime(approach, kernel)
 
     def _finish(metrics: ApproachMetrics) -> ApproachMetrics:
@@ -199,7 +276,7 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     if getattr(args, "trace_out", None):
         spec = TraceSpec(out_dir=args.trace_out)
     results = {}
-    with tracing(spec):
+    with tracing(spec), auditing(bool(getattr(args, "audit", False))):
         for approach in approaches:
             if approach not in APPROACHES:
                 print(f"unknown approach {approach!r}", file=sys.stderr)
@@ -232,7 +309,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--trace-out", default=None, metavar="DIR",
                        help="also export Chrome traces + lock profiles "
                             "into DIR")
+    p_exp.add_argument("--audit", action="store_true",
+                       help="run with the invariant auditor attached "
+                            "(fails on any conservation/deadlock/leak "
+                            "violation)")
     p_exp.set_defaults(fn=_cmd_experiment)
+
+    p_chk = sub.add_parser(
+        "check",
+        help="audit every experiment preset + a randomized stress run")
+    p_chk.add_argument("names", nargs="*",
+                       help="experiments to check (default: all)")
+    p_chk.add_argument("--full", action="store_true",
+                       help="run at full scale instead of the quick "
+                            "presets")
+    p_chk.add_argument("--stress", type=int, default=3, metavar="N",
+                       help="randomized stress-harness runs (default 3)")
+    p_chk.add_argument("--seed", type=int, default=0,
+                       help="base seed for the stress runs")
+    p_chk.set_defaults(fn=_cmd_check)
 
     p_tr = sub.add_parser(
         "trace", help="run an experiment with span tracing on")
@@ -262,6 +357,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_wl.add_argument("--trace-out", default=None, metavar="DIR",
                       help="also export Chrome traces + lock profiles "
                             "into DIR")
+    p_wl.add_argument("--audit", action="store_true",
+                      help="run with the invariant auditor attached")
     p_wl.set_defaults(fn=_cmd_workload)
     return parser
 

@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.harness.configs import MachineConfig, Scale
 from repro.harness.metrics import ApproachMetrics
-from repro.harness.report import format_matrix, format_table
+from repro.harness.report import format_matrix
 from repro.harness.runner import run_approaches
 from repro.workloads.microbench import (
     MicrobenchConfig,

@@ -5,7 +5,6 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.harness.configs import MachineConfig, Scale
-from repro.harness.metrics import ApproachMetrics
 from repro.harness.report import format_matrix, format_table
 from repro.harness.runner import run_approaches
 from repro.os.config import KernelConfig
@@ -83,13 +82,21 @@ def run_fig7b_patterns(nthreads: int = 8,
                        machine: Optional[MachineConfig] = None,
                        approaches: Sequence[str] = APPROACHES,
                        title: str = "Fig. 7b — db_bench access patterns "
-                                    "(kops/s, ext4 local)"
+                                    "(kops/s, ext4 local)",
+                       ops_scale: float = 1.0
                        ) -> tuple[dict, str]:
-    """Throughput per access pattern (also reused for 7d / 8a)."""
+    """Throughput per access pattern (also reused for 7d / 8a).
+
+    ``ops_scale`` scales the per-pattern op counts down for smoke runs
+    (``repro check`` / ``--quick``); 1.0 is the paper-faithful length.
+    """
     # Long enough that the aggressive modes reach steady state (short
     # runs only measure their bulk-load ramp).
     ops_for = {"readseq": 1, "readreverse": 1, "readrandom": 2500,
                "multireadrandom": 400, "readwhilescanning": 1200}
+    if ops_scale != 1.0:
+        ops_for = {p: max(1, int(n * ops_scale))
+                   for p, n in ops_for.items()}
     series: dict[str, dict[str, float]] = {a: {} for a in approaches}
     all_results = {}
     for pattern in PATTERNS:
@@ -138,26 +145,30 @@ def run_fig7c_memory(ratios: Sequence[str] = ("1:6", "1:3", "1:2", "1:1"),
 def run_fig7d_f2fs(nthreads: int = 8,
                    num_keys: int = DEFAULT_KEYS,
                    memory_bytes: int = DEFAULT_MEM,
-                   approaches: Sequence[str] = APPROACHES
+                   approaches: Sequence[str] = APPROACHES,
+                   ops_scale: float = 1.0
                    ) -> tuple[dict, str]:
     machine = MachineConfig.local_f2fs(Scale())
     return run_fig7b_patterns(
         nthreads=nthreads, num_keys=num_keys, memory_bytes=memory_bytes,
         machine=machine, approaches=approaches,
-        title="Fig. 7d — db_bench access patterns (kops/s, F2FS)")
+        title="Fig. 7d — db_bench access patterns (kops/s, F2FS)",
+        ops_scale=ops_scale)
 
 
 def run_fig8a_remote(nthreads: int = 8,
                      num_keys: int = DEFAULT_KEYS,
                      memory_bytes: int = DEFAULT_MEM,
-                     approaches: Sequence[str] = APPROACHES
+                     approaches: Sequence[str] = APPROACHES,
+                     ops_scale: float = 1.0
                      ) -> tuple[dict, str]:
     machine = MachineConfig.remote_nvmeof(Scale())
     return run_fig7b_patterns(
         nthreads=nthreads, num_keys=num_keys, memory_bytes=memory_bytes,
         machine=machine, approaches=approaches,
         title="Fig. 8a — db_bench access patterns (kops/s, "
-              "remote NVMe-oF)")
+              "remote NVMe-oF)",
+        ops_scale=ops_scale)
 
 
 def run_tab5_breakdown(nthreads: int = 8,

@@ -7,7 +7,7 @@ and figures report.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Mapping, Optional, Sequence
+from typing import Callable, Mapping, Optional, Sequence
 
 from repro.harness.metrics import ApproachMetrics
 

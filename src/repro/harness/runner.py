@@ -28,8 +28,9 @@ from repro.runtimes.factory import build_runtime, needs_cross
 from repro.sim.observe import export_chrome_trace
 from repro.sim.trace import Tracer
 
-__all__ = ["TraceSpec", "active_trace_spec", "finish_trace", "make_kernel",
-           "run_approaches", "run_one", "tracing"]
+__all__ = ["TraceSpec", "active_trace_spec", "audit_enabled", "auditing",
+           "finish_trace", "make_kernel", "run_approaches", "run_one",
+           "tracing"]
 
 WorkloadFn = Callable[[Kernel, IORuntime], ApproachMetrics]
 
@@ -70,6 +71,32 @@ def tracing(spec: Optional[TraceSpec]) -> Iterator[Optional[TraceSpec]]:
         yield spec
     finally:
         _active_spec = previous
+
+
+_audit_active = False
+
+
+def audit_enabled() -> bool:
+    return _audit_active
+
+
+@contextmanager
+def auditing(enabled: bool = True) -> Iterator[None]:
+    """Run every kernel built inside the block with the invariant
+    auditor attached (``repro check`` / ``--audit``).
+
+    Mirrors :func:`tracing`: a module-global flag lets the CLI wrap any
+    experiment function without changing its signature.  Each kernel's
+    ``shutdown`` then drains the simulation and runs the final audit,
+    raising :class:`repro.sim.audit.AuditError` on any violation.
+    """
+    global _audit_active
+    previous = _audit_active
+    _audit_active = enabled
+    try:
+        yield
+    finally:
+        _audit_active = previous
 
 
 def _slug(label: str) -> str:
@@ -143,6 +170,7 @@ def make_kernel(machine: MachineConfig, approach: str,
         cross_enabled=needs_cross(approach),
         tracer=tracer,
         emit_lock_holds=emit_lock_holds,
+        audit=_audit_active,
     )
 
 

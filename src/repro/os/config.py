@@ -7,7 +7,7 @@ Times are simulated microseconds; sizes are bytes or blocks as named.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["KernelConfig"]
 

@@ -19,14 +19,13 @@ is the visibility that lets CROSS-LIB skip redundant prefetch syscalls.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator, Optional
 
 from repro.os.bitmap import BlockBitmap
 from repro.os.inode import Inode
 from repro.os.vfs import VFS, File
 from repro.sim.sync import RwLock
-from repro.storage.device import PREFETCH
 
 __all__ = ["CacheInfo", "CrossOS", "CrossState"]
 
@@ -88,9 +87,15 @@ class CrossState:
         if self.bitmap.nblocks < self.inode.nblocks:
             self.bitmap.resize(self.inode.nblocks)
         self.bitmap.set_range(start, count)
+        aud = self.inode.cache.sim.auditor
+        if aud is not None:
+            aud.check_mirror(self, start, count)
 
     def _on_evict(self, start: int, count: int) -> None:
         self.bitmap.clear_range(start, count)
+        aud = self.inode.cache.sim.auditor
+        if aud is not None:
+            aud.check_mirror(self, start, count)
 
 
 class CrossOS:

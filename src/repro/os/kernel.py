@@ -17,6 +17,7 @@ from repro.os.inode import Inode
 from repro.os.memory import MemoryManager
 from repro.os.mmap import MmapRegion
 from repro.os.vfs import VFS, File
+from repro.sim.audit import Auditor
 from repro.sim.engine import Simulator
 from repro.sim.observe import Observer
 from repro.sim.stats import StatsRegistry
@@ -44,11 +45,18 @@ class Kernel:
                  device_factory: DeviceFactory = _default_device,
                  cross_enabled: bool = False,
                  tracer=None,
-                 emit_lock_holds: bool = False):
+                 emit_lock_holds: bool = False,
+                 audit: bool = False):
         self.config = config or KernelConfig()
         self.sim = Simulator()
         self.registry = StatsRegistry()
         self.tracer = tracer
+        # The invariant auditor must exist before any lock is built so
+        # every primitive registers with it; ``shutdown`` runs its final
+        # cross-layer check.  Off (None) it costs nothing.
+        self.auditor: Optional[Auditor] = None
+        if audit:
+            self.auditor = Auditor(self.sim)
         # Passing a tracer turns on the span layer: an Observer is wired
         # into the registry (and thus every lock category) and the
         # memory manager before any subsystem is built, so span-derived
@@ -69,6 +77,8 @@ class Kernel:
         self.vfs.tracer = tracer
         self.cross: Optional[CrossOS] = CrossOS(self.vfs) \
             if cross_enabled else None
+        if self.auditor is not None:
+            self.auditor.attach_kernel(self)
 
     # -- conveniences ----------------------------------------------------------
 
@@ -90,3 +100,8 @@ class Kernel:
 
     def shutdown(self) -> None:
         self.vfs.shutdown()
+        if self.auditor is not None:
+            # The flusher interrupt above is delivered through the event
+            # heap; drain it so the final audit sees a quiescent machine.
+            self.sim.run()
+            self.auditor.final_check(self)

@@ -100,9 +100,13 @@ class ChunkLru:
                 continue
             victim = key
             break
-        # Re-queue protected chunks at the MRU end, preserving them.
-        for key, entry in skipped:
+        # Restore protected chunks to the LRU head in their original
+        # order: protection must not rejuvenate them, or every reclaim
+        # scan would reset the age of whatever chunk an insert is
+        # touching and cold chunks would survive indefinitely.
+        for key, entry in reversed(skipped):
             self._inactive[key] = entry
+            self._inactive.move_to_end(key, last=False)
         return victim
 
     def _refill_inactive(self, batch: int = 32) -> None:
@@ -114,6 +118,11 @@ class ChunkLru:
     def iter_inactive_oldest(self) -> Iterator[ChunkKey]:
         """Oldest-first view of the inactive list (for targeted eviction)."""
         return iter(list(self._inactive.keys()))
+
+    def keys(self) -> Iterator[ChunkKey]:
+        """Every tracked chunk key (both lists; audit membership check)."""
+        yield from self._inactive.keys()
+        yield from self._active.keys()
 
 
 class PerInodeLru:
@@ -187,3 +196,7 @@ class PerInodeLru:
     def iter_inactive_oldest(self) -> Iterator[ChunkKey]:
         for lru in self._per_inode.values():
             yield from lru.iter_inactive_oldest()
+
+    def keys(self) -> Iterator[ChunkKey]:
+        for lru in self._per_inode.values():
+            yield from lru.keys()

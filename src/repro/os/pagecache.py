@@ -67,7 +67,6 @@ class PageCache:
         return iter(range(first, last + 1))
 
     def resident_chunks(self) -> Iterator[int]:
-        cb = self.mem.chunk_blocks
         for run_start, run_len in self.present.set_runs(0, self.nblocks or 1):
             yield from self._chunks(run_start, run_len)
 

@@ -137,7 +137,13 @@ class ReadaheadState:
 
     def note_sequential_pos(self, start: int, count: int) -> bool:
         """Track position on a fully cached read; returns True if it
-        continued the stream (keeps the window warm)."""
-        sequential = self.prev_end is not None and start == self.prev_end
+        continued the stream (keeps the window warm).
+
+        Uses the same forward-stride tolerance as :meth:`on_demand_miss`:
+        a short stride over cached blocks must not kill a window the
+        identical stride over a miss would have grown.
+        """
+        sequential = (self.prev_end is not None
+                      and 0 <= start - self.prev_end <= self.ra_pages)
         self.prev_end = start + count
         return sequential

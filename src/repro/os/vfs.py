@@ -22,7 +22,7 @@ overlap with an in-flight prefetch instead of re-reading the blocks.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator, Optional
 
 from repro.os.bitmap import BlockBitmap
@@ -449,7 +449,6 @@ class VFS:
         prefetch pipeline has claimed are waited for instead of re-read —
         the kernel's locked-page semantics.
         """
-        cfg = self.config
         cache = inode.cache
         inflight = self._inflight[inode.id]
         planned = self._planned[inode.id] if honor_planned else None
@@ -526,6 +525,12 @@ class VFS:
                     total_pages += n
             if prefetch:
                 self.registry.count("prefetch.pages", total_pages)
+            aud = self.sim.auditor
+            if aud is not None:
+                # Every device read the simulation issues flows through
+                # this loop; the auditor balances it against the device's
+                # own byte counter at final check.
+                aud.count_fill_read(total_pages * bs)
             yield self.sim.all_of(events)
             # Insert under the tree write lock: this is where prefetch
             # and regular I/O contend in the baseline design.

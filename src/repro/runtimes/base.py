@@ -11,11 +11,11 @@ inside a simulated process.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Generator
 
 from repro.os.kernel import Kernel
 from repro.os.mmap import MmapRegion
-from repro.os.vfs import File, ReadResult
+from repro.os.vfs import File
 
 __all__ = [
     "HINT_NORMAL",

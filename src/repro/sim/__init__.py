@@ -26,6 +26,7 @@ Typical usage::
     sim.run()
 """
 
+from repro.sim.audit import AuditError, Auditor
 from repro.sim.engine import (
     AllOf,
     AnyOf,
@@ -52,6 +53,8 @@ from repro.sim.trace import TraceEvent, Tracer
 __all__ = [
     "AllOf",
     "AnyOf",
+    "AuditError",
+    "Auditor",
     "Condition",
     "ContentionProfile",
     "Counter",

@@ -215,6 +215,12 @@ class Process(Event):
     def _resume(self, trigger: Event) -> None:
         self._waiting_on = None
         sim = self.sim
+        # The generator below runs in this process's context; sync
+        # primitives and the auditor read ``current_process`` to learn
+        # who is acquiring/waiting.  _resume never re-enters (triggers
+        # always round-trip through the event heap), so plain
+        # set-and-clear is safe.
+        sim.current_process = self
         while True:
             try:
                 if trigger.ok:
@@ -222,14 +228,23 @@ class Process(Event):
                 else:
                     target = self.gen.throw(trigger.value)
             except StopIteration as stop:
+                sim.current_process = None
+                if sim.auditor is not None:
+                    sim.auditor.process_exited(self)
                 self.succeed(stop.value)
                 return
             except Interrupt:
                 # An uncaught interrupt terminates the process normally;
                 # this is how daemon workers are shut down at teardown.
+                sim.current_process = None
+                if sim.auditor is not None:
+                    sim.auditor.process_exited(self)
                 self.succeed(None)
                 return
             except Exception as exc:
+                sim.current_process = None
+                if sim.auditor is not None:
+                    sim.auditor.process_exited(self)
                 self.fail(exc)
                 return
             if target is None:
@@ -257,6 +272,7 @@ class Process(Event):
                 continue
             target.callbacks.append(self._resume)
             self._waiting_on = target
+            sim.current_process = None
             return
 
 
@@ -285,6 +301,13 @@ class Simulator:
         self._heap: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._processes: list[Process] = []
+        # The process whose generator is executing right now (None
+        # between resumptions).  Sync primitives use it to attribute
+        # acquires/waits to a simulated thread.
+        self.current_process: Optional[Process] = None
+        # Optional invariant auditor (repro.sim.audit.Auditor).  When
+        # None — the default — every audit site is a single None check.
+        self.auditor: Optional[Any] = None
 
     # -- scheduling ------------------------------------------------------
 

@@ -7,6 +7,12 @@ lock-contention numbers: the cache-tree rw-lock, inode rw-lock, and
 Cross-OS bitmap rw-lock are all instances of :class:`RwLock` wired to
 different stat categories.
 
+When an :class:`~repro.sim.audit.Auditor` is attached to the simulator,
+every primitive additionally reports acquire/block/grant/release
+transitions so the auditor can maintain its wait-for graph (deadlock
+detection), lock-order history, and leak checks.  With no auditor each
+hook site costs one ``None`` check.
+
 Usage inside a process generator::
 
     yield lock.acquire()
@@ -42,6 +48,8 @@ class Lock:
         self._locked = False
         self._waiters: Deque[tuple[Event, float]] = deque()
         self._acquired_at = 0.0
+        if sim.auditor is not None:
+            sim.auditor.lock_registered(self)
 
     @property
     def locked(self) -> bool:
@@ -59,9 +67,13 @@ class Lock:
             self._acquired_at = self.sim.now
             if self.stats is not None:
                 self.stats.record_acquire(0.0)
+            if self.sim.auditor is not None:
+                self.sim.auditor.lock_acquired(self)
             return None
         ev = Event(self.sim)
         self._waiters.append((ev, self.sim.now))
+        if self.sim.auditor is not None:
+            self.sim.auditor.lock_blocked(self, ev)
         return ev
 
     def release(self) -> None:
@@ -73,6 +85,8 @@ class Lock:
             if obs is not None:
                 obs.lock_hold(self.stats.category, self._acquired_at,
                               lock=self.name)
+        if self.sim.auditor is not None:
+            self.sim.auditor.lock_released(self)
         if self._waiters:
             ev, enqueued = self._waiters.popleft()
             self._acquired_at = self.sim.now
@@ -82,6 +96,8 @@ class Lock:
                 if obs is not None and self.sim.now > enqueued:
                     obs.lock_wait(self.stats.category, enqueued,
                                   lock=self.name)
+            if self.sim.auditor is not None:
+                self.sim.auditor.lock_granted(self, ev)
             ev.succeed()
         else:
             self._locked = False
@@ -102,6 +118,12 @@ class RwLock:
     Writer preference mirrors the kernel rw-semaphore behaviour that makes
     prefetch inserts (writers on the cache tree) block readers — the
     contention pathology §3.2 of the paper describes.
+
+    Reader *hold* time is recorded per reader grant: grant timestamps are
+    queued FIFO and matched to releases.  The aggregate
+    ``LockStats.total_hold`` is exact regardless of release order (the
+    total is sum-of-releases minus sum-of-grants, which is invariant to
+    the pairing); only per-span durations assume FIFO release.
     """
 
     def __init__(self, sim: Simulator, name: str = "rwlock",
@@ -114,6 +136,10 @@ class RwLock:
         self._wait_readers: Deque[tuple[Event, float]] = deque()
         self._wait_writers: Deque[tuple[Event, float]] = deque()
         self._writer_since = 0.0
+        # Grant times of current read holders (FIFO-paired at release).
+        self._reader_since: Deque[float] = deque()
+        if sim.auditor is not None:
+            sim.auditor.lock_registered(self)
 
     @property
     def read_locked(self) -> bool:
@@ -129,9 +155,14 @@ class RwLock:
             self._readers += 1
             if self.stats is not None:
                 self.stats.record_acquire(0.0)
+                self._reader_since.append(self.sim.now)
+            if self.sim.auditor is not None:
+                self.sim.auditor.lock_acquired(self, mode="read")
             return None
         ev = Event(self.sim)
         self._wait_readers.append((ev, self.sim.now))
+        if self.sim.auditor is not None:
+            self.sim.auditor.lock_blocked(self, ev, mode="read")
         return ev
 
     def acquire_write(self) -> Optional[Event]:
@@ -141,14 +172,26 @@ class RwLock:
             self._writer_since = self.sim.now
             if self.stats is not None:
                 self.stats.record_acquire(0.0)
+            if self.sim.auditor is not None:
+                self.sim.auditor.lock_acquired(self, mode="write")
             return None
         ev = Event(self.sim)
         self._wait_writers.append((ev, self.sim.now))
+        if self.sim.auditor is not None:
+            self.sim.auditor.lock_blocked(self, ev, mode="write")
         return ev
 
     def release_read(self) -> None:
         if self._readers <= 0:
             raise SimulationError(f"release_read of unheld {self.name!r}")
+        if self.stats is not None and self._reader_since:
+            since = self._reader_since.popleft()
+            self.stats.record_hold(self.sim.now - since)
+            obs = self.stats.observer
+            if obs is not None:
+                obs.lock_hold(self.stats.category, since, lock=self.name)
+        if self.sim.auditor is not None:
+            self.sim.auditor.lock_released(self, mode="read")
         self._readers -= 1
         if self._readers == 0:
             self._grant()
@@ -162,6 +205,8 @@ class RwLock:
             if obs is not None:
                 obs.lock_hold(self.stats.category, self._writer_since,
                               lock=self.name, writer=True)
+        if self.sim.auditor is not None:
+            self.sim.auditor.lock_released(self, mode="write")
         self._writer = False
         self._grant()
 
@@ -179,12 +224,18 @@ class RwLock:
             self._writer = True
             self._writer_since = self.sim.now
             self._granted_after_wait(enqueued)
+            if self.sim.auditor is not None:
+                self.sim.auditor.lock_granted(self, ev, mode="write")
             ev.succeed()
             return
         while self._wait_readers:
             ev, enqueued = self._wait_readers.popleft()
             self._readers += 1
             self._granted_after_wait(enqueued)
+            if self.stats is not None:
+                self._reader_since.append(self.sim.now)
+            if self.sim.auditor is not None:
+                self.sim.auditor.lock_granted(self, ev, mode="read")
             ev.succeed()
 
     def read_held(self, body: Generator) -> Generator:
@@ -217,6 +268,8 @@ class Semaphore:
         self.stats = stats
         self._in_use = 0
         self._waiters: Deque[tuple[Event, float]] = deque()
+        if sim.auditor is not None:
+            sim.auditor.lock_registered(self)
 
     @property
     def in_use(self) -> int:
@@ -236,14 +289,20 @@ class Semaphore:
             self._in_use += 1
             if self.stats is not None:
                 self.stats.record_acquire(0.0)
+            if self.sim.auditor is not None:
+                self.sim.auditor.lock_acquired(self, mode="slot")
             return None
         ev = Event(self.sim)
         self._waiters.append((ev, self.sim.now))
+        if self.sim.auditor is not None:
+            self.sim.auditor.lock_blocked(self, ev, mode="slot")
         return ev
 
     def release(self) -> None:
         if self._in_use <= 0:
             raise SimulationError(f"release of idle semaphore {self.name!r}")
+        if self.sim.auditor is not None:
+            self.sim.auditor.lock_released(self, mode="slot")
         if self._waiters:
             ev, enqueued = self._waiters.popleft()
             if self.stats is not None:
@@ -252,6 +311,8 @@ class Semaphore:
                 if obs is not None and self.sim.now > enqueued:
                     obs.lock_wait(self.stats.category, enqueued,
                                   lock=self.name)
+            if self.sim.auditor is not None:
+                self.sim.auditor.lock_granted(self, ev, mode="slot")
             ev.succeed()
         else:
             self._in_use -= 1

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.sim.engine import Event, Simulator
@@ -50,7 +50,18 @@ class IORequest:
 
 @dataclass
 class DeviceStats:
-    """Aggregate device telemetry for reports."""
+    """Aggregate device telemetry for reports.
+
+    Per-request service time is accounted in three components so they
+    can be reasoned about separately: ``access_time`` (seek/flash access
+    latency, overlappable across the queue), ``channel_wait`` (time a
+    request's transfer waited for the serialized per-direction channel),
+    and ``transfer_time`` (actual channel occupancy).  Summing whole
+    request latencies would double-count the overlapped portions and
+    report utilizations above 100%; per-direction ``transfer_time`` is
+    the only component that is serialized, so it alone bounds channel
+    utilization.
+    """
 
     reads: int = 0
     writes: int = 0
@@ -59,23 +70,50 @@ class DeviceStats:
     prefetch_reads: int = 0
     prefetch_bytes: int = 0
     sequential_hits: int = 0
-    busy_time: float = 0.0
+    access_time: float = 0.0
+    channel_wait: float = 0.0
+    transfer_time: float = 0.0
+    read_transfer_time: float = 0.0
+    write_transfer_time: float = 0.0
     queue_wait: float = 0.0
 
-    def record(self, req: IORequest, waited: float, service: float,
+    @property
+    def busy_time(self) -> float:
+        """Total per-request service time (components may overlap across
+        concurrent requests — do not divide by wall clock)."""
+        return self.access_time + self.channel_wait + self.transfer_time
+
+    def utilization(self, elapsed: float) -> float:
+        """Occupancy of the busier transfer channel over ``elapsed`` µs.
+
+        Transfers are serialized per direction, so each direction's total
+        is ≤ elapsed once the device is quiescent; the audit asserts this
+        never exceeds 1.0.
+        """
+        if elapsed <= 0:
+            return 0.0
+        return max(self.read_transfer_time,
+                   self.write_transfer_time) / elapsed
+
+    def record(self, req: IORequest, waited: float, access: float,
+               channel_wait: float, transfer: float,
                sequential: bool) -> None:
         if req.kind == READ:
             self.reads += 1
             self.read_bytes += req.nbytes
+            self.read_transfer_time += transfer
             if req.priority == PREFETCH:
                 self.prefetch_reads += 1
                 self.prefetch_bytes += req.nbytes
         else:
             self.writes += 1
             self.write_bytes += req.nbytes
+            self.write_transfer_time += transfer
         if sequential:
             self.sequential_hits += 1
-        self.busy_time += service
+        self.access_time += access
+        self.channel_wait += channel_wait
+        self.transfer_time += transfer
         self.queue_wait += waited
 
 
@@ -238,7 +276,8 @@ class StorageDevice:
             finish = start_xfer + transfer
             self._write_free = finish
 
-        self.stats.record(req, waited, finish - now, sequential)
+        self.stats.record(req, waited, latency, start_xfer - access_done,
+                          transfer, sequential)
         if self.registry is not None:
             self.registry.count(f"device.{req.kind}_bytes", req.nbytes)
 

@@ -21,7 +21,7 @@ paper reports aggregate write throughput as reader count grows.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator
 
 from repro.harness.metrics import ApproachMetrics, collect_metrics

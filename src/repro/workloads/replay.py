@@ -19,7 +19,7 @@ thread straces concurrently.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator, Iterable, Optional, Sequence
 
 from repro.harness.metrics import ApproachMetrics, collect_metrics

@@ -12,7 +12,6 @@ it, the hottest keys would all sit in the first SST file.
 
 from __future__ import annotations
 
-import math
 import random
 from typing import Optional
 

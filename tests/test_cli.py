@@ -107,3 +107,26 @@ class TestTraceCommand:
         assert "Traces written to" in capsys.readouterr().out
         assert list(out_dir.glob("*.trace.json"))
         assert list(out_dir.glob("*.lockprof.json"))
+
+
+class TestCheckCommand:
+    def test_check_one_experiment_with_stress(self, capsys):
+        assert main(["check", "fig2", "--stress", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "ok   fig2" in out
+        assert "stress(seed=0)" in out
+        assert "all invariant checks passed" in out
+
+    def test_check_unknown_name(self, capsys):
+        assert main(["check", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_check_quick_presets_cover_every_experiment(self):
+        from repro.cli import QUICK_ARGS
+        assert set(QUICK_ARGS) == set(EXPERIMENTS)
+
+    def test_workload_audit_flag(self, capsys):
+        code = main(["workload", "--kind", "microbench",
+                     "--pattern", "seq", "--threads", "2",
+                     "--memory-mb", "32", "--data-mb", "16", "--audit"])
+        assert code == 0

@@ -1,7 +1,5 @@
 """Tests for Cross-OS: cache bitmaps and readahead_info."""
 
-import pytest
-
 from repro.os.crossos import CacheInfo
 from repro.os.kernel import Kernel
 from tests.conftest import drive
@@ -54,7 +52,7 @@ class TestBitmapMirroring:
 
 class TestReadaheadInfo:
     def test_prefetch_and_export(self, kernel):
-        inode = kernel.create_file("/a", 8 * MB)
+        kernel.create_file("/a", 8 * MB)
 
         def body():
             f = kernel.vfs.open_sync("/a")
@@ -117,6 +115,56 @@ class TestReadaheadInfo:
         assert info.prefetch_submitted == 0
         assert kernel.device.stats.reads == 0
         assert info.completion.processed  # immediately done
+
+    def test_fetch_bitmap_only_leaves_planned_untouched(self, kernel):
+        """Bitmap-only calls are pure control plane: nothing may be
+        claimed in the planned bitmap, or later prefetches would skip
+        blocks nobody is actually fetching."""
+        inode = kernel.create_file("/a", 2 * MB)
+
+        def body():
+            f = kernel.vfs.open_sync("/a")
+            info = yield from kernel.cross.readahead_info(
+                f, CacheInfo(offset=0, nbytes=2 * MB,
+                             fetch_bitmap_only=True))
+            return info
+
+        info = drive(kernel, body())
+        assert info.prefetch_submitted == 0
+        assert kernel.vfs._planned[inode.id].count_set() == 0
+        assert kernel.vfs._inflight[inode.id].count_set() == 0
+
+    def test_bitmap_window_beyond_eof_clamps(self, kernel):
+        inode = kernel.create_file("/a", 1 * MB)
+        nblocks = inode.nblocks
+
+        def body():
+            f = kernel.vfs.open_sync("/a")
+            info = yield from kernel.cross.readahead_info(
+                f, CacheInfo(offset=0, nbytes=0, fetch_bitmap_only=True,
+                             bitmap_window=(nblocks - 8, 1000)))
+            return info
+
+        info = drive(kernel, body())
+        assert info.bitmap_start == nblocks - 8
+        assert info.bitmap_count == 8  # clamped to EOF, not 1000
+
+    def test_caller_cap_above_kernel_cap_still_truncates(self, kernel):
+        """A caller asking for a bigger per-request cap than the kernel
+        allows must still be truncated at the kernel cap."""
+        cap = kernel.config.cross_max_request_bytes
+        kernel.create_file("/a", cap * 4)
+
+        def body():
+            f = kernel.vfs.open_sync("/a")
+            info = yield from kernel.cross.readahead_info(
+                f, CacheInfo(offset=0, nbytes=cap * 4,
+                             max_request_bytes=cap * 2))
+            return info
+
+        info = drive(kernel, body())
+        assert info.truncated
+        assert info.prefetch_submitted == cap // kernel.config.block_size
 
     def test_request_truncated_at_cap(self, kernel):
         cap = kernel.config.cross_max_request_bytes

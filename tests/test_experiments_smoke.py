@@ -4,8 +4,6 @@ produces a printable report with the expected rows/columns.
 (The full-size shape assertions live in benchmarks/.)
 """
 
-import pytest
-
 from repro.harness.experiments import (
     run_fig2_motivation,
     run_fig5_microbench,

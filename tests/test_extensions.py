@@ -14,7 +14,7 @@ from repro.crosslib.runtime import CrossLibRuntime
 from repro.os.kernel import Kernel
 from repro.runtimes.base import HINT_RANDOM
 from repro.runtimes.leap import LeapRuntime
-from repro.sim.trace import TraceEvent, Tracer
+from repro.sim.trace import Tracer
 from tests.conftest import drive
 
 KB = 1 << 10

@@ -3,7 +3,6 @@ reference model of cache contents, plus determinism checks."""
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.os.kernel import Kernel

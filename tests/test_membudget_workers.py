@@ -7,11 +7,9 @@ from repro.crosslib.membudget import (
     MODE_AGGRESSIVE,
     MODE_NORMAL,
     MODE_OFF,
-    MemoryBudget,
 )
 from repro.crosslib.runtime import CrossLibRuntime
 from repro.crosslib.workers import PrefetchRequest
-from repro.os.kernel import Kernel
 from repro.runtimes.base import HINT_RANDOM
 from tests.conftest import drive
 

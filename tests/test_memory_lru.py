@@ -61,6 +61,33 @@ class TestChunkLru:
         assert victim == (1, 1)
         assert (1, 0) in lru
 
+    def test_excluded_chunk_stays_coldest(self):
+        """Protection must not rejuvenate: once the exclusion is lifted,
+        the previously protected chunk is the very next victim."""
+        lru = ChunkLru()
+        for chunk in range(4):
+            lru.inserted((1, chunk))
+        assert lru.pop_victim(exclude={(1, 0)}) == (1, 1)
+        assert lru.pop_victim() == (1, 0)
+
+    def test_multiple_excluded_keep_relative_order(self):
+        lru = ChunkLru()
+        for chunk in range(5):
+            lru.inserted((1, chunk))
+        assert lru.pop_victim(exclude={(1, 0), (1, 1)}) == (1, 2)
+        # Both skipped chunks went back to the head in original order.
+        assert lru.pop_victim() == (1, 0)
+        assert lru.pop_victim() == (1, 1)
+        assert lru.pop_victim() == (1, 3)
+
+    def test_keys_covers_both_lists(self):
+        lru = ChunkLru()
+        lru.inserted((1, 0))
+        lru.inserted((1, 1))
+        lru.touched((1, 0))
+        lru.touched((1, 0))  # promoted to active
+        assert set(lru.keys()) == {(1, 0), (1, 1)}
+
     def test_contains(self):
         lru = ChunkLru()
         assert (1, 0) not in lru

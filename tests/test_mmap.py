@@ -1,6 +1,5 @@
 """Tests for the mmap fault path."""
 
-from repro.os.kernel import Kernel
 from tests.conftest import drive
 
 KB = 1 << 10

@@ -5,8 +5,7 @@ import pytest
 from repro.crosslib.config import CrossLibConfig
 from repro.crosslib.fdtable import UserFd, UserFileState
 from repro.os.kernel import Kernel, KernelConfig
-from repro.sim import Simulator, StatsRegistry
-from tests.conftest import drive
+from repro.sim import StatsRegistry
 
 KB = 1 << 10
 MB = 1 << 20

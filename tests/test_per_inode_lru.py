@@ -1,7 +1,5 @@
 """Tests for the per-inode LRU reclaim extension."""
 
-import pytest
-
 from repro.os.config import KernelConfig
 from repro.os.kernel import Kernel
 from repro.os.lru import PerInodeLru

@@ -16,7 +16,7 @@ class TestWindowGrowth:
         ra.on_demand_miss(0, 4, 10_000)
         pos = 4
         for _ in range(4):
-            plan = ra.on_demand_miss(pos, 4, 10_000)
+            ra.on_demand_miss(pos, 4, 10_000)
             pos += 4
         assert ra.window == 32  # capped at ra_pages
 
@@ -97,3 +97,33 @@ class TestHints:
         ra.on_demand_miss(0, 4, 10_000)
         assert ra.note_sequential_pos(4, 4) is True
         assert ra.note_sequential_pos(100, 4) is False
+
+    def test_cached_short_stride_keeps_stream(self):
+        """note_sequential_pos shares on_demand_miss's forward-stride
+        tolerance: a gap of up to ra_pages over cached blocks keeps the
+        window warm instead of killing the stream."""
+        ra = ReadaheadState(ra_pages=32)
+        ra.on_demand_miss(0, 4, 10_000)    # prev_end = 4
+        assert ra.note_sequential_pos(8, 4) is True    # gap 4
+        assert ra.note_sequential_pos(12 + 32, 4) is True  # gap == cap
+        prev_end = 12 + 32 + 4
+        assert ra.note_sequential_pos(prev_end + 33, 4) is False
+
+    def test_cached_backward_stride_breaks_stream(self):
+        ra = ReadaheadState(ra_pages=32)
+        ra.on_demand_miss(100, 4, 10_000)  # prev_end = 104
+        assert ra.note_sequential_pos(50, 4) is False
+
+    def test_stride_tolerance_matches_miss_path(self):
+        """The same short forward stride that grows the window on a miss
+        must keep the stream on a cached read (the S2 inconsistency)."""
+        stride_gap = 16  # < ra_pages
+        ra_miss = ReadaheadState(ra_pages=32)
+        ra_miss.on_demand_miss(0, 4, 10_000)
+        plan = ra_miss.on_demand_miss(4 + stride_gap, 4, 10_000)
+        miss_sequential = plan.sync_count > 0 and ra_miss.window > 0
+
+        ra_hit = ReadaheadState(ra_pages=32)
+        ra_hit.on_demand_miss(0, 4, 10_000)
+        hit_sequential = ra_hit.note_sequential_pos(4 + stride_gap, 4)
+        assert hit_sequential == miss_sequential is True

@@ -289,3 +289,48 @@ class TestQueue:
         q.put("x")
         assert q.try_get() == (True, "x")
         assert len(q) == 0
+
+
+class TestRwLockHoldAccounting:
+    """Reader hold times must be charged just like writer holds; the
+    Table-1 lock-profile breakdown depends on it."""
+
+    def test_reader_holds_recorded(self, sim):
+        registry = StatsRegistry()
+        rw = RwLock(sim, stats=registry.lock_stats("tree"))
+
+        def reader(delay):
+            yield rw.acquire_read()
+            yield sim.timeout(delay)
+            rw.release_read()
+
+        sim.process(reader(5))
+        sim.process(reader(7))
+        sim.run()
+        assert registry.lock_stats("tree").total_hold == 12.0
+
+    def test_reader_hold_measured_from_grant(self, sim):
+        """A reader queued behind a writer is charged from grant time,
+        not from when it started waiting."""
+        registry = StatsRegistry()
+        rw = RwLock(sim, stats=registry.lock_stats("tree"))
+
+        def writer():
+            yield rw.acquire_write()
+            yield sim.timeout(10)
+            rw.release_write()
+
+        def reader():
+            yield sim.timeout(1)      # arrive while writer holds
+            yield rw.acquire_read()   # granted at t=10
+            yield sim.timeout(3)
+            rw.release_read()         # t=13
+
+        sim.process(writer())
+        sim.process(reader())
+        sim.run()
+        stats = registry.lock_stats("tree")
+        # writer held 10, reader held 3; a wait-time-as-hold bug would
+        # report 10 + 9 + 3 instead.
+        assert stats.total_hold == 13.0
+        assert stats.total_wait == 9.0

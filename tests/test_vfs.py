@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.os.kernel import Kernel
 from repro.os.vfs import (
     FADV_DONTNEED,
     FADV_RANDOM,
