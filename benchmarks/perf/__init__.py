@@ -1,0 +1,7 @@
+"""Simulation-core performance suite (wall-clock + events/sec).
+
+Unlike the paper-figure benchmarks one directory up, these measure the
+*simulator*, not the simulated system.  See ``run.py`` and
+``repro.harness.bench`` for the benchmark definitions, and the
+committed ``BENCH_sim_core.json`` at the repo root for the trajectory.
+"""

@@ -1,0 +1,81 @@
+"""Refresh BENCH_sim_core.json: run the perf suite, keep the baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/run.py [--repeat N] [--jobs N]
+        [--doc BENCH_sim_core.json] [--gate]
+
+The document at ``--doc`` keeps two sections: ``baseline`` (the numbers
+captured at the pre-optimization seed — never overwritten by this
+script) and ``current`` (replaced with this run).  ``--gate``
+additionally fails (exit 1) if any bench's events/sec regressed more
+than 30% against the document's previous ``current`` section, the same
+check CI runs via ``repro bench --baseline``.
+
+Wall-clock numbers are machine- and load-dependent; ``--repeat`` (best
+of N) is the noise control.  Compare ratios, not absolute numbers,
+across machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+from repro.harness.bench import (  # noqa: E402
+    compare_to_baseline,
+    format_suite,
+    run_suite,
+)
+
+DEFAULT_DOC = os.path.join(
+    os.path.dirname(__file__), "..", "..", "BENCH_sim_core.json")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeat", type=int, default=5,
+                        help="best-of-N per bench (default 5)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (only useful multi-core)")
+    parser.add_argument("--doc", default=DEFAULT_DOC,
+                        help="trajectory document to update")
+    parser.add_argument("--gate", action="store_true",
+                        help="fail on >30%% events/sec regression vs "
+                             "the document's previous current section")
+    args = parser.parse_args(argv)
+
+    doc_path = os.path.abspath(args.doc)
+    doc: dict = {}
+    if os.path.exists(doc_path):
+        with open(doc_path) as fh:
+            doc = json.load(fh)
+
+    suite = run_suite(repeat=args.repeat, jobs=args.jobs)
+    print(format_suite(suite))
+
+    if args.gate and doc.get("current"):
+        failures = compare_to_baseline(suite, doc, max_regression=0.3)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print("regression gate passed")
+
+    doc.setdefault("schema", "bench_sim_core_doc/v1")
+    doc.setdefault("baseline", suite)   # first ever run becomes baseline
+    doc["current"] = suite
+    with open(doc_path, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    print(f"updated {doc_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,12 +19,19 @@ Commands
     Run experiment presets at quick scale with the invariant auditor
     attached (conservation, deadlock, leak checks), plus a randomized
     concurrent stress harness.  Non-zero exit on any violation.
+    ``--jobs N`` fans the presets out across worker processes with
+    output identical to a serial run.
+``bench [names...]``
+    Run the simulation-core performance suite (wall seconds and
+    simulated events/sec per benchmark); ``--baseline`` gates against
+    a committed BENCH_sim_core.json.
 
 Examples::
 
     python -m repro list
     python -m repro experiment fig2
-    python -m repro check fig2 fig5 --stress 5
+    python -m repro check fig2 fig5 --stress 5 --jobs 8
+    python -m repro bench --baseline BENCH_sim_core.json
     python -m repro trace fig2 --quick --out traces
     python -m repro workload --kind microbench --pattern rand \
         --approach OSonly --approach "CrossP[+predict+opt]"
@@ -148,9 +155,38 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_task(item: tuple) -> tuple:
+    """One ``repro check`` unit, runnable in a worker process.
+
+    Returns ``(line, failed, warning_count)``; the caller prints the
+    lines in input order, so serial and ``--jobs N`` output match
+    byte for byte.
+    """
+    from repro.sim.audit import AuditError, run_stress
+
+    kind, payload = item
+    if kind == "experiment":
+        name, kwargs = payload
+        try:
+            with auditing():
+                EXPERIMENTS[name](**kwargs)
+        except AuditError as exc:
+            return (f"  FAIL {name}: {exc}", True, 0)
+        return (f"  ok   {name}", False, 0)
+    seed = payload
+    try:
+        summary = run_stress(seed)
+    except AuditError as exc:
+        return (f"  FAIL stress(seed={seed}): {exc}", True, 0)
+    return (f"  ok   stress(seed={seed}): "
+            f"{summary['read_bytes'] >> 20} MB read, "
+            f"{summary['mirror_checks']} mirror checks",
+            False, len(summary["warnings"]))
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     """Run experiment presets + the stress harness under the auditor."""
-    from repro.sim.audit import AuditError, run_stress
+    from repro.harness.parallel import run_parallel
 
     names = args.names or list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -158,37 +194,59 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}; "
               f"choose from {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
+    items: list[tuple] = [
+        ("experiment",
+         (name, QUICK_ARGS.get(name, {}) if not args.full else {}))
+        for name in names
+    ]
+    items.extend(("stress", args.seed + i) for i in range(args.stress))
+    outcomes = run_parallel(_check_task, items, jobs=args.jobs)
     failures = 0
     warnings = 0
-    for name in names:
-        kwargs = QUICK_ARGS.get(name, {}) if not args.full else {}
-        try:
-            with auditing():
-                fn = EXPERIMENTS[name]
-                fn(**kwargs)
-        except AuditError as exc:
-            failures += 1
-            print(f"  FAIL {name}: {exc}")
-            continue
-        print(f"  ok   {name}")
-    for i in range(args.stress):
-        seed = args.seed + i
-        try:
-            summary = run_stress(seed)
-        except AuditError as exc:
-            failures += 1
-            print(f"  FAIL stress(seed={seed}): {exc}")
-            continue
-        warnings += len(summary["warnings"])
-        print(f"  ok   stress(seed={seed}): "
-              f"{summary['read_bytes'] >> 20} MB read, "
-              f"{summary['mirror_checks']} mirror checks")
+    for line, failed, nwarnings in outcomes:
+        print(line)
+        failures += int(failed)
+        warnings += nwarnings
     if warnings:
         print(f"{warnings} lock-order warning(s) recorded (non-fatal)")
     if failures:
         print(f"{failures} check(s) FAILED", file=sys.stderr)
         return 1
     print("all invariant checks passed")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the simulation-core perf suite; optional regression gate."""
+    import json
+
+    from repro.harness import bench as benchmod
+
+    try:
+        doc = benchmod.run_suite(args.names or None, scale=args.scale,
+                                 repeat=args.repeat, jobs=args.jobs)
+    except KeyError as exc:
+        print(f"{exc.args[0]}; choose from "
+              f"{', '.join(benchmod.BENCHES)}", file=sys.stderr)
+        return 2
+    print(benchmod.format_suite(doc))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"results written to {args.out}")
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        failures = benchmod.compare_to_baseline(
+            doc, baseline, max_regression=args.max_regression)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"regression gate passed "
+              f"(budget {100 * args.max_regression:.0f}% vs "
+              f"{args.baseline})")
     return 0
 
 
@@ -327,7 +385,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="randomized stress-harness runs (default 3)")
     p_chk.add_argument("--seed", type=int, default=0,
                        help="base seed for the stress runs")
+    p_chk.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="run presets across N worker processes "
+                            "(results are merged in order, identical "
+                            "to a serial run)")
     p_chk.set_defaults(fn=_cmd_check)
+
+    p_bn = sub.add_parser(
+        "bench",
+        help="run the simulation-core perf suite (events/sec)")
+    p_bn.add_argument("names", nargs="*",
+                      help="benchmarks to run (default: all)")
+    p_bn.add_argument("--scale", type=int, default=1,
+                      help="work multiplier for the engine "
+                           "microbenchmarks (default 1)")
+    p_bn.add_argument("--repeat", type=int, default=3, metavar="N",
+                      help="best-of-N timing per bench (default 3)")
+    p_bn.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="fan benches out across N worker processes")
+    p_bn.add_argument("--out", default=None, metavar="FILE",
+                      help="write the suite results as JSON")
+    p_bn.add_argument("--baseline", default=None, metavar="FILE",
+                      help="compare events/sec against a committed "
+                           "BENCH_sim_core.json; non-zero exit on "
+                           "regression")
+    p_bn.add_argument("--max-regression", type=float, default=0.3,
+                      metavar="FRAC",
+                      help="allowed events/sec drop vs baseline "
+                           "(default 0.3 = 30%%)")
+    p_bn.set_defaults(fn=_cmd_bench)
 
     p_tr = sub.add_parser(
         "trace", help="run an experiment with span tracing on")

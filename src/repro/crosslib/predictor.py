@@ -38,6 +38,11 @@ class PatternState(enum.IntEnum):
     DEFINITELY_SEQUENTIAL = 6
 
 
+# Counter-value -> state lookup; the enum's value->member call is a
+# measurable cost on the per-read observe() path.
+_STATES = tuple(PatternState(i) for i in range(7))
+
+
 @dataclass
 class PrefetchPlan:
     """A prefetch the predictor wants: block range plus direction."""
@@ -69,7 +74,8 @@ class PatternPredictor:
 
     @property
     def state(self) -> PatternState:
-        return PatternState(min(self.counter, 6))
+        c = self.counter
+        return _STATES[c if c < 6 else 6]
 
     # -- observation ----------------------------------------------------------
 
@@ -130,10 +136,15 @@ class PatternPredictor:
                     self.avg_run_blocks = (0.75 * self.avg_run_blocks
                                            + 0.25 * self.run_blocks)
             self.run_blocks = count
-        self.counter = max(0, min(cfg.counter_max, self.counter + delta))
+        c = self.counter + delta
+        if c > cfg.counter_max:
+            c = cfg.counter_max
+        elif c < 0:
+            c = 0
+        self.counter = c
         self.last_start = start
         self.last_end = start + count
-        return self.state
+        return _STATES[c if c < 6 else 6]
 
     # -- planning --------------------------------------------------------------
 

@@ -87,6 +87,43 @@ class RangeTree:
     def write_locked(self, start: int, count: int) -> "_LockedRange":
         return _LockedRange(self, start, count, write=True)
 
+    def note_cached(self, start: int, count: int) -> Generator:
+        """Lock the covering nodes, mark [start, start+count) cached,
+        release.  The post-read bitmap update runs once per pread, so the
+        dominant case — one node, uncontended — does the whole round trip
+        with no generator suspensions and no helper objects.
+        """
+        if count <= 0:
+            return
+        first = start // self.node_blocks
+        last = (start + count - 1) // self.node_blocks
+        if first == last:
+            node = self.node(first)
+            lock = node.lock
+            ev = lock.acquire_write()
+            if ev is not None:
+                yield ev
+            ns = node.start
+            lo = start if start > ns else ns
+            hi = start + count
+            node_end = ns + node.span
+            if hi > node_end:
+                hi = node_end
+            node.cached.set_range(lo - ns, hi - lo)
+            lock.release_write()
+            return
+        nodes = [self.node(i) for i in range(first, last + 1)]
+        for node in nodes:
+            ev = node.lock.acquire_write()
+            if ev is not None:
+                yield ev
+        for node in nodes:
+            lo = max(start, node.start)
+            hi = min(start + count, node.start + node.span)
+            node.cached.set_range(lo - node.start, hi - lo)
+        for node in reversed(nodes):
+            node.lock.release_write()
+
     # -- bitmap views (caller must hold the relevant node locks) -------------------
 
     def missing_runs(self, start: int,
@@ -174,11 +211,18 @@ class _LockedRange:
         self.write = write
 
     def acquire(self) -> Generator:
-        for node in self.nodes:
-            if self.write:
-                yield node.lock.acquire_write()
-            else:
-                yield node.lock.acquire_read()
+        # Yield only when the acquire actually blocks: an uncontended
+        # section costs no generator suspensions at all.
+        if self.write:
+            for node in self.nodes:
+                ev = node.lock.acquire_write()
+                if ev is not None:
+                    yield ev
+        else:
+            for node in self.nodes:
+                ev = node.lock.acquire_read()
+                if ev is not None:
+                    yield ev
 
     def release(self) -> None:
         for node in reversed(self.nodes):

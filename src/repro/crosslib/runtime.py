@@ -45,6 +45,15 @@ class CrossLibRuntime(IORuntime):
         self.workers = WorkerPool(self)
         self._watchers: list = []
         self._budget_tick = 0
+        # Span observer snapshot (same wiring contract as the VFS: the
+        # kernel attaches it before runtimes are constructed).
+        self._observer = kernel.registry.observer
+        # Config flags are fixed after construction; snapshot the ones
+        # the pread hot path branches on.
+        self._predict = self.config.predict
+        self._aggressive = self.config.aggressive
+        self._bulk_eligible = self.config.aggressive \
+            and not self.config.fetchall
 
     # -- helpers ----------------------------------------------------------------
 
@@ -100,29 +109,39 @@ class CrossLibRuntime(IORuntime):
               nbytes: int) -> Generator:
         ufd: UserFd = handle.ufd
         state = ufd.state
-        state.note_access(self.sim.now)
-        self._budget_pulse()
+        state.last_access = self.sim.now
+        if self._aggressive:
+            self._budget_pulse()
         bs = self.block_size
         b0 = offset // bs
         state.last_block = b0
-        count = max(1, state.inode.blocks_of(
-            min(offset + nbytes, state.inode.size)) - b0)
-        obs = self.registry.observer
-        span = obs.begin("crosslib", "pread", inode=state.inode.id,
+        inode = state.inode
+        end = offset + nbytes
+        if end > inode.size:
+            end = inode.size
+        count = (end + bs - 1) // bs - b0 if end > 0 else 0
+        if count < 1:
+            count = 1
+        obs = self._observer
+        span = obs.begin("crosslib", "pread", inode=inode.id,
                          block=b0, count=count) if obs is not None else None
 
-        if self.config.predict:
+        if self._predict:
             ufd.predictor.observe(b0, count)
             # §4.6: prefetch aggressiveness adapts to the budget — under
             # memory pressure the relaxed (beyond-128KB) window scaling
             # is withheld, not just the on/off switch.
             relaxed = self.config.relax_limits and (
-                not self.config.aggressive
+                not self._aggressive
                 or self.budget.allow_aggressive)
             plan = ufd.predictor.plan(state.nblocks, relaxed)
             if plan is not None and self._plan_due(ufd, plan, b0, count):
                 yield from self._maybe_enqueue(state, plan)
-        yield from self._maybe_bulk_load(state, ufd)
+        # Guard repeated in-line: _maybe_bulk_load's first two early
+        # returns, checked here to skip the generator frame per pread
+        # when bulk loading cannot apply.
+        if self._bulk_eligible and state.bulk_cursor < state.nblocks:
+            yield from self._maybe_bulk_load(state, ufd)
 
         result = yield from self.vfs.read(handle.file, offset, nbytes,
                                           parent=span)
@@ -131,10 +150,7 @@ class CrossLibRuntime(IORuntime):
         # user bitmap so nobody prefetches them again.  (The bitmap
         # update itself is sub-0.1 µs; the lock round-trip is the cost
         # that matters and the fast path makes it free when uncontended.)
-        section = state.tree.write_locked(b0, count)
-        yield from section.acquire()
-        state.tree.mark_cached(b0, count)
-        section.release()
+        yield from state.tree.note_cached(b0, count)
         if span is not None:
             span.end(bytes=result.nbytes, hits=result.hit_pages,
                      misses=result.miss_pages)
@@ -153,10 +169,7 @@ class CrossLibRuntime(IORuntime):
         written = yield from self.vfs.write(handle.file, offset, nbytes)
         count = max(1, (written + bs - 1) // bs)
         state.tree.resize(state.inode.nblocks)
-        section = state.tree.write_locked(b0, count)
-        yield from section.acquire()
-        state.tree.mark_cached(b0, count)
-        section.release()
+        yield from state.tree.note_cached(b0, count)
         return written
 
     # -- prefetch decisions -------------------------------------------------------------
@@ -202,7 +215,7 @@ class CrossLibRuntime(IORuntime):
         section.release()
         if not missing:
             self.registry.count("cross.elided_prefetch")
-            obs = self.registry.observer
+            obs = self._observer
             if obs is not None:
                 obs.instant("crosslib", "elide", inode=state.inode.id,
                             start=plan.start, count=plan.count)

@@ -1,0 +1,80 @@
+"""Parallel experiment fan-out (``--jobs N``).
+
+Experiments are single-threaded, deterministic simulations, so a batch
+of presets (``repro check``, ``repro bench``) parallelizes trivially:
+one worker process per item, results merged back **in input order**.
+Determinism is preserved because
+
+* each item runs in its own forked process with its own simulator and
+  its own fixed seeds — nothing is shared, and wall-clock never feeds
+  back into simulated results;
+* the merge is positional, so the combined output is byte-identical to
+  a serial run regardless of which worker finished first.
+
+Workers are forked (POSIX) when available so imported modules are not
+re-imported per item; the stdlib falls back to spawn elsewhere.  The
+callable and items must be module-level picklables either way.
+
+Failures are captured per item (with the child's traceback text) and
+re-raised in the parent as one :class:`ParallelTaskError` after every
+item has finished — a crash in one preset does not hide the results of
+the others.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import Callable, Iterable, Optional, Sequence, TypeVar
+
+__all__ = ["ParallelTaskError", "run_parallel"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class ParallelTaskError(RuntimeError):
+    """One or more parallel items raised; carries every failure."""
+
+    def __init__(self, failures: Sequence[tuple[int, str]]):
+        self.failures = list(failures)
+        lines = [f"{len(self.failures)} parallel task(s) failed:"]
+        for index, tb_text in self.failures:
+            lines.append(f"--- item {index} ---\n{tb_text.rstrip()}")
+        super().__init__("\n".join(lines))
+
+
+def _invoke(payload: tuple) -> tuple:
+    """Module-level worker shim: run one item, never raise."""
+    fn, index, item = payload
+    try:
+        return (index, True, fn(item))
+    except BaseException:  # noqa: BLE001 - reported in the parent
+        return (index, False, traceback.format_exc())
+
+
+def run_parallel(fn: Callable[[T], R], items: Iterable[T], *,
+                 jobs: Optional[int] = None) -> list[R]:
+    """Map ``fn`` over ``items`` across worker processes.
+
+    Returns results in input order.  ``jobs <= 1`` (or a single item)
+    degrades to a plain in-process loop, so callers can always route
+    through this function and let the flag decide.
+    """
+    work = list(items)
+    if jobs is None:
+        jobs = multiprocessing.cpu_count()
+    if jobs <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in methods else methods[0])
+    payloads = [(fn, index, item) for index, item in enumerate(work)]
+    with ctx.Pool(processes=min(jobs, len(work))) as pool:
+        raw = pool.map(_invoke, payloads)
+    raw.sort(key=lambda entry: entry[0])
+    failures = [(index, result) for index, ok, result in raw if not ok]
+    if failures:
+        raise ParallelTaskError(failures)
+    return [result for _index, _ok, result in raw]

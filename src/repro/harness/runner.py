@@ -22,15 +22,16 @@ from typing import Callable, Iterable, Iterator, Optional
 from repro.crosslib.config import CrossLibConfig
 from repro.harness.configs import MachineConfig
 from repro.harness.metrics import ApproachMetrics
+from repro.harness.parallel import ParallelTaskError, run_parallel
 from repro.os.kernel import Kernel
 from repro.runtimes.base import IORuntime
 from repro.runtimes.factory import build_runtime, needs_cross
 from repro.sim.observe import export_chrome_trace
 from repro.sim.trace import Tracer
 
-__all__ = ["TraceSpec", "active_trace_spec", "audit_enabled", "auditing",
-           "finish_trace", "make_kernel", "run_approaches", "run_one",
-           "tracing"]
+__all__ = ["ParallelTaskError", "TraceSpec", "active_trace_spec",
+           "audit_enabled", "auditing", "finish_trace", "make_kernel",
+           "run_approaches", "run_one", "run_parallel", "tracing"]
 
 WorkloadFn = Callable[[Kernel, IORuntime], ApproachMetrics]
 
@@ -191,6 +192,8 @@ def run_one(machine: MachineConfig, approach: str,
         runtime.teardown()
         kernel.shutdown()
     metrics.approach = approach
+    # Engine throughput telemetry for the perf suite (repro bench).
+    metrics.extra["sim_events"] = kernel.sim.events_processed
     if spec is not None:
         label = getattr(workload, "__name__", "workload")
         summary = finish_trace(spec, kernel, f"{label}-{approach}",

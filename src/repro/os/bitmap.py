@@ -9,6 +9,14 @@ maintained incrementally, making ``count_set()`` O(1).
 
 A 1 TB file at 4 KB blocks is ~268 M bits = 32 MB of words, matching the
 paper's memory-cost estimate; experiments here run far smaller.
+
+Hot-path layout: almost every query an experiment issues covers a tiny
+window (a 4-block read, a 32-block readahead plan), so the range
+operations special-case windows that land in a single 64-bit word, and
+:meth:`missing_runs` / :meth:`set_runs` extract runs from one assembled
+window integer with bit tricks — cost O(runs), no per-word generator
+chain.  Windows wider than ``_WINDOW_LIMIT`` bits fall back to a
+streaming per-word scan so whole-file iteration stays O(words).
 """
 
 from __future__ import annotations
@@ -19,6 +27,11 @@ __all__ = ["BlockBitmap"]
 
 _WORD = 64
 _FULL = (1 << _WORD) - 1
+
+# Run extraction assembles windows up to this many bits into one int;
+# beyond it (whole-file scans) the per-word streaming path is used to
+# avoid quadratic big-int shifting.
+_WINDOW_LIMIT = 4096
 
 
 def _mask(nbits: int) -> int:
@@ -85,8 +98,27 @@ class BlockBitmap:
             return
         words = self._words
         last = first + nbits - 1
-        fw, fb = divmod(first, _WORD)
-        lw, lb = divmod(last, _WORD)
+        fw = first >> 6
+        lw = last >> 6
+        if fw == lw:
+            # Single-word window: the dominant case for 4 KB-block reads.
+            mask = ((1 << nbits) - 1) << (first & 63)
+            if set_bits:
+                if lw >= len(words):
+                    self._ensure(lw)
+                before = words[fw]
+                after = before | mask
+            else:
+                if fw >= len(words):
+                    return
+                before = words[fw]
+                after = before & ~mask
+            if after != before:
+                self._count += after.bit_count() - before.bit_count()
+                words[fw] = after
+            return
+        fb = first & 63
+        lb = last & 63
         if set_bits:
             self._ensure(lw)
         elif fw >= len(words):
@@ -111,14 +143,46 @@ class BlockBitmap:
     def set_range(self, start: int, count: int) -> None:
         if count <= 0:
             return
-        first, nbits = self._bit_range(start, count)
-        self._apply(first, nbits, set_bits=True)
+        if start < 0:
+            raise ValueError(f"bad block range: start={start} count={count}")
+        shift = self.shift
+        first = start >> shift
+        last = (start + count - 1) >> shift
+        fw = first >> 6
+        if fw == (last >> 6):
+            words = self._words
+            if fw >= len(words):
+                self._ensure(fw)
+            mask = ((1 << (last - first + 1)) - 1) << (first & 63)
+            before = words[fw]
+            after = before | mask
+            if after != before:
+                self._count += after.bit_count() - before.bit_count()
+                words[fw] = after
+            return
+        self._apply(first, last - first + 1, set_bits=True)
 
     def clear_range(self, start: int, count: int) -> None:
         if count <= 0:
             return
-        first, nbits = self._bit_range(start, count)
-        self._apply(first, nbits, set_bits=False)
+        if start < 0:
+            raise ValueError(f"bad block range: start={start} count={count}")
+        shift = self.shift
+        first = start >> shift
+        last = (start + count - 1) >> shift
+        fw = first >> 6
+        if fw == (last >> 6):
+            words = self._words
+            if fw >= len(words):
+                return
+            mask = ((1 << (last - first + 1)) - 1) << (first & 63)
+            before = words[fw]
+            after = before & ~mask
+            if after != before:
+                self._count += after.bit_count() - before.bit_count()
+                words[fw] = after
+            return
+        self._apply(first, last - first + 1, set_bits=False)
 
     def clear_all(self) -> None:
         self._words = []
@@ -130,24 +194,35 @@ class BlockBitmap:
         if block < 0:
             raise ValueError(f"negative block: {block}")
         bit = block >> self.shift
-        wi, off = divmod(bit, _WORD)
+        wi = bit >> 6
         if wi >= len(self._words):
             return False
-        return bool((self._words[wi] >> off) & 1)
+        return bool((self._words[wi] >> (bit & 63)) & 1)
 
     def _window_bits(self, first: int, nbits: int) -> int:
         """Assemble bits [first, first+nbits) into a small int."""
         if nbits <= 0:
             return 0
         words = self._words
+        nwords = len(words)
+        fw = first >> 6
+        off = first & 63
+        last = first + nbits - 1
+        if fw == (last >> 6):
+            word = words[fw] if fw < nwords else 0
+            return (word >> off) & ((1 << nbits) - 1)
         out = 0
         filled = 0
         pos = first
         end = first + nbits
         while pos < end:
-            wi, off = divmod(pos, _WORD)
-            take = min(_WORD - off, end - pos)
-            word = words[wi] if wi < len(words) else 0
+            wi = pos >> 6
+            off = pos & 63
+            take = _WORD - off
+            remaining = end - pos
+            if take > remaining:
+                take = remaining
+            word = words[wi] if wi < nwords else 0
             seg = (word >> off) & _mask(take)
             out |= seg << filled
             filled += take
@@ -157,8 +232,19 @@ class BlockBitmap:
     def all_set(self, start: int, count: int) -> bool:
         if count <= 0:
             return True
-        first, nbits = self._bit_range(start, count)
-        return self._window_bits(first, nbits) == _mask(nbits)
+        if start < 0:
+            raise ValueError(f"bad block range: start={start} count={count}")
+        shift = self.shift
+        first = start >> shift
+        last = (start + count - 1) >> shift
+        nbits = last - first + 1
+        mask = (1 << nbits) - 1
+        fw = first >> 6
+        if fw == (last >> 6):
+            words = self._words
+            word = words[fw] if fw < len(words) else 0
+            return ((word >> (first & 63)) & mask) == mask
+        return self._window_bits(first, nbits) == mask
 
     def any_set(self, start: int, count: int) -> bool:
         if count <= 0:
@@ -192,29 +278,126 @@ class BlockBitmap:
 
     # -- run iteration ------------------------------------------------------
 
-    def missing_runs(self, start: int, count: int) -> Iterator[tuple[int, int]]:
-        """Yield (block_start, block_count) runs NOT covered by set bits.
+    def missing_runs(self, start: int, count: int) -> list[tuple[int, int]]:
+        """Return (block_start, block_count) runs NOT covered by set bits.
 
         This is the gap-finding primitive ``readahead_info`` uses to turn
-        a prefetch request into the minimal set of device reads.
+        a prefetch request into the minimal set of device reads.  The
+        body specialises :meth:`_block_runs` for the complement case —
+        this is the single hottest bitmap entry point (every read's
+        residency check lands here), so it skips the extra call layer.
         """
-        yield from self._block_runs(start, count, want_set=False)
+        if count <= 0:
+            return []
+        if start < 0:
+            raise ValueError(f"bad block range: start={start} count={count}")
+        shift = self.shift
+        first = start >> shift
+        last = (start + count - 1) >> shift
+        nbits = last - first + 1
+        if nbits > _WINDOW_LIMIT:
+            return self._block_runs_streamed(start, count, first, nbits,
+                                             want_set=False)
+        full = (1 << nbits) - 1
+        fw = first >> 6
+        if fw == (last >> 6):
+            words = self._words
+            word = words[fw] if fw < len(words) else 0
+            window = ~(word >> (first & 63)) & full
+        else:
+            window = ~self._window_bits(first, nbits) & full
+        if window == 0:
+            return []
+        if window == full:
+            return [(start, count)]
+        end_block = start + count
+        out = []
+        pos = 0
+        while window:
+            zeros = (window & -window).bit_length() - 1
+            pos += zeros
+            window >>= zeros
+            ones = (~window & (window + 1)).bit_length() - 1
+            bit_lo = first + pos
+            blk_lo = bit_lo << shift
+            if blk_lo < start:
+                blk_lo = start
+            blk_hi = (bit_lo + ones) << shift
+            if blk_hi > end_block:
+                blk_hi = end_block
+            out.append((blk_lo, blk_hi - blk_lo))
+            pos += ones
+            window >>= ones
+        return out
 
-    def set_runs(self, start: int, count: int) -> Iterator[tuple[int, int]]:
-        """Yield (block_start, block_count) runs covered by set bits."""
-        yield from self._block_runs(start, count, want_set=True)
+    def set_runs(self, start: int, count: int) -> list[tuple[int, int]]:
+        """Return (block_start, block_count) runs covered by set bits."""
+        return self._block_runs(start, count, want_set=True)
 
     def _block_runs(self, start: int, count: int,
-                    want_set: bool) -> Iterator[tuple[int, int]]:
+                    want_set: bool) -> list[tuple[int, int]]:
         if count <= 0:
-            return
-        first, nbits = self._bit_range(start, count)
+            return []
+        if start < 0:
+            raise ValueError(f"bad block range: start={start} count={count}")
+        shift = self.shift
+        first = start >> shift
+        last = (start + count - 1) >> shift
+        nbits = last - first + 1
+        if nbits > _WINDOW_LIMIT:
+            return self._block_runs_streamed(start, count, first, nbits,
+                                             want_set)
+        full = (1 << nbits) - 1
+        fw = first >> 6
+        if fw == (last >> 6):
+            words = self._words
+            word = words[fw] if fw < len(words) else 0
+            window = (word >> (first & 63)) & full
+        else:
+            window = self._window_bits(first, nbits)
+        if not want_set:
+            window = ~window & full
+        if window == 0:
+            return []
+        if window == full:
+            return [(start, count)]
         end_block = start + count
+        out = []
+        pos = 0
+        while window:
+            zeros = (window & -window).bit_length() - 1
+            pos += zeros
+            window >>= zeros
+            ones = (~window & (window + 1)).bit_length() - 1
+            bit_lo = first + pos
+            blk_lo = bit_lo << shift
+            if blk_lo < start:
+                blk_lo = start
+            blk_hi = (bit_lo + ones) << shift
+            if blk_hi > end_block:
+                blk_hi = end_block
+            out.append((blk_lo, blk_hi - blk_lo))
+            pos += ones
+            window >>= ones
+        return out
+
+    def _block_runs_streamed(self, start: int, count: int, first: int,
+                             nbits: int, want_set: bool
+                             ) -> list[tuple[int, int]]:
+        """Wide-window fallback: stream runs word by word, O(words)."""
+        shift = self.shift
+        end_block = start + count
+        out = []
         for bit_lo, bit_len in self._bit_runs(first, nbits, want_set):
-            blk_lo = max(start, bit_lo << self.shift)
-            blk_hi = min(end_block, (bit_lo + bit_len) << self.shift)
+            blk_lo = bit_lo << shift
+            if blk_lo < start:
+                blk_lo = start
+            blk_hi = (bit_lo + bit_len) << shift
+            if blk_hi > end_block:
+                blk_hi = end_block
             if blk_hi > blk_lo:
-                yield blk_lo, blk_hi - blk_lo
+                out.append((blk_lo, blk_hi - blk_lo))
+        return out
 
     def _bit_runs(self, first: int, nbits: int,
                   want_set: bool) -> Iterator[tuple[int, int]]:

@@ -136,7 +136,7 @@ class CrossOS:
         sim = vfs.sim
         inode = file.inode
         state = self.state(inode)
-        obs = vfs.registry.observer
+        obs = vfs._observer
         span = obs.begin("crossos", "readahead_info", inode=inode.id,
                          offset=info.offset, nbytes=info.nbytes,
                          bitmap_only=info.fetch_bitmap_only) \
@@ -159,18 +159,26 @@ class CrossOS:
 
         # Fast path: bitmap lookup under the bitmap rw-lock; the cache
         # tree lock is never taken for the lookup (delineated path).
-        yield state.lock.acquire_read()
+        ev = state.lock.acquire_read()
+        if ev is not None:
+            yield ev
         yield sim.timeout(cfg.bitmap_op)
         inflight = vfs._inflight[inode.id]
         planned = vfs._planned[inode.id]
         missing: list[tuple[int, int]] = []
         if count > 0:
-            for run_start, run_len in state.bitmap.missing_runs(b0, count):
-                for mid_start, mid_len in inflight.missing_runs(run_start,
-                                                                run_len):
-                    for sub_start, sub_len in planned.missing_runs(
-                            mid_start, mid_len):
-                        missing.append((sub_start, sub_len))
+            missing = state.bitmap.missing_runs(b0, count)
+            # Subtract in-flight and planned blocks only when either
+            # bitmap has bits at all — both empty is the common case,
+            # and the nested subtraction is O(runs^2) in the worst case.
+            if missing and (inflight.count_set() or planned.count_set()):
+                subtracted: list[tuple[int, int]] = []
+                for run_start, run_len in missing:
+                    for mid_start, mid_len in inflight.missing_runs(
+                            run_start, run_len):
+                        subtracted.extend(planned.missing_runs(mid_start,
+                                                               mid_len))
+                missing = subtracted
         state.lock.release_read()
 
         submitted = 0

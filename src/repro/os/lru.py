@@ -6,12 +6,18 @@ reclaim scans the inactive tail.  Tracking 4 KB pages individually would
 dominate simulation cost, so this model tracks *chunks* (default 32
 blocks = 128 KB) — the same granularity Linux effectively scans in — and
 keeps the two-list promotion/demotion policy intact.
+
+Each list is an ``OrderedDict`` mapping chunk key to its referenced
+flag.  ``OrderedDict`` is backed by a C doubly-linked list, so insert,
+``move_to_end``, tail pop, and delete are all O(1) intrusive-list
+operations; storing the referenced bit as the *value* (rather than in a
+per-chunk entry object) keeps the whole structure allocation-free on
+the hot touch/insert paths.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Iterator, Optional
 
 __all__ = ["ChunkKey", "ChunkLru"]
@@ -20,17 +26,15 @@ __all__ = ["ChunkKey", "ChunkLru"]
 ChunkKey = tuple[int, int]
 
 
-@dataclass
-class _ChunkEntry:
-    referenced: bool = False
-
-
 class ChunkLru:
     """Two-list LRU over (inode, chunk) keys."""
 
+    __slots__ = ("_inactive", "_active")
+
     def __init__(self):
-        self._inactive: OrderedDict[ChunkKey, _ChunkEntry] = OrderedDict()
-        self._active: OrderedDict[ChunkKey, _ChunkEntry] = OrderedDict()
+        # key -> referenced flag, MRU at the end.
+        self._inactive: OrderedDict[ChunkKey, bool] = OrderedDict()
+        self._active: OrderedDict[ChunkKey, bool] = OrderedDict()
 
     def __contains__(self, key: ChunkKey) -> bool:
         return key in self._inactive or key in self._active
@@ -48,28 +52,31 @@ class ChunkLru:
 
     def inserted(self, key: ChunkKey) -> None:
         """A chunk gained resident pages; new chunks enter inactive MRU."""
-        if key in self._active:
-            self._active.move_to_end(key)
+        active = self._active
+        if key in active:
+            active.move_to_end(key)
             return
-        if key in self._inactive:
-            self._inactive.move_to_end(key)
+        inactive = self._inactive
+        if key in inactive:
+            inactive.move_to_end(key)
             return
-        self._inactive[key] = _ChunkEntry()
+        inactive[key] = False
 
     def touched(self, key: ChunkKey) -> None:
         """A cache hit on the chunk: mark referenced / promote."""
-        entry = self._inactive.get(key)
-        if entry is not None:
-            if entry.referenced:
-                del self._inactive[key]
-                self._active[key] = entry
+        inactive = self._inactive
+        referenced = inactive.get(key)
+        if referenced is not None:
+            if referenced:
+                del inactive[key]
+                self._active[key] = True
             else:
-                entry.referenced = True
-                self._inactive.move_to_end(key)
+                inactive[key] = True
+                inactive.move_to_end(key)
             return
-        entry = self._active.get(key)
-        if entry is not None:
-            self._active.move_to_end(key)
+        active = self._active
+        if key in active:
+            active.move_to_end(key)
 
     def removed(self, key: ChunkKey) -> None:
         """The chunk lost all resident pages (evicted or truncated)."""
@@ -88,15 +95,15 @@ class ChunkLru:
         """
         # Balance: keep a floor of demoted-active candidates so a lone
         # freshly-inserted chunk is never the only choice.
-        if len(self._inactive) <= len(exclude or ()) or \
-                not self._inactive:
+        inactive = self._inactive
+        if len(inactive) <= len(exclude or ()) or not inactive:
             self._refill_inactive()
-        skipped: list[tuple[ChunkKey, _ChunkEntry]] = []
+        skipped: list[tuple[ChunkKey, bool]] = []
         victim: Optional[ChunkKey] = None
-        while self._inactive:
-            key, entry = self._inactive.popitem(last=False)
+        while inactive:
+            key, referenced = inactive.popitem(last=False)
             if exclude and key in exclude:
-                skipped.append((key, entry))
+                skipped.append((key, referenced))
                 continue
             victim = key
             break
@@ -104,16 +111,17 @@ class ChunkLru:
         # order: protection must not rejuvenate them, or every reclaim
         # scan would reset the age of whatever chunk an insert is
         # touching and cold chunks would survive indefinitely.
-        for key, entry in reversed(skipped):
-            self._inactive[key] = entry
-            self._inactive.move_to_end(key, last=False)
+        for key, referenced in reversed(skipped):
+            inactive[key] = referenced
+            inactive.move_to_end(key, last=False)
         return victim
 
     def _refill_inactive(self, batch: int = 32) -> None:
-        for _ in range(min(batch, len(self._active))):
-            key, entry = self._active.popitem(last=False)
-            entry.referenced = False
-            self._inactive[key] = entry
+        active = self._active
+        inactive = self._inactive
+        for _ in range(min(batch, len(active))):
+            key, _referenced = active.popitem(last=False)
+            inactive[key] = False
 
     def iter_inactive_oldest(self) -> Iterator[ChunkKey]:
         """Oldest-first view of the inactive list (for targeted eviction)."""
@@ -135,6 +143,8 @@ class PerInodeLru:
     monopolise eviction decisions the way it can on a single global
     list.  Drop-in replacement for :class:`ChunkLru`.
     """
+
+    __slots__ = ("_per_inode",)
 
     def __init__(self):
         self._per_inode: OrderedDict[int, ChunkLru] = OrderedDict()

@@ -24,6 +24,34 @@ from repro.sim.sync import RwLock
 __all__ = ["PageCache"]
 
 
+class _ChunkRange:
+    """A contiguous (inode, chunk) key range, usable as a reclaim
+    ``exclude`` set without materializing the keys.
+
+    An insert always populates a contiguous chunk range, so protecting
+    those chunks from the reclaim the insert itself triggers only needs
+    membership and length — not a per-call temporary set.
+    """
+
+    __slots__ = ("inode_id", "first", "last")
+
+    def __init__(self, inode_id: int, first: int, last: int):
+        self.inode_id = inode_id
+        self.first = first
+        self.last = last
+
+    def __contains__(self, key) -> bool:
+        return key[0] == self.inode_id and self.first <= key[1] <= self.last
+
+    def __len__(self) -> int:
+        return self.last - self.first + 1
+
+    def __iter__(self):
+        inode_id = self.inode_id
+        return iter((inode_id, chunk)
+                    for chunk in range(self.first, self.last + 1))
+
+
 class PageCache:
     """Residency, dirty state and LRU hooks for one inode."""
 
@@ -45,6 +73,10 @@ class PageCache:
         # them to mirror residency into the exported bitmap.
         self.insert_hooks: list[Callable[[int, int], None]] = []
         self.evict_hooks: list[Callable[[int, int], None]] = []
+        # Bound LRU entry points, hoisted once past the MemoryManager
+        # delegation: touch/insert run for every chunk of every read.
+        self._lru_inserted = mem.lru.inserted
+        self._lru_touched = mem.lru.touched
 
     # -- geometry -----------------------------------------------------------
 
@@ -73,7 +105,7 @@ class PageCache:
     # -- queries (caller holds tree read lock) --------------------------------
 
     def missing_runs(self, start: int, count: int) -> list[tuple[int, int]]:
-        return list(self.present.missing_runs(start, count))
+        return self.present.missing_runs(start, count)
 
     def resident_count(self, start: int, count: int) -> int:
         return self.present.count_set(start, count)
@@ -92,26 +124,39 @@ class PageCache:
         """
         if count <= 0:
             return 0
-        new_pages = count - self.present.count_set(start, count)
-        self.present.set_range(start, count)
+        present = self.present
+        new_pages = count - present.count_set(start, count)
+        present.set_range(start, count)
         if dirty:
             self.dirty.set_range(start, count)
-        own_chunks = {(self.inode_id, chunk)
-                      for chunk in self._chunks(start, count)}
-        for key in own_chunks:
-            self.mem.chunk_inserted(key)
+        cb = self.mem.chunk_blocks
+        first = start // cb
+        last = (start + count - 1) // cb
+        inode_id = self.inode_id
+        lru_inserted = self._lru_inserted
+        for chunk in range(first, last + 1):
+            lru_inserted((inode_id, chunk))
         for hook in self.insert_hooks:
             hook(start, count)
         if new_pages > 0:
             # Protect the chunks this insert populated from the reclaim
             # it may trigger, or the filler would evict itself.
-            self.mem.charge(new_pages, exclude=own_chunks)
+            self.mem.charge(new_pages,
+                            exclude=_ChunkRange(inode_id, first, last))
         return new_pages
 
     def touch_range(self, start: int, count: int) -> None:
         """Record a cache hit for LRU aging (caller holds read lock)."""
-        for chunk in self._chunks(start, count):
-            self.mem.chunk_touched((self.inode_id, chunk))
+        cb = self.mem.chunk_blocks
+        first = start // cb
+        last = (start + count - 1) // cb
+        inode_id = self.inode_id
+        if first == last:
+            self._lru_touched((inode_id, first))
+            return
+        lru_touched = self._lru_touched
+        for chunk in range(first, last + 1):
+            lru_touched((inode_id, chunk))
 
     def evict_chunk(self, chunk: int) -> int:
         """Evict one LRU chunk; returns pages freed.

@@ -55,13 +55,29 @@ FADV_DONTNEED = "dontneed"
 _fd_ids = itertools.count(3)  # 0-2 are stdio, naturally
 
 
-@dataclass
 class ReadResult:
-    """What a read() returned, for workload accounting."""
+    """What a read() returned, for workload accounting.
 
-    nbytes: int
-    hit_pages: int
-    miss_pages: int
+    Hand-rolled instead of a dataclass: one is allocated per read().
+    """
+
+    __slots__ = ("nbytes", "hit_pages", "miss_pages")
+
+    def __init__(self, nbytes: int, hit_pages: int, miss_pages: int):
+        self.nbytes = nbytes
+        self.hit_pages = hit_pages
+        self.miss_pages = miss_pages
+
+    def __repr__(self) -> str:
+        return (f"ReadResult(nbytes={self.nbytes}, "
+                f"hit_pages={self.hit_pages}, "
+                f"miss_pages={self.miss_pages})")
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, ReadResult)
+                and self.nbytes == other.nbytes
+                and self.hit_pages == other.hit_pages
+                and self.miss_pages == other.miss_pages)
 
 
 class File:
@@ -113,6 +129,19 @@ class VFS:
         # Per-kernel id streams keep identically-seeded runs identical.
         self._inode_ids = itertools.count(1)
         self._fd_ids = itertools.count(3)  # 0-2 are stdio, naturally
+        # Read-path counters, hoisted: three registry.count() dict
+        # lookups per read add up to ~5% of an experiment's wall time.
+        self._c_reads = registry.counter("syscalls.read")
+        self._c_hits = registry.counter("cache.demand_hits")
+        self._c_misses = registry.counter("cache.demand_misses")
+        # I/O chunking geometry is config-fixed; computing it per fill
+        # shows up in profiles at 78k+ calls per quick run.
+        self._chunk_blocks = max(1, config.io_chunk_bytes // config.block_size)
+        # Span observer, snapshotted once.  The kernel attaches the
+        # observer to the registry before building subsystems (the same
+        # contract the sync fast/slow dispatch relies on), so the
+        # per-call ``self.registry.observer`` hop is avoidable.
+        self._observer = registry.observer
 
     # -- namespace ----------------------------------------------------------
 
@@ -182,44 +211,61 @@ class VFS:
         cfg = self.config
         inode = file.inode
         cache = inode.cache
-        self.registry.count("syscalls.read")
+        self._c_reads.value += 1
         # The syscall entry, pvec walk, and copy-out are accumulated and
         # charged in one timeout — fewer engine events, same total time.
         cpu = cfg.syscall_overhead
-        nbytes = min(nbytes, max(0, inode.size - offset))
+        avail = inode.size - offset
+        if nbytes > avail:
+            nbytes = avail
         if nbytes <= 0:
             yield self.sim.timeout(cpu)
             return ReadResult(0, 0, 0)
-        b0 = offset // cfg.block_size
-        count = inode.blocks_of(offset + nbytes) - b0
-        obs = self.registry.observer
+        bs = inode.block_size
+        b0 = offset // bs
+        count = (offset + nbytes + bs - 1) // bs - b0
+        obs = self._observer
         span = obs.begin("vfs", "read", parent=parent, inode=inode.id,
                          block=b0, count=count) if obs is not None else None
         hit_pages = miss_pages = 0
 
-        yield inode.rwlock.acquire_read()
+        ev = inode.rwlock.acquire_read()
+        if ev is not None:
+            yield ev
         try:
             # Lookup under the cache-tree read lock (pvec walk).  Pages
             # already inserted by an in-flight fill count as *hits* (the
             # kernel finds them present-but-locked and waits), so misses
             # are only the blocks nobody has asked the device for.
-            yield cache.tree_lock.acquire_read()
+            ev = cache.tree_lock.acquire_read()
+            if ev is not None:
+                yield ev
             cpu += count * cfg.tree_walk_per_block
-            uncovered = self._uncovered_runs(cache, self._inflight[inode.id],
-                                             b0, count)
+            inflight = self._inflight[inode.id]
+            uncovered = self._uncovered_runs(cache, inflight, b0, count)
             marker = cache.ra_marker
             cache.tree_lock.release_read()
 
-            miss_pages = sum(n for _s, n in uncovered)
-            hit_pages = count - miss_pages
+            if uncovered:
+                miss_pages = sum(n for _s, n in uncovered)
+                hit_pages = count - miss_pages
+            else:
+                hit_pages = count
             inode.hit_pages += hit_pages
             inode.miss_pages += miss_pages
-            self.registry.count("cache.demand_hits", hit_pages)
-            self.registry.count("cache.demand_misses", miss_pages)
+            self._c_hits.value += hit_pages
+            self._c_misses.value += miss_pages
             cache.touch_range(b0, count)
 
-            if miss_pages:
-                plan = file.ra.on_demand_miss(b0, count, inode.nblocks)
+            ra = file.ra
+            if not ra.enabled:
+                # Stock readahead off (CROSS-LIB owns this FD, or
+                # FADV_RANDOM): the engine would only record the stream
+                # position — do that without the call and the plan
+                # object it allocates per read.
+                ra.prev_end = b0 + count
+            elif miss_pages:
+                plan = ra.on_demand_miss(b0, count, inode.nblocks)
                 if plan.sync_count:
                     if obs is not None:
                         obs.instant("readahead", "os_ra_sync",
@@ -252,10 +298,64 @@ class VFS:
             # overlaps (the page-lock wait); fully-resident reads skip
             # the fill machinery entirely.
             if not cache.present.all_set(b0, count):
-                yield from self._fill_range(inode, b0, count,
-                                            priority=BLOCKING,
-                                            honor_planned=True,
-                                            parent=span)
+                # Demand misses resume once per device completion, so
+                # frame depth is a per-event cost: the common case (no
+                # instrumentation, nothing planned by a prefetch
+                # pipeline) runs one fill batch inline instead of
+                # delegating through _fill_range -> _fill_runs, two
+                # generator frames that would otherwise sit on every
+                # resume.  Falls back to the general path to wait out
+                # overlapping fills.  Identical event sequence.
+                inflight = self._inflight[inode.id]
+                if (span is None and self.tracer is None
+                        and self.sim.auditor is None
+                        and self._planned[inode.id]._count == 0):
+                    runs = self._uncovered_runs(cache, inflight, b0, count)
+                    if runs:
+                        cond = self._fill_cond[inode.id]
+                        chunk_blocks = self._chunk_blocks
+                        for run_start, run_len in runs:
+                            inflight.set_range(run_start, run_len)
+                        try:
+                            events = []
+                            total_pages = 0
+                            device_read = self.device.read
+                            for run_start, run_len in runs:
+                                pos = run_start
+                                run_end = run_start + run_len
+                                while pos < run_end:
+                                    n = run_end - pos
+                                    if n > chunk_blocks:
+                                        n = chunk_blocks
+                                    events.append(device_read(
+                                        pos * bs, n * bs,
+                                        priority=BLOCKING,
+                                        stream=inode.id))
+                                    pos += n
+                                    total_pages += n
+                            yield self.sim.all_of(events)
+                            ev = cache.tree_lock.acquire_write()
+                            if ev is not None:
+                                yield ev
+                            yield self.sim.timeout(
+                                total_pages * cfg.tree_insert_per_block)
+                            for run_start, run_len in runs:
+                                cache.insert_range(run_start, run_len)
+                            cache.tree_lock.release_write()
+                        finally:
+                            for run_start, run_len in runs:
+                                inflight.clear_range(run_start, run_len)
+                            cond.notify_all()
+                    if not cache.present.all_set(b0, count):
+                        yield from self._fill_range(inode, b0, count,
+                                                    priority=BLOCKING,
+                                                    honor_planned=True,
+                                                    parent=span)
+                else:
+                    yield from self._fill_range(inode, b0, count,
+                                                priority=BLOCKING,
+                                                honor_planned=True,
+                                                parent=span)
         finally:
             inode.rwlock.release_read()
             if span is not None:
@@ -333,7 +433,7 @@ class VFS:
         count = min(want, cfg.ra_syscall_cap_blocks)
         if count <= 0:
             return 0
-        obs = self.registry.observer
+        obs = self._observer
         span = obs.begin("vfs", "readahead_syscall", inode=inode.id,
                          block=b0, count=count, clamped=want > count) \
             if obs is not None else None
@@ -401,7 +501,7 @@ class VFS:
         else:
             count = inode.blocks_of(min(offset + nbytes, inode.size)) - b0
         count = max(0, count)
-        obs = self.registry.observer
+        obs = self._observer
         span = obs.begin("vfs", "fincore", inode=inode.id, block=b0,
                          count=count) if obs is not None else None
         yield self.mm_lock.acquire()
@@ -484,8 +584,16 @@ class VFS:
                         count: int,
                         planned: Optional[BlockBitmap] = None
                         ) -> list[tuple[int, int]]:
+        missing = cache.present.missing_runs(start, count)
+        if not missing:
+            return missing
+        # Nothing in flight (and nothing planned): the present-bitmap
+        # gaps are the answer — skip the nested subtractions.
+        if inflight._count == 0 and (
+                planned is None or planned._count == 0):
+            return missing
         runs: list[tuple[int, int]] = []
-        for run_start, run_len in cache.present.missing_runs(start, count):
+        for run_start, run_len in missing:
             for sub_start, sub_len in inflight.missing_runs(run_start,
                                                             run_len):
                 if planned is None:
@@ -502,8 +610,8 @@ class VFS:
         inflight = self._inflight[inode.id]
         cond = self._fill_cond[inode.id]
         bs = cfg.block_size
-        chunk_blocks = max(1, cfg.io_chunk_bytes // bs)
-        obs = self.registry.observer
+        chunk_blocks = self._chunk_blocks
+        obs = self._observer
         span = obs.begin("pagecache", "fill", parent=parent,
                          inode=inode.id, block=runs[0][0] if runs else 0,
                          runs=len(runs), prefetch=prefetch) \
@@ -534,7 +642,9 @@ class VFS:
             yield self.sim.all_of(events)
             # Insert under the tree write lock: this is where prefetch
             # and regular I/O contend in the baseline design.
-            yield cache.tree_lock.acquire_write()
+            ev = cache.tree_lock.acquire_write()
+            if ev is not None:
+                yield ev
             yield self.sim.timeout(
                 total_pages * cfg.tree_insert_per_block)
             for run_start, run_len in runs:
@@ -577,8 +687,8 @@ class VFS:
         planned = self._planned[inode.id]
         cond = self._fill_cond[inode.id]
         bs = cfg.block_size
-        chunk_blocks = max(1, cfg.io_chunk_bytes // bs)
-        obs = self.registry.observer
+        chunk_blocks = self._chunk_blocks
+        obs = self._observer
         span = obs.begin("pagecache", "prefetch_pipeline", parent=parent,
                          inode=inode.id, runs=len(runs)) \
             if obs is not None else None
@@ -660,7 +770,7 @@ class VFS:
         cache = inode.cache
         bs = cfg.block_size
         amp = self.device.fs.write_amplification
-        obs = self.registry.observer
+        obs = self._observer
         span = obs.begin("vfs", "writeback", inode=inode.id,
                          blocking=priority == BLOCKING) \
             if obs is not None else None

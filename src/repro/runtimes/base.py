@@ -89,8 +89,10 @@ class IORuntime:
 
     def pread(self, handle: Handle, offset: int,
               nbytes: int) -> Generator:
-        result = yield from self.vfs.read(handle.file, offset, nbytes)
-        return result
+        # Return the VFS generator directly instead of delegating with
+        # ``yield from``: a wrapper frame here would be re-entered on
+        # every event resume of every read.
+        return self.vfs.read(handle.file, offset, nbytes)
 
     def read_seq(self, handle: Handle, nbytes: int) -> Generator:
         result = yield from self.pread(handle, handle.pos, nbytes)
@@ -99,8 +101,7 @@ class IORuntime:
 
     def pwrite(self, handle: Handle, offset: int,
                nbytes: int) -> Generator:
-        written = yield from self.vfs.write(handle.file, offset, nbytes)
-        return written
+        return self.vfs.write(handle.file, offset, nbytes)
 
     def write_seq(self, handle: Handle, nbytes: int) -> Generator:
         written = yield from self.pwrite(handle, handle.pos, nbytes)
@@ -121,8 +122,7 @@ class IORuntime:
 
     def mmap_access(self, mh: MmapHandle, offset: int,
                     nbytes: int) -> Generator:
-        result = yield from mh.region.access(offset, nbytes)
-        return result
+        return mh.region.access(offset, nbytes)
 
     # -- policy hooks ---------------------------------------------------------------
 

@@ -51,10 +51,11 @@ class FincoreRuntime(IORuntime):
 
     def pread(self, handle: Handle, offset: int,
               nbytes: int) -> Generator:
+        # Synchronous pre-work, then hand back the VFS generator; no
+        # wrapper frame on the per-event resume path.
         handle.last_offset = offset + nbytes
         self._kick.notify_all()
-        result = yield from self.vfs.read(handle.file, offset, nbytes)
-        return result
+        return self.vfs.read(handle.file, offset, nbytes)
 
     # -- the background prefetch thread ----------------------------------------
 

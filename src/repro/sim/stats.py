@@ -16,7 +16,7 @@ from typing import Any, Dict, Optional
 __all__ = ["Counter", "LockStats", "StatsRegistry"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Counter:
     """A named monotonically increasing counter."""
 
@@ -27,7 +27,7 @@ class Counter:
         self.value += amount
 
 
-@dataclass
+@dataclass(slots=True)
 class LockStats:
     """Aggregate contention record for one lock category."""
 

@@ -10,8 +10,18 @@ different stat categories.
 When an :class:`~repro.sim.audit.Auditor` is attached to the simulator,
 every primitive additionally reports acquire/block/grant/release
 transitions so the auditor can maintain its wait-for graph (deadlock
-detection), lock-order history, and leak checks.  With no auditor each
-hook site costs one ``None`` check.
+detection), lock-order history, and leak checks.
+
+Fast/slow dispatch: whether a primitive needs the auditor hooks and the
+span-observer hooks is known the moment it is constructed — the kernel
+wires ``sim.auditor`` and ``registry.attach_observer`` *before* building
+any subsystem (see ``Kernel.__init__`` ordering), and both stay fixed
+for the kernel's lifetime.  So each primitive selects bound fast or slow
+method implementations once in ``__init__`` instead of re-checking
+``auditor is not None`` / ``stats.observer is not None`` on every
+operation.  The fast variants still record :class:`LockStats` (wait and
+hold totals are experiment outputs, not diagnostics); only the auditor
+and observer hooks are compiled out.
 
 Usage inside a process generator::
 
@@ -37,8 +47,16 @@ from repro.sim.stats import LockStats
 __all__ = ["Condition", "Lock", "Queue", "RwLock", "Semaphore"]
 
 
+def _use_fast_path(sim: Simulator, stats: Optional[LockStats]) -> bool:
+    """True when neither auditor nor span observer hooks are needed."""
+    return sim.auditor is None and (stats is None or stats.observer is None)
+
+
 class Lock:
     """A mutual-exclusion lock with FIFO granting."""
+
+    __slots__ = ("sim", "name", "stats", "_locked", "_waiters",
+                 "_acquired_at", "acquire", "release")
 
     def __init__(self, sim: Simulator, name: str = "lock",
                  stats: Optional[LockStats] = None):
@@ -48,6 +66,12 @@ class Lock:
         self._locked = False
         self._waiters: Deque[tuple[Event, float]] = deque()
         self._acquired_at = 0.0
+        if _use_fast_path(sim, stats):
+            self.acquire = self._acquire_fast
+            self.release = self._release_fast
+        else:
+            self.acquire = self._acquire_slow
+            self.release = self._release_slow
         if sim.auditor is not None:
             sim.auditor.lock_registered(self)
 
@@ -55,13 +79,39 @@ class Lock:
     def locked(self) -> bool:
         return self._locked
 
-    def acquire(self) -> Optional[Event]:
-        """Grant the lock.
+    # acquire() returns None when granted immediately (yielding None
+    # resumes the process with no event-heap traffic) or an event that
+    # fires when the lock is eventually granted.
 
-        Returns ``None`` when granted immediately (yielding ``None``
-        resumes the process with no event-heap traffic) or an event that
-        fires when the lock is eventually granted.
-        """
+    def _acquire_fast(self) -> Optional[Event]:
+        if not self._locked:
+            self._locked = True
+            self._acquired_at = self.sim.now
+            stats = self.stats
+            if stats is not None:
+                stats.acquisitions += 1
+            return None
+        ev = Event(self.sim)
+        self._waiters.append((ev, self.sim.now))
+        return ev
+
+    def _release_fast(self) -> None:
+        if not self._locked:
+            raise SimulationError(f"release of unheld lock {self.name!r}")
+        sim = self.sim
+        stats = self.stats
+        if stats is not None:
+            stats.total_hold += sim.now - self._acquired_at
+        if self._waiters:
+            ev, enqueued = self._waiters.popleft()
+            self._acquired_at = sim.now
+            if stats is not None:
+                stats.record_acquire(sim.now - enqueued)
+            ev.succeed()
+        else:
+            self._locked = False
+
+    def _acquire_slow(self) -> Optional[Event]:
         if not self._locked:
             self._locked = True
             self._acquired_at = self.sim.now
@@ -76,7 +126,7 @@ class Lock:
             self.sim.auditor.lock_blocked(self, ev)
         return ev
 
-    def release(self) -> None:
+    def _release_slow(self) -> None:
         if not self._locked:
             raise SimulationError(f"release of unheld lock {self.name!r}")
         if self.stats is not None:
@@ -126,6 +176,11 @@ class RwLock:
     the pairing); only per-span durations assume FIFO release.
     """
 
+    __slots__ = ("sim", "name", "stats", "_readers", "_writer",
+                 "_wait_readers", "_wait_writers", "_writer_since",
+                 "_reader_since", "acquire_read", "acquire_write",
+                 "release_read", "release_write")
+
     def __init__(self, sim: Simulator, name: str = "rwlock",
                  stats: Optional[LockStats] = None):
         self.sim = sim
@@ -138,6 +193,16 @@ class RwLock:
         self._writer_since = 0.0
         # Grant times of current read holders (FIFO-paired at release).
         self._reader_since: Deque[float] = deque()
+        if _use_fast_path(sim, stats):
+            self.acquire_read = self._acquire_read_fast
+            self.acquire_write = self._acquire_write_fast
+            self.release_read = self._release_read_fast
+            self.release_write = self._release_write_fast
+        else:
+            self.acquire_read = self._acquire_read_slow
+            self.acquire_write = self._acquire_write_slow
+            self.release_read = self._release_read_slow
+            self.release_write = self._release_write_slow
         if sim.auditor is not None:
             sim.auditor.lock_registered(self)
 
@@ -149,8 +214,54 @@ class RwLock:
     def write_locked(self) -> bool:
         return self._writer
 
-    def acquire_read(self) -> Optional[Event]:
-        """None when granted immediately, else an event (see Lock)."""
+    # acquire_*() return None when granted immediately, else an event
+    # (see Lock).
+
+    def _acquire_read_fast(self) -> Optional[Event]:
+        if not self._writer and not self._wait_writers:
+            self._readers += 1
+            stats = self.stats
+            if stats is not None:
+                stats.acquisitions += 1
+                self._reader_since.append(self.sim.now)
+            return None
+        ev = Event(self.sim)
+        self._wait_readers.append((ev, self.sim.now))
+        return ev
+
+    def _acquire_write_fast(self) -> Optional[Event]:
+        if not self._writer and self._readers == 0:
+            self._writer = True
+            self._writer_since = self.sim.now
+            stats = self.stats
+            if stats is not None:
+                stats.acquisitions += 1
+            return None
+        ev = Event(self.sim)
+        self._wait_writers.append((ev, self.sim.now))
+        return ev
+
+    def _release_read_fast(self) -> None:
+        if self._readers <= 0:
+            raise SimulationError(f"release_read of unheld {self.name!r}")
+        stats = self.stats
+        if stats is not None and self._reader_since:
+            stats.total_hold += self.sim.now - self._reader_since.popleft()
+        self._readers -= 1
+        if self._readers == 0 and (self._wait_writers or self._wait_readers):
+            self._grant()
+
+    def _release_write_fast(self) -> None:
+        if not self._writer:
+            raise SimulationError(f"release_write of unheld {self.name!r}")
+        stats = self.stats
+        if stats is not None:
+            stats.total_hold += self.sim.now - self._writer_since
+        self._writer = False
+        if self._wait_writers or self._wait_readers:
+            self._grant()
+
+    def _acquire_read_slow(self) -> Optional[Event]:
         if not self._writer and not self._wait_writers:
             self._readers += 1
             if self.stats is not None:
@@ -165,8 +276,7 @@ class RwLock:
             self.sim.auditor.lock_blocked(self, ev, mode="read")
         return ev
 
-    def acquire_write(self) -> Optional[Event]:
-        """None when granted immediately, else an event (see Lock)."""
+    def _acquire_write_slow(self) -> Optional[Event]:
         if not self._writer and self._readers == 0:
             self._writer = True
             self._writer_since = self.sim.now
@@ -181,7 +291,7 @@ class RwLock:
             self.sim.auditor.lock_blocked(self, ev, mode="write")
         return ev
 
-    def release_read(self) -> None:
+    def _release_read_slow(self) -> None:
         if self._readers <= 0:
             raise SimulationError(f"release_read of unheld {self.name!r}")
         if self.stats is not None and self._reader_since:
@@ -196,7 +306,7 @@ class RwLock:
         if self._readers == 0:
             self._grant()
 
-    def release_write(self) -> None:
+    def _release_write_slow(self) -> None:
         if not self._writer:
             raise SimulationError(f"release_write of unheld {self.name!r}")
         if self.stats is not None:
@@ -258,6 +368,9 @@ class RwLock:
 class Semaphore:
     """A counting semaphore; used for device queue-depth slots."""
 
+    __slots__ = ("sim", "name", "capacity", "stats", "_in_use",
+                 "_waiters", "acquire", "release")
+
     def __init__(self, sim: Simulator, capacity: int, name: str = "sem",
                  stats: Optional[LockStats] = None):
         if capacity <= 0:
@@ -268,6 +381,12 @@ class Semaphore:
         self.stats = stats
         self._in_use = 0
         self._waiters: Deque[tuple[Event, float]] = deque()
+        if _use_fast_path(sim, stats):
+            self.acquire = self._acquire_fast
+            self.release = self._release_fast
+        else:
+            self.acquire = self._acquire_slow
+            self.release = self._release_slow
         if sim.auditor is not None:
             sim.auditor.lock_registered(self)
 
@@ -283,8 +402,33 @@ class Semaphore:
     def queued(self) -> int:
         return len(self._waiters)
 
-    def acquire(self) -> Optional[Event]:
-        """None when a slot is free immediately, else an event."""
+    # acquire() returns None when a slot is free immediately, else an
+    # event.
+
+    def _acquire_fast(self) -> Optional[Event]:
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            stats = self.stats
+            if stats is not None:
+                stats.acquisitions += 1
+            return None
+        ev = Event(self.sim)
+        self._waiters.append((ev, self.sim.now))
+        return ev
+
+    def _release_fast(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle semaphore {self.name!r}")
+        if self._waiters:
+            ev, enqueued = self._waiters.popleft()
+            stats = self.stats
+            if stats is not None:
+                stats.record_acquire(self.sim.now - enqueued)
+            ev.succeed()
+        else:
+            self._in_use -= 1
+
+    def _acquire_slow(self) -> Optional[Event]:
         if self._in_use < self.capacity:
             self._in_use += 1
             if self.stats is not None:
@@ -298,7 +442,7 @@ class Semaphore:
             self.sim.auditor.lock_blocked(self, ev, mode="slot")
         return ev
 
-    def release(self) -> None:
+    def _release_slow(self) -> None:
         if self._in_use <= 0:
             raise SimulationError(f"release of idle semaphore {self.name!r}")
         if self.sim.auditor is not None:
@@ -320,6 +464,8 @@ class Semaphore:
 
 class Condition:
     """Broadcast condition variable (no associated mutex; sim is serial)."""
+
+    __slots__ = ("sim", "name", "_waiters")
 
     def __init__(self, sim: Simulator, name: str = "cond"):
         self.sim = sim
@@ -348,6 +494,8 @@ class Queue:
     consumers are served FIFO.  Used for the CROSS-LIB background
     prefetch-worker request queue.
     """
+
+    __slots__ = ("sim", "name", "_items", "_getters")
 
     def __init__(self, sim: Simulator, name: str = "queue"):
         self.sim = sim

@@ -26,7 +26,7 @@ def run_reads(device, sim, requests):
         events = []
         for i, (offset, nbytes, priority) in enumerate(requests):
             ev = device.read(offset, nbytes, priority=priority, stream=1)
-            ev.callbacks.append(
+            ev.add_callback(
                 lambda _e, i=i: times.__setitem__(i, sim.now))
             events.append(ev)
         yield sim.all_of(events)
@@ -72,7 +72,7 @@ class TestServiceModel:
 
         def submitter():
             ev = dev.write(0, 32 * MB, stream=1)
-            ev.callbacks.append(lambda _e: done.setdefault("t", sim.now))
+            ev.add_callback(lambda _e: done.setdefault("t", sim.now))
             yield ev
 
         sim.process(submitter())
@@ -113,8 +113,8 @@ class TestPriorities:
             first = dev.read(0, 4 * KB, priority=BLOCKING, stream=1)
             pf = dev.read(10 * MB, 4 * KB, priority=PREFETCH, stream=2)
             bl = dev.read(20 * MB, 4 * KB, priority=BLOCKING, stream=3)
-            pf.callbacks.append(lambda _e: order.append("prefetch"))
-            bl.callbacks.append(lambda _e: order.append("blocking"))
+            pf.add_callback(lambda _e: order.append("prefetch"))
+            bl.add_callback(lambda _e: order.append("blocking"))
             yield sim.all_of([first, pf, bl])
 
         sim.process(submitter())

@@ -1,0 +1,116 @@
+"""The parallel experiment runner: ordering, errors, determinism, perf.
+
+The determinism contract is the load-bearing one: ``--jobs N`` must be
+a pure wall-clock optimization.  Each preset runs in its own forked
+process with fixed seeds and simulated time only, so the merged output
+must be byte-identical to a serial run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import time
+
+import pytest
+
+from repro.harness.bench import run_bench
+from repro.harness.parallel import ParallelTaskError, run_parallel
+
+# -- run_parallel mechanics ----------------------------------------------------
+
+
+def _square(n: int) -> int:
+    return n * n
+
+
+def _sleepy_ident(args: tuple) -> int:
+    index, delay = args
+    time.sleep(delay)
+    return index
+
+
+def _boom(n: int) -> int:
+    if n == 2:
+        raise ValueError(f"boom on {n}")
+    return n
+
+
+def test_serial_fallback_matches_map():
+    items = list(range(7))
+    assert run_parallel(_square, items, jobs=1) == [n * n for n in items]
+    assert run_parallel(_square, [5], jobs=8) == [25]
+
+
+def test_parallel_matches_serial_and_preserves_order():
+    items = list(range(10))
+    assert run_parallel(_square, items, jobs=4) \
+        == run_parallel(_square, items, jobs=1)
+
+
+def test_results_merge_in_input_order_not_completion_order():
+    # Earlier items sleep longer, so completion order is reversed;
+    # the merge must still be positional.
+    items = [(i, 0.2 - 0.04 * i) for i in range(5)]
+    assert run_parallel(_sleepy_ident, items, jobs=5) == [0, 1, 2, 3, 4]
+
+
+def test_failures_surface_with_index_and_traceback():
+    with pytest.raises(ParallelTaskError) as excinfo:
+        run_parallel(_boom, [0, 1, 2, 3], jobs=2)
+    err = excinfo.value
+    assert [index for index, _tb in err.failures] == [2]
+    assert "boom on 2" in str(err)
+
+
+# -- serial vs parallel determinism over experiment presets --------------------
+
+
+def _metrics_doc(results) -> dict:
+    """JSON-serializable projection of an experiment result tree."""
+    if dataclasses.is_dataclass(results):
+        doc = dataclasses.asdict(results)
+        doc.pop("latencies_us", None)
+        # Trace summaries carry filesystem paths; everything else in
+        # extra (sim_events, per-approach details) must be stable.
+        doc.get("extra", {}).pop("trace", None)
+        return doc
+    if isinstance(results, dict):
+        return {str(key): _metrics_doc(value)
+                for key, value in results.items()}
+    return results
+
+
+def _run_preset(name: str) -> str:
+    from repro.cli import EXPERIMENTS, QUICK_ARGS
+    results, report = EXPERIMENTS[name](**QUICK_ARGS[name])
+    return json.dumps({"name": name, "report": report,
+                       "metrics": _metrics_doc(results)},
+                      sort_keys=True)
+
+
+# Two presets keep the test in tier-1 time budget while covering both
+# harness result shapes (nested cells and flat approaches); the full
+# sweep is `repro check --jobs 8` vs `repro check`, run in CI.
+DETERMINISM_PRESETS = ["fig2", "fig5"]
+
+
+def test_presets_byte_identical_serial_vs_parallel():
+    serial = run_parallel(_run_preset, DETERMINISM_PRESETS, jobs=1)
+    parallel = run_parallel(_run_preset, DETERMINISM_PRESETS, jobs=2)
+    assert serial == parallel
+
+
+# -- perf smoke ----------------------------------------------------------------
+
+# The committed BENCH_sim_core.json baseline measured ~650k events/sec
+# on a noisy single-vCPU container; the floor is ~6x below that so only
+# a real regression (or a hopeless CI machine) trips it.
+ENGINE_EVENTS_PER_SEC_FLOOR = 100_000
+
+
+def test_engine_events_per_sec_floor():
+    result = run_bench("engine_timeout", repeat=3)
+    assert result["events_per_sec"] > ENGINE_EVENTS_PER_SEC_FLOOR, (
+        f"engine throughput {result['events_per_sec']:,.0f} events/s "
+        f"below the smoke floor {ENGINE_EVENTS_PER_SEC_FLOOR:,}")
