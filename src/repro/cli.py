@@ -21,6 +21,11 @@ Commands
     concurrent stress harness.  Non-zero exit on any violation.
     ``--jobs N`` fans the presets out across worker processes with
     output identical to a serial run.
+``chaos``
+    Run the resilience experiment: sweep a fault preset across
+    intensities and report throughput, p99 latency, and fault counters
+    for vanilla-OS readahead vs CrossPrefetch.  ``--audit`` attaches
+    the invariant auditor to every chaotic run.
 ``bench [names...]``
     Run the simulation-core performance suite (wall seconds and
     simulated events/sec per benchmark); ``--baseline`` gates against
@@ -31,6 +36,8 @@ Examples::
     python -m repro list
     python -m repro experiment fig2
     python -m repro check fig2 fig5 --stress 5 --jobs 8
+    python -m repro chaos --preset storm --quick --audit
+    python -m repro check fig5 --faults flaky --stress 2
     python -m repro bench --baseline BENCH_sim_core.json
     python -m repro trace fig2 --quick --out traces
     python -m repro workload --kind microbench --pattern rand \
@@ -40,6 +47,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Callable, Optional, Sequence
 
@@ -47,9 +55,10 @@ from repro.harness import experiments as exp
 from repro.harness import runner
 from repro.harness.metrics import ApproachMetrics
 from repro.harness.report import format_table
-from repro.harness.runner import TraceSpec, auditing, tracing
+from repro.harness.runner import TraceSpec, auditing, faulting, tracing
 from repro.os.kernel import Kernel
 from repro.runtimes.factory import APPROACHES, build_runtime, needs_cross
+from repro.sim.faults import PRESETS, FaultSpec, make_preset
 from repro.sim.trace import Tracer
 
 __all__ = ["main"]
@@ -71,7 +80,34 @@ EXPERIMENTS: dict[str, Callable] = {
     "fig8b": exp.run_fig8b_filebench,
     "fig9a": exp.run_fig9a_ycsb,
     "fig9b": exp.run_fig9b_snappy,
+    "resilience": exp.run_resilience,
 }
+
+
+def _fault_spec(args: argparse.Namespace) -> Optional[FaultSpec]:
+    """Build the fault spec requested by ``--faults`` (None if absent)."""
+    preset = getattr(args, "faults", None)
+    if not preset or preset == "none":
+        return None
+    return make_preset(preset, seed=getattr(args, "seed", 0),
+                       intensity=getattr(args, "fault_intensity", 1.0))
+
+
+def _add_seed_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--seed", type=int, default=0,
+                   help="base random seed (default 0); echoed in the "
+                        "output so runs are reproducible")
+
+
+def _add_fault_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--faults", default=None, choices=PRESETS,
+                   metavar="PRESET",
+                   help="inject storage faults from a named preset "
+                        f"({', '.join(PRESETS)})")
+    p.add_argument("--fault-intensity", type=float, default=1.0,
+                   metavar="X",
+                   help="scale the fault preset's probabilities and "
+                        "window frequency (default 1.0)")
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -118,6 +154,8 @@ QUICK_ARGS: dict[str, dict] = {
                   num_keys=20_000, memory_bytes=32 * MB),
     "fig9b": dict(ratios=("1:3", "1:1"), nthreads=2,
                   total_bytes=64 * MB),
+    "resilience": dict(intensities=(0.0, 1.0), nthreads=2,
+                       memory_bytes=24 * MB, oversubscription=1.5),
 }
 
 
@@ -146,8 +184,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     spec: Optional[TraceSpec] = None
     if getattr(args, "trace_out", None):
         spec = TraceSpec(out_dir=args.trace_out)
-    with tracing(spec), auditing(bool(getattr(args, "audit", False))):
-        _results, report = fn()
+    kwargs: dict = {}
+    if "seed" in inspect.signature(fn).parameters:
+        kwargs["seed"] = args.seed
+    print(f"seed: {args.seed}")
+    with tracing(spec), auditing(bool(getattr(args, "audit", False))), \
+            faulting(_fault_spec(args)):
+        _results, report = fn(**kwargs)
     print(report)
     if spec is not None and spec.results:
         print(f"\nTraces written to {spec.out_dir}/:")
@@ -166,16 +209,18 @@ def _check_task(item: tuple) -> tuple:
 
     kind, payload = item
     if kind == "experiment":
-        name, kwargs = payload
+        name, kwargs, preset, seed = payload
+        spec = make_preset(preset, seed=seed) if preset else None
         try:
-            with auditing():
+            with auditing(), faulting(spec):
                 EXPERIMENTS[name](**kwargs)
         except AuditError as exc:
             return (f"  FAIL {name}: {exc}", True, 0)
         return (f"  ok   {name}", False, 0)
-    seed = payload
+    seed, preset = payload
+    spec = make_preset(preset, seed=seed) if preset else None
     try:
-        summary = run_stress(seed)
+        summary = run_stress(seed, faults=spec)
     except AuditError as exc:
         return (f"  FAIL stress(seed={seed}): {exc}", True, 0)
     return (f"  ok   stress(seed={seed}): "
@@ -194,12 +239,16 @@ def _cmd_check(args: argparse.Namespace) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}; "
               f"choose from {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
+    if args.faults:
+        print(f"fault preset: {args.faults} (seed={args.seed})")
     items: list[tuple] = [
         ("experiment",
-         (name, QUICK_ARGS.get(name, {}) if not args.full else {}))
+         (name, QUICK_ARGS.get(name, {}) if not args.full else {},
+          args.faults, args.seed))
         for name in names
     ]
-    items.extend(("stress", args.seed + i) for i in range(args.stress))
+    items.extend(("stress", (args.seed + i, args.faults))
+                 for i in range(args.stress))
     outcomes = run_parallel(_check_task, items, jobs=args.jobs)
     failures = 0
     warnings = 0
@@ -266,9 +315,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         if not kwargs:
             print(f"note: no quick preset for {args.name!r}; "
                   f"running at full scale", file=sys.stderr)
+    if "seed" in inspect.signature(fn).parameters:
+        kwargs["seed"] = args.seed
     spec = TraceSpec(out_dir=args.out, capacity=args.capacity,
                      emit_holds=args.holds)
-    with tracing(spec):
+    print(f"seed: {args.seed}")
+    with tracing(spec), faulting(_fault_spec(args)):
         _results, report = fn(**kwargs)
     print(report)
     print(f"\nTraces written to {spec.out_dir}/:")
@@ -278,7 +330,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _run_workload(kind: str, approach: str, *, nthreads: int,
                   memory_mb: int, data_mb: int,
-                  pattern: str) -> ApproachMetrics:
+                  pattern: str, seed: int = 0) -> ApproachMetrics:
     spec = runner.active_trace_spec()
     tracer = Tracer(capacity=spec.capacity) if spec is not None else None
     kernel = Kernel(memory_bytes=memory_mb * MB,
@@ -286,7 +338,8 @@ def _run_workload(kind: str, approach: str, *, nthreads: int,
                     tracer=tracer,
                     emit_lock_holds=spec.emit_holds
                     if spec is not None else False,
-                    audit=runner.audit_enabled())
+                    audit=runner.audit_enabled(),
+                    faults=runner.active_fault_spec())
     runtime = build_runtime(approach, kernel)
 
     def _finish(metrics: ApproachMetrics) -> ApproachMetrics:
@@ -304,7 +357,8 @@ def _run_workload(kind: str, approach: str, *, nthreads: int,
             )
             cfg = MicrobenchConfig(nthreads=nthreads,
                                    total_bytes=data_mb * MB,
-                                   pattern=pattern, sharing="shared")
+                                   pattern=pattern, sharing="shared",
+                                   seed=42 + seed)
             return _finish(run_microbench(kernel, runtime, cfg))
         if kind == "dbbench":
             from repro.workloads.dbbench import (
@@ -315,12 +369,14 @@ def _run_workload(kind: str, approach: str, *, nthreads: int,
             cfg = DbBenchConfig(
                 pattern=pattern if pattern != "rand" else "readrandom",
                 nthreads=nthreads, ops_per_thread=500,
+                seed=11 + seed,
                 db=DbConfig(num_keys=data_mb * MB // 1024))
             return _finish(run_dbbench(kernel, runtime, cfg))
         if kind == "snappy":
             from repro.workloads.snappy import SnappyConfig, run_snappy
             cfg = SnappyConfig(nthreads=nthreads,
-                               total_bytes=data_mb * MB)
+                               total_bytes=data_mb * MB,
+                               seed=5 + seed)
             return _finish(run_snappy(kernel, runtime, cfg))
         raise ValueError(f"unknown workload kind {kind!r}")
     finally:
@@ -334,7 +390,9 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     if getattr(args, "trace_out", None):
         spec = TraceSpec(out_dir=args.trace_out)
     results = {}
-    with tracing(spec), auditing(bool(getattr(args, "audit", False))):
+    print(f"seed: {args.seed}")
+    with tracing(spec), auditing(bool(getattr(args, "audit", False))), \
+            faulting(_fault_spec(args)):
         for approach in approaches:
             if approach not in APPROACHES:
                 print(f"unknown approach {approach!r}", file=sys.stderr)
@@ -342,13 +400,46 @@ def _cmd_workload(args: argparse.Namespace) -> int:
             results[approach] = _run_workload(
                 args.kind, approach, nthreads=args.threads,
                 memory_mb=args.memory_mb, data_mb=args.data_mb,
-                pattern=args.pattern)
+                pattern=args.pattern, seed=args.seed)
     print(format_table(
         f"{args.kind} ({args.pattern}, {args.threads} threads, "
         f"{args.memory_mb} MB RAM, {args.data_mb} MB data)", results))
     if spec is not None and spec.results:
         print(f"\nTraces written to {spec.out_dir}/:")
         _print_trace_summaries(spec)
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Fault-intensity sweep: the resilience experiment, front and
+    center, with optional per-run invariant auditing."""
+    from repro.sim.audit import AuditError
+
+    intensities = (tuple(args.intensity) if args.intensity
+                   else (0.0, 0.5, 1.0, 2.0))
+    kwargs: dict = dict(intensities=intensities, preset=args.preset,
+                        seed=args.seed, remote=args.remote)
+    if args.quick:
+        kwargs.update(QUICK_ARGS["resilience"])
+        kwargs["intensities"] = (tuple(args.intensity) if args.intensity
+                                 else QUICK_ARGS["resilience"]["intensities"])
+    if args.approach:
+        unknown = [a for a in args.approach if a not in APPROACHES]
+        if unknown:
+            print(f"unknown approach(es): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+        kwargs["approaches"] = tuple(args.approach)
+    print(f"seed: {args.seed}")
+    try:
+        with auditing(bool(args.audit)):
+            _results, report = exp.run_resilience(**kwargs)
+    except AuditError as exc:
+        print(f"AUDIT FAIL under chaos: {exc}", file=sys.stderr)
+        return 1
+    print(report)
+    if args.audit:
+        print("invariant audit passed for every chaotic run")
     return 0
 
 
@@ -371,6 +462,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run with the invariant auditor attached "
                             "(fails on any conservation/deadlock/leak "
                             "violation)")
+    _add_seed_arg(p_exp)
+    _add_fault_args(p_exp)
     p_exp.set_defaults(fn=_cmd_experiment)
 
     p_chk = sub.add_parser(
@@ -384,11 +477,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_chk.add_argument("--stress", type=int, default=3, metavar="N",
                        help="randomized stress-harness runs (default 3)")
     p_chk.add_argument("--seed", type=int, default=0,
-                       help="base seed for the stress runs")
+                       help="base random seed (default 0); echoed in "
+                            "the stress lines so runs are reproducible")
     p_chk.add_argument("--jobs", type=int, default=1, metavar="N",
                        help="run presets across N worker processes "
                             "(results are merged in order, identical "
                             "to a serial run)")
+    p_chk.add_argument("--faults", default=None, choices=PRESETS,
+                       metavar="PRESET",
+                       help="audit every preset + stress run under a "
+                            "fault-injection preset")
     p_chk.set_defaults(fn=_cmd_check)
 
     p_bn = sub.add_parser(
@@ -426,7 +524,32 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also emit lock *hold* spans to the timeline")
     p_tr.add_argument("--quick", action="store_true",
                       help="use scaled-down knobs where available")
+    _add_seed_arg(p_tr)
+    _add_fault_args(p_tr)
     p_tr.set_defaults(fn=_cmd_trace)
+
+    p_ch = sub.add_parser(
+        "chaos",
+        help="fault-intensity sweep: vanilla OS vs CrossPrefetch")
+    p_ch.add_argument("--preset", default="storm", choices=PRESETS,
+                      help="fault model preset to sweep (default storm)")
+    p_ch.add_argument("--intensity", type=float, action="append",
+                      metavar="X",
+                      help="repeatable sweep point (default "
+                           "0.0 0.5 1.0 2.0; 0 = healthy control)")
+    p_ch.add_argument("--quick", action="store_true",
+                      help="scaled-down knobs (CI smoke)")
+    p_ch.add_argument("--remote", action="store_true",
+                      help="run against the NVMe-oF machine (fabric "
+                           "faults bite hardest there)")
+    p_ch.add_argument("--audit", action="store_true",
+                      help="attach the invariant auditor to every "
+                           "chaotic run; non-zero exit on violation")
+    p_ch.add_argument("--approach", action="append",
+                      help="repeatable; defaults to OSonly + "
+                           "CrossP[+predict+opt]")
+    _add_seed_arg(p_ch)
+    p_ch.set_defaults(fn=_cmd_chaos)
 
     p_wl = sub.add_parser("workload", help="run one workload ad hoc")
     p_wl.add_argument("--kind", default="microbench",
@@ -445,6 +568,8 @@ def build_parser() -> argparse.ArgumentParser:
                             "into DIR")
     p_wl.add_argument("--audit", action="store_true",
                       help="run with the invariant auditor attached")
+    _add_seed_arg(p_wl)
+    _add_fault_args(p_wl)
     p_wl.set_defaults(fn=_cmd_workload)
     return parser
 

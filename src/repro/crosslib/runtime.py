@@ -54,6 +54,10 @@ class CrossLibRuntime(IORuntime):
         self._aggressive = self.config.aggressive
         self._bulk_eligible = self.config.aggressive \
             and not self.config.fetchall
+        # Fault-pressure controller (None on a healthy device): while it
+        # is throttled the library stops asking for relaxed windows and
+        # suspends opportunistic bulk loading.
+        self._degrade = kernel.device.degrade
 
     # -- helpers ----------------------------------------------------------------
 
@@ -134,6 +138,11 @@ class CrossLibRuntime(IORuntime):
             relaxed = self.config.relax_limits and (
                 not self._aggressive
                 or self.budget.allow_aggressive)
+            if relaxed and self._degrade is not None \
+                    and self._degrade.current_level(self.sim.now) >= 1:
+                # Device under fault pressure: fall back to conservative
+                # windows until the controller recovers.
+                relaxed = False
             plan = ufd.predictor.plan(state.nblocks, relaxed)
             if plan is not None and self._plan_due(ufd, plan, b0, count):
                 yield from self._maybe_enqueue(state, plan)
@@ -255,6 +264,11 @@ class CrossLibRuntime(IORuntime):
         if state.bulk_cursor >= state.nblocks:
             return
         if not self.budget.allow_bulk:
+            return
+        if self._degrade is not None \
+                and self._degrade.current_level(self.sim.now) >= 1:
+            # Bulk loading is pure opportunism — first thing to go when
+            # the device is absorbing faults.
             return
         if self.workers.backlog >= cfg.nr_workers:
             return

@@ -17,7 +17,7 @@ from typing import TYPE_CHECKING, Generator
 
 from repro.crosslib.fdtable import UserFileState
 from repro.os.crossos import CacheInfo
-from repro.sim.engine import Process
+from repro.sim.engine import Interrupt, Process
 from repro.sim.sync import Queue
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -43,11 +43,30 @@ class WorkerPool:
         self.queue = Queue(runtime.sim, "crosslib_prefetch")
         self.requests_served = 0
         self.blocks_submitted = 0
+        self.restarts = 0
+        # Under fault injection a worker can die to an unexpected device
+        # error; the supervisor restarts its loop so the pool never
+        # shrinks.  Healthy runs keep the bare loop (no extra frame).
+        make = (self._supervised
+                if runtime.kernel.device.faults is not None
+                else self._worker_loop)
         self._workers: list[Process] = [
-            runtime.sim.process(self._worker_loop(i),
-                                name=f"cross_worker[{i}]")
+            runtime.sim.process(make(i), name=f"cross_worker[{i}]")
             for i in range(runtime.config.nr_workers)
         ]
+
+    def _supervised(self, index: int) -> Generator:
+        while True:
+            try:
+                yield from self._worker_loop(index)
+            except Interrupt:
+                # Teardown — Interrupt subclasses Exception, so it must
+                # be re-raised before the restart handler below.
+                raise
+            except Exception:
+                self.restarts += 1
+                self.runtime.registry.count("cross.worker_restarts")
+                yield self.runtime.sim.timeout(50.0)
 
     def submit(self, request: PrefetchRequest) -> None:
         self.queue.put(request)
@@ -79,6 +98,20 @@ class WorkerPool:
                 runtime.registry.count("cross.dropped_requests")
                 if span is not None:
                     span.end(dropped=True)
+                continue
+            degrade = runtime.kernel.device.degrade
+            if degrade is not None \
+                    and degrade.current_level(runtime.sim.now) >= 2:
+                # Prefetch paused by fault pressure: drop before paying
+                # the syscall; dedup marks released so a later pass can
+                # re-request once the device recovers.
+                section = state.tree.write_locked(req.start, req.count)
+                yield from section.acquire()
+                state.tree.clear_requested(req.start, req.count)
+                section.release()
+                runtime.registry.count("cross.degraded_drops")
+                if span is not None:
+                    span.end(dropped=True, degraded=True)
                 continue
             cap = (cfg.max_request_bytes if cfg.relax_limits
                    else cfg.capped_request_bytes)

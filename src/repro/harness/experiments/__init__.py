@@ -27,6 +27,7 @@ from repro.harness.experiments.apps import (
     run_fig9a_ycsb,
     run_fig9b_snappy,
 )
+from repro.harness.experiments.resilience import run_resilience
 
 __all__ = [
     "run_fig10_prefetch_limit",
@@ -41,6 +42,7 @@ __all__ = [
     "run_fig8b_filebench",
     "run_fig9a_ycsb",
     "run_fig9b_snappy",
+    "run_resilience",
     "run_tab4_mmap",
     "run_tab5_breakdown",
 ]

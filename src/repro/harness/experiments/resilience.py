@@ -1,0 +1,95 @@
+"""Resilience experiment: throughput + p99 latency across fault intensities.
+
+Not a figure from the paper — this is the robustness pillar: the same
+§5.2 microbenchmark mix is swept across increasing fault intensity for a
+named fault preset (``repro.sim.faults``), comparing vanilla-OS
+readahead against CrossPrefetch.  The claim under test is *graceful
+degradation*: CrossPrefetch must keep its advantage while its prefetch
+machinery absorbs injected failures, retries, deadline aborts, and the
+degradation controller's throttling — and every run must stay
+deterministic per seed and clean under the invariant auditor.
+
+Intensity 0.0 is the healthy control: it attaches no fault engine at
+all, so its numbers are byte-identical to the plain microbenchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.harness.configs import MachineConfig, Scale
+from repro.harness.metrics import ApproachMetrics
+from repro.harness.report import format_matrix
+from repro.harness.runner import faulting, run_approaches
+from repro.sim.faults import make_preset
+from repro.workloads.microbench import MicrobenchConfig, run_microbench
+
+__all__ = ["run_resilience"]
+
+MB = 1 << 20
+
+APPROACHES = ("OSonly", "CrossP[+predict+opt]")
+
+
+def run_resilience(intensities: Sequence[float] = (0.0, 0.5, 1.0, 2.0),
+                   preset: str = "storm",
+                   seed: int = 0,
+                   nthreads: int = 4,
+                   memory_bytes: int = 64 * MB,
+                   oversubscription: float = 2.0,
+                   pattern: str = "rand",
+                   remote: bool = False,
+                   approaches: Sequence[str] = APPROACHES
+                   ) -> tuple[dict, str]:
+    """Sweep ``preset`` fault intensity; report throughput, p99, faults.
+
+    ``remote`` runs against the NVMe-oF machine (where the ``fabric``
+    preset's drops and partitions bite hardest).
+    """
+    total_bytes = int(memory_bytes * oversubscription)
+    throughput: dict[str, dict[str, float]] = {a: {} for a in approaches}
+    p99: dict[str, dict[str, float]] = {a: {} for a in approaches}
+    injected: dict[str, dict[str, float]] = {a: {} for a in approaches}
+    all_results: dict[str, dict[str, ApproachMetrics]] = {}
+
+    for intensity in intensities:
+        machine = (MachineConfig.remote_nvmeof(Scale()) if remote
+                   else MachineConfig.local_ext4(Scale()))
+        spec = make_preset(preset, seed=seed, intensity=intensity)
+
+        def workload(kernel, runtime):
+            cfg = MicrobenchConfig(nthreads=nthreads,
+                                   total_bytes=total_bytes,
+                                   pattern=pattern, sharing="shared",
+                                   sample_latencies=True)
+            return run_microbench(kernel, runtime, cfg)
+
+        with faulting(spec):
+            results = run_approaches(machine, approaches, workload,
+                                     memory_bytes=memory_bytes)
+        key = f"{intensity:g}"
+        all_results[key] = results
+        for approach, metrics in results.items():
+            throughput[approach][key] = metrics.throughput_mbps
+            p99[approach][key] = metrics.p99_us
+            faults = metrics.extra.get("faults", {})
+            injected[approach][key] = float(
+                faults.get("faults_injected", 0)
+                + faults.get("timeouts", 0))
+
+    title = f"preset={preset}, seed={seed}" + (", remote" if remote else "")
+    report = "\n\n".join([
+        format_matrix(
+            f"Resilience — throughput (MB/s) vs fault intensity "
+            f"({title})",
+            throughput, xlabel="intensity ->"),
+        format_matrix(
+            f"Resilience — p99 read latency (us) vs fault intensity "
+            f"({title})",
+            p99, xlabel="intensity ->"),
+        format_matrix(
+            f"Resilience — faults injected + prefetch deadline aborts "
+            f"({title})",
+            injected, xlabel="intensity ->", fmt="{:>10.0f}"),
+    ])
+    return all_results, report

@@ -118,6 +118,14 @@ def collect_metrics(approach: str, kernel: Kernel, *,
         for name, counter in registry.counters.items()
         if name.startswith("syscalls.")
     }
+    extra = dict(extra or {})
+    if getattr(kernel, "fault_engine", None) is not None:
+        faults = kernel.device.stats.fault_summary()
+        faults["preset"] = kernel.fault_engine.spec.describe()
+        degrade = kernel.device.degrade
+        if degrade is not None:
+            faults["degrade_transitions"] = degrade.transitions
+        extra["faults"] = faults
     return ApproachMetrics(
         approach=approach,
         duration_us=duration_us,
@@ -129,6 +137,6 @@ def collect_metrics(approach: str, kernel: Kernel, *,
         lock_wait_us=registry.total_lock_wait,
         thread_time_us=duration_us * max(1, nthreads),
         syscalls=syscalls,
-        extra=dict(extra or {}),
+        extra=extra,
         latencies_us=list(latencies_us or []),
     )

@@ -29,9 +29,10 @@ from repro.runtimes.factory import build_runtime, needs_cross
 from repro.sim.observe import export_chrome_trace
 from repro.sim.trace import Tracer
 
-__all__ = ["ParallelTaskError", "TraceSpec", "active_trace_spec",
-           "audit_enabled", "auditing", "finish_trace", "make_kernel",
-           "run_approaches", "run_one", "run_parallel", "tracing"]
+__all__ = ["ParallelTaskError", "TraceSpec", "active_fault_spec",
+           "active_trace_spec", "audit_enabled", "auditing", "faulting",
+           "finish_trace", "make_kernel", "run_approaches", "run_one",
+           "run_parallel", "tracing"]
 
 WorkloadFn = Callable[[Kernel, IORuntime], ApproachMetrics]
 
@@ -72,6 +73,32 @@ def tracing(spec: Optional[TraceSpec]) -> Iterator[Optional[TraceSpec]]:
         yield spec
     finally:
         _active_spec = previous
+
+
+_active_faults = None
+
+
+def active_fault_spec():
+    return _active_faults
+
+
+@contextmanager
+def faulting(spec) -> Iterator[None]:
+    """Run every kernel built inside the block under fault injection.
+
+    ``spec`` is a :class:`repro.sim.faults.FaultSpec` (or None / a
+    disabled spec for a no-op).  Mirrors :func:`tracing` /
+    :func:`auditing`: a module-global lets ``repro chaos`` and the
+    ``--faults`` flags wrap any experiment function without changing
+    its signature.
+    """
+    global _active_faults
+    previous = _active_faults
+    _active_faults = spec if spec is not None and spec.enabled else None
+    try:
+        yield
+    finally:
+        _active_faults = previous
 
 
 _audit_active = False
@@ -172,6 +199,7 @@ def make_kernel(machine: MachineConfig, approach: str,
         tracer=tracer,
         emit_lock_holds=emit_lock_holds,
         audit=_audit_active,
+        faults=_active_faults,
     )
 
 

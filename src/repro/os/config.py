@@ -59,6 +59,10 @@ class KernelConfig:
     # -- Cross-OS ---------------------------------------------------------------
     # Hard cap on a single readahead_info request (§4.7: 64 MB).
     cross_max_request_bytes: int = 64 * MB
+    # Cap while the device's fault-pressure controller is throttled
+    # (degradation level 1): relaxed multi-MB requests shrink back to a
+    # conservative window until the device recovers.
+    cross_degraded_request_bytes: int = 128 * KB
     # Granularity knob for the exported bitmap (CROSS_BITMAP_SHIFT).
     cross_bitmap_shift: int = 0
 

@@ -149,6 +149,20 @@ class CrossOS:
 
         cap = info.max_request_bytes or cfg.cross_max_request_bytes
         cap = min(cap, cfg.cross_max_request_bytes)
+        # Graceful degradation under fault pressure: while the device's
+        # controller is throttled, relaxed multi-MB requests shrink to
+        # the conservative window; while it is paused, the syscall still
+        # serves bitmap + telemetry but submits no prefetch at all.
+        degrade_paused = False
+        degrade = vfs.device.degrade
+        if degrade is not None:
+            level = degrade.current_level(sim.now)
+            if level >= 2:
+                degrade_paused = True
+                vfs.registry.count("cross.degraded_skips")
+            elif level == 1 and cap > cfg.cross_degraded_request_bytes:
+                cap = cfg.cross_degraded_request_bytes
+                vfs.registry.count("cross.degraded_clamps")
         nbytes = min(info.nbytes, max(0, inode.size - info.offset))
         if nbytes > cap:
             nbytes = cap
@@ -183,7 +197,7 @@ class CrossOS:
 
         submitted = 0
         if missing and not info.fetch_bitmap_only \
-                and not state.prefetch_disabled:
+                and not state.prefetch_disabled and not degrade_paused:
             submitted = sum(n for _s, n in missing)
             vfs.registry.count("cross.prefetch_blocks", submitted)
             # Claim the runs before yielding so a concurrent caller in

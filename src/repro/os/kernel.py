@@ -19,6 +19,7 @@ from repro.os.mmap import MmapRegion
 from repro.os.vfs import VFS, File
 from repro.sim.audit import Auditor
 from repro.sim.engine import Simulator
+from repro.sim.faults import FaultEngine, FaultSpec
 from repro.sim.observe import Observer
 from repro.sim.stats import StatsRegistry
 from repro.storage.device import StorageDevice
@@ -46,7 +47,8 @@ class Kernel:
                  cross_enabled: bool = False,
                  tracer=None,
                  emit_lock_holds: bool = False,
-                 audit: bool = False):
+                 audit: bool = False,
+                 faults: Optional[FaultSpec] = None):
         self.config = config or KernelConfig()
         self.sim = Simulator()
         self.registry = StatsRegistry()
@@ -72,6 +74,13 @@ class Kernel:
                                  per_inode_lru=self.config.per_inode_lru)
         self.mem.observer = self.observer
         self.device = device_factory(self.sim, self.registry)
+        # Fault injection attaches between device and VFS so the VFS
+        # sees the resilient submit path from its first request.  A
+        # disabled spec attaches nothing — byte-identical healthy run.
+        self.fault_engine: Optional[FaultEngine] = None
+        if faults is not None and faults.enabled:
+            self.fault_engine = FaultEngine(self.sim, faults)
+            self.device.set_fault_engine(self.fault_engine)
         self.vfs = VFS(self.sim, self.device, self.mem, self.config,
                        self.registry)
         self.vfs.tracer = tracer

@@ -31,6 +31,7 @@ from repro.os.inode import Inode
 from repro.os.memory import MemoryManager
 from repro.os.readahead import ReadaheadState
 from repro.sim.engine import Simulator
+from repro.sim.faults import DeviceError
 from repro.sim.stats import StatsRegistry
 from repro.sim.sync import Condition, Lock
 from repro.storage.device import BLOCKING, PREFETCH, StorageDevice
@@ -309,6 +310,7 @@ class VFS:
                 inflight = self._inflight[inode.id]
                 if (span is None and self.tracer is None
                         and self.sim.auditor is None
+                        and self.device.faults is None
                         and self._planned[inode.id]._count == 0):
                     runs = self._uncovered_runs(cache, inflight, b0, count)
                     if runs:
@@ -531,10 +533,59 @@ class VFS:
                     parent=None) -> None:
         """Run a fill in the background (async readahead, WILLNEED)."""
         self.registry.count(f"fill.{tag}")
-        self.sim.process(
-            self._fill_range(inode, start, count, priority=priority,
-                             prefetch=prefetch, parent=parent),
-            name=f"{tag}[{inode.id}:{start}+{count}]")
+        gen = self._fill_range(inode, start, count, priority=priority,
+                               prefetch=prefetch, parent=parent)
+        if self.device.faults is not None:
+            # A DeviceError escaping a detached background process would
+            # crash the run loop; under fault injection an abandoned
+            # readahead is routine, so absorb it here.
+            gen = self._shielded_fill(gen)
+        self.sim.process(gen, name=f"{tag}[{inode.id}:{start}+{count}]")
+
+    def _shielded_fill(self, gen: Generator) -> Generator:
+        try:
+            yield from gen
+        except DeviceError:
+            self.registry.count("fill.failed_background")
+
+    def _settle_one(self, ev) -> Generator:
+        """Wait for one resilient device event; True on success.
+
+        Never yields an already-processed event (its callbacks have run;
+        subscribing again is an engine error)."""
+        if ev._processed:
+            return ev._ok
+        try:
+            yield ev
+        except DeviceError:
+            return False
+        return True
+
+    def _settle_chunks(self, events: list,
+                       spans: list[tuple[int, int]]) -> Generator:
+        """Wait out every chunk of a fill batch individually.
+
+        ``all_of`` fails fast on the first failed chunk, which would
+        leak the survivors; this returns (first_exc, succeeded_spans) so
+        the caller can insert what did arrive and then propagate.
+        """
+        exc = None
+        ok: list[tuple[int, int]] = []
+        for ev, span in zip(events, spans):
+            if ev._processed:
+                if ev._ok:
+                    ok.append(span)
+                elif exc is None:
+                    exc = ev._value
+                continue
+            try:
+                yield ev
+            except DeviceError as e:
+                if exc is None:
+                    exc = e
+            else:
+                ok.append(span)
+        return exc, ok
 
     def _fill_range(self, inode: Inode, start: int, count: int, *,
                     priority: int, prefetch: bool = False,
@@ -562,9 +613,22 @@ class VFS:
             runs = self._uncovered_runs(cache, inflight, start, count,
                                         planned=planned)
             if runs:
-                pages_read += yield from self._fill_runs(
-                    inode, runs, priority=priority, prefetch=prefetch,
-                    parent=parent)
+                try:
+                    pages_read += yield from self._fill_runs(
+                        inode, runs, priority=priority, prefetch=prefetch,
+                        parent=parent)
+                except DeviceError:
+                    if priority == BLOCKING:
+                        # Blocking reads retry until the device recovers
+                        # (the retry policy makes exhaustion here mean a
+                        # persistent failure) — surface it to the caller.
+                        raise
+                    # A prefetch fill is best-effort: the blocks stay
+                    # absent, in-flight markers were cleaned up by
+                    # _fill_runs, and whoever actually needs the data
+                    # demand-fetches it at blocking priority.
+                    self.registry.count("prefetch.aborted_fills")
+                    break
                 continue
             if not wait or cache.present.all_set(start, count):
                 break
@@ -619,8 +683,10 @@ class VFS:
         if not premarked:
             for run_start, run_len in runs:
                 inflight.set_range(run_start, run_len)
+        exc = None
         try:
             events = []
+            spans = [] if self.device.faults is not None else None
             total_pages = 0
             for run_start, run_len in runs:
                 pos = run_start
@@ -629,6 +695,8 @@ class VFS:
                     events.append(self.device.read(
                         pos * bs, n * bs, priority=priority,
                         stream=inode.id))
+                    if spans is not None:
+                        spans.append((pos, n))
                     pos += n
                     total_pages += n
             if prefetch:
@@ -639,25 +707,50 @@ class VFS:
                 # this loop; the auditor balances it against the device's
                 # own byte counter at final check.
                 aud.count_fill_read(total_pages * bs)
-            yield self.sim.all_of(events)
+            if spans is None:
+                yield self.sim.all_of(events)
+                ok_spans = None
+            else:
+                # Under fault injection chunks can fail independently;
+                # settle each so the survivors still land in the cache.
+                exc, ok_spans = yield from self._settle_chunks(events,
+                                                               spans)
             # Insert under the tree write lock: this is where prefetch
             # and regular I/O contend in the baseline design.
             ev = cache.tree_lock.acquire_write()
             if ev is not None:
                 yield ev
-            yield self.sim.timeout(
-                total_pages * cfg.tree_insert_per_block)
-            for run_start, run_len in runs:
-                cache.insert_range(run_start, run_len)
-                if prefetch:
-                    self._prefetched_mark(inode, run_start, run_len)
+            if ok_spans is None:
+                yield self.sim.timeout(
+                    total_pages * cfg.tree_insert_per_block)
+                for run_start, run_len in runs:
+                    cache.insert_range(run_start, run_len)
+                    if prefetch:
+                        self._prefetched_mark(inode, run_start, run_len)
+            else:
+                inserted = sum(n for _s, n in ok_spans)
+                yield self.sim.timeout(
+                    inserted * cfg.tree_insert_per_block)
+                for s, n in ok_spans:
+                    cache.insert_range(s, n)
+                    if prefetch:
+                        self._prefetched_mark(inode, s, n)
             cache.tree_lock.release_write()
         finally:
+            # On any exit — success, fault, or interrupt — the in-flight
+            # markers are cleared and waiters woken, so an abandoned fill
+            # can never wedge the readers queued behind it.
             for run_start, run_len in runs:
                 inflight.clear_range(run_start, run_len)
             cond.notify_all()
             if span is not None:
                 span.end(pages=total_pages)
+        if exc is not None:
+            if self.tracer is not None and runs:
+                self.tracer.record(self.sim.now, "fill_failed",
+                                   inode=inode.id, block=runs[0][0],
+                                   error=exc.code)
+            raise exc
         if self.tracer is not None and runs:
             self.tracer.record(self.sim.now, "fill", inode=inode.id,
                                block=runs[0][0], pages=total_pages,
@@ -707,6 +800,11 @@ class VFS:
                         total_pages += pages
                     planned.clear_range(pos, n)
                     pos += n
+        except DeviceError:
+            # Abandon the rest of the pipeline: the finally below clears
+            # every still-planned block so demand readers stop deferring
+            # to a prefetch that is no longer coming.
+            self.registry.count("prefetch.aborted_pipelines")
         finally:
             for run_start, run_len in runs:
                 planned.clear_range(run_start, run_len)
@@ -789,9 +887,24 @@ class VFS:
             cleaned.append((run_start, run_len))
             flushed += run_len
         if events:
-            yield self.sim.all_of(events)
-            for run_start, run_len in cleaned:
-                cache.clean_range(run_start, run_len)
+            if self.device.faults is None:
+                yield self.sim.all_of(events)
+                for run_start, run_len in cleaned:
+                    cache.clean_range(run_start, run_len)
+            else:
+                # Settle each run: a failed/timed-out flush keeps its
+                # pages dirty so the next flusher pass retries them.
+                failed_pages = 0
+                for ev, (run_start, run_len) in zip(events, cleaned):
+                    ok = yield from self._settle_one(ev)
+                    if ok:
+                        cache.clean_range(run_start, run_len)
+                    else:
+                        failed_pages += run_len
+                        flushed -= run_len
+                if failed_pages:
+                    self.registry.count("writeback.failed_pages",
+                                        failed_pages)
             if cache.dirty_pages == 0:
                 self._dirty_inodes.discard(inode.id)
         if span is not None:

@@ -305,11 +305,22 @@ class Auditor:
                     self.violations.append(
                         f"cross bitmap != present for inode "
                         f"{state.inode.id}")
-        read_bytes = kernel.device.stats.read_bytes
-        if read_bytes > self.fill_read_bytes:
+        # Byte conservation, fault-aware: every attempt the device
+        # consumed (success, injected failure, or watchdog abort) must
+        # have been issued by the fill path or by a retry.  On a healthy
+        # device the fault terms are all zero and this degenerates to
+        # read_bytes ≤ fill_read_bytes.
+        stats = kernel.device.stats
+        consumed = (stats.read_bytes + stats.failed_read_bytes
+                    + stats.aborted_read_bytes)
+        issued = self.fill_read_bytes + stats.retried_read_bytes
+        if consumed > issued:
             self.violations.append(
-                f"device read {read_bytes} bytes but the fill path only "
-                f"issued {self.fill_read_bytes}")
+                f"device consumed {consumed} read bytes "
+                f"(ok={stats.read_bytes}, failed={stats.failed_read_bytes},"
+                f" aborted={stats.aborted_read_bytes}) but only {issued} "
+                f"were issued (fill={self.fill_read_bytes}, "
+                f"retried={stats.retried_read_bytes})")
 
     def final_check(self, kernel: Optional["Kernel"] = None) -> None:
         """End-of-run audit; raises :class:`AuditError` on violations.
@@ -322,11 +333,17 @@ class Auditor:
         self.check_now(kernel)
         if kernel is not None:
             stats = kernel.device.stats
-            if stats.read_bytes != self.fill_read_bytes:
+            consumed = (stats.read_bytes + stats.failed_read_bytes
+                        + stats.aborted_read_bytes)
+            issued = self.fill_read_bytes + stats.retried_read_bytes
+            if consumed != issued:
                 self.violations.append(
-                    f"device bytes not conserved: read "
-                    f"{stats.read_bytes}, fill path issued "
-                    f"{self.fill_read_bytes}")
+                    f"device bytes not conserved: consumed {consumed} "
+                    f"(ok={stats.read_bytes}, "
+                    f"failed={stats.failed_read_bytes}, "
+                    f"aborted={stats.aborted_read_bytes}) but the fill "
+                    f"path issued {self.fill_read_bytes} "
+                    f"(+{stats.retried_read_bytes} retried)")
             elapsed = self.sim.now
             if elapsed > 0:
                 util = stats.utilization(elapsed)
@@ -366,22 +383,26 @@ class Auditor:
 
 
 def run_stress(seed: int, *, steps: int = 40, nthreads: int = 4,
-               file_mb: int = 8, memory_mb: int = 2) -> dict:
+               file_mb: int = 8, memory_mb: int = 2,
+               faults=None) -> dict:
     """Drive an audited kernel with randomized concurrent readers,
     prefetchers, writers, and reclaim pressure.
 
     Memory is sized well below the file so reclaim runs constantly; the
     thread mix hits the demand-read, Cross-OS prefetch, writeback, and
     fadvise(DONTNEED) paths concurrently.  Deterministic in ``seed``.
-    Raises :class:`AuditError` if any invariant breaks; returns a small
-    stats dict otherwise.
+    With a ``faults`` spec (:class:`repro.sim.faults.FaultSpec`) the
+    same mix runs under chaos — the audit must stay green while the
+    device injects failures, storms, and stalls.  Raises
+    :class:`AuditError` if any invariant breaks; returns a small stats
+    dict otherwise.
     """
     from repro.os.kernel import Kernel
 
     MB = 1 << 20
     rng = random.Random(seed)
     kernel = Kernel(memory_bytes=memory_mb * MB, cross_enabled=True,
-                    audit=True)
+                    audit=True, faults=faults)
     inode = kernel.create_file("/stress", file_mb * MB)
     bs = kernel.config.block_size
 
@@ -417,10 +438,16 @@ def run_stress(seed: int, *, steps: int = 40, nthreads: int = 4,
     auditor = kernel.auditor
     auditor.check_now(kernel)
     kernel.shutdown()  # drains + final_check
-    return {
+    summary = {
         "seed": seed,
         "sim_time_us": kernel.sim.now,
         "read_bytes": kernel.device.stats.read_bytes,
         "mirror_checks": auditor.mirror_checks,
         "warnings": list(auditor.warnings),
     }
+    if kernel.fault_engine is not None:
+        summary["faults"] = kernel.device.stats.fault_summary()
+        degrade = kernel.device.degrade
+        if degrade is not None:
+            summary["degrade_transitions"] = degrade.transitions
+    return summary

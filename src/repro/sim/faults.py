@@ -1,0 +1,576 @@
+"""Deterministic fault injection for the storage layer.
+
+CrossPrefetch's pitch is that cross-layered prefetching stays ahead of
+demand I/O *under pressure* — congested queues, tail-latency storms,
+flaky remote fabrics (§4.4, §5, Fig. 8a).  This module turns every
+experiment into a resilience experiment: a :class:`FaultEngine` attaches
+to a :class:`~repro.storage.device.StorageDevice` and perturbs requests
+with pluggable fault models, while the device/VFS stack (retry with
+capped exponential backoff, prefetch deadlines, graceful degradation)
+absorbs the damage.
+
+Determinism is the whole design.  Fault schedules are derived from a
+seed, never from wall clock or request timing:
+
+* **Window tracks** (:class:`_Windows`) pre-generate an infinite lazy
+  schedule of (start, end, magnitude) windows from a per-model
+  ``random.Random`` stream.  The k-th window is a pure function of the
+  seed; queries merely advance a cursor monotonically with simulated
+  time, so the schedule is identical no matter how often or when the
+  device asks.
+* **Per-request decisions** (transient errors, latency spikes, fabric
+  drops) hash a monotone request ordinal with a SplitMix64-style mixer
+  (:func:`_unit`), so the n-th request's fate is a pure function of
+  ``(seed, n)`` — independent of window-query interleaving.
+
+Fault models (each optional, all composable):
+
+* ``storms``   — tail-latency storm windows (access-latency multiplier)
+  plus isolated per-request latency spikes;
+* ``errors``   — transient read/write failures with error codes;
+* ``bandwidth``— degraded-bandwidth windows (transfer-rate factor);
+* ``stalls``   — queue stalls: dispatch frozen for the window;
+* ``fabric``   — NVMe-oF drops and partition windows (every request
+  fails until the partition heals), tuned to the device RTT when the
+  engine is attached to a :class:`~repro.storage.remote.RemoteNVMeDevice`.
+
+The retry/backoff policy and the prefetch-degradation state machine
+(:class:`DegradeController`) live here too, so ``repro.storage.device``
+only consumes decisions.  See ``docs/robustness.md``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = [
+    "DegradeController",
+    "DegradePolicy",
+    "DeviceError",
+    "DeviceTimeout",
+    "FabricError",
+    "FaultEngine",
+    "FaultSpec",
+    "FaultStats",
+    "PRESETS",
+    "make_preset",
+]
+
+KB = 1 << 10
+
+
+# -- error types ------------------------------------------------------------
+
+
+class DeviceError(Exception):
+    """A device request failed with an error code (default ``EIO``).
+
+    Raised inside processes waiting on the failed request once the
+    retry policy is exhausted (or, for prefetch, the deadline passed).
+    """
+
+    code = "EIO"
+
+    def __init__(self, message: str = "", code: Optional[str] = None):
+        if code is not None:
+            self.code = code
+        super().__init__(f"[{self.code}] {message}" if message else self.code)
+
+
+class DeviceTimeout(DeviceError):
+    """A prefetch request exceeded its deadline and was abandoned."""
+
+    code = "ETIMEDOUT"
+
+
+class FabricError(DeviceError):
+    """NVMe-oF fabric drop or partition (remote storage)."""
+
+    code = "ENOTCONN"
+
+
+# -- fault-model specs ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LatencyStormSpec:
+    """Tail-latency storms: windows where access latency multiplies,
+    plus isolated per-request spikes outside the windows."""
+
+    mean_gap_us: float = 30_000.0       # between storm windows
+    mean_duration_us: float = 6_000.0
+    multiplier: float = 8.0             # access-latency factor in a storm
+    jitter: float = 0.4                 # per-window multiplier jitter
+    spike_prob: float = 0.01            # per-request isolated spike
+    spike_multiplier: float = 25.0
+
+
+@dataclass(frozen=True)
+class TransientErrorSpec:
+    """Transient read/write failures reported after a short latency."""
+
+    read_fail_prob: float = 0.02
+    write_fail_prob: float = 0.01
+    error_latency_us: float = 60.0      # time until the error is reported
+
+
+@dataclass(frozen=True)
+class BandwidthDegradeSpec:
+    """Windows where the transfer channel runs at a fraction of rate."""
+
+    mean_gap_us: float = 25_000.0
+    mean_duration_us: float = 10_000.0
+    factor: float = 0.25                # bandwidth multiplier in a window
+
+
+@dataclass(frozen=True)
+class QueueStallSpec:
+    """Windows where the device dispatches nothing at all."""
+
+    mean_gap_us: float = 40_000.0
+    mean_duration_us: float = 2_500.0
+
+
+@dataclass(frozen=True)
+class FabricSpec:
+    """NVMe-oF fabric faults: per-request drops + partition windows."""
+
+    drop_prob: float = 0.01
+    partition_gap_us: float = 80_000.0
+    partition_duration_us: float = 4_000.0
+    # Time until a drop/partition is detected and reported.  Attached to
+    # a remote device this is raised to a few RTTs automatically.
+    error_latency_us: float = 120.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff, differentiated by request class.
+
+    Blocking I/O retries essentially until the fault clears (the cap is
+    a safety bound, not a policy); prefetch I/O gets a couple of cheap
+    retries and a hard deadline — a stale prefetch is worthless, and
+    abandoning it must clean up in-flight markers rather than wedge the
+    readers waiting behind them.
+    """
+
+    base_backoff_us: float = 50.0
+    backoff_multiplier: float = 2.0
+    max_backoff_us: float = 5_000.0
+    blocking_retries: int = 1000
+    prefetch_retries: int = 2
+    prefetch_timeout_us: float = 50_000.0
+
+
+@dataclass(frozen=True)
+class DegradePolicy:
+    """The prefetch-degradation state machine's constants.
+
+    Fault pressure is an exponentially-decayed accumulator fed by
+    failures and timeouts; levels escalate immediately when pressure
+    crosses a threshold and step down one level at a time only after a
+    quiet dwell (hysteresis, so the controller never flaps)."""
+
+    halflife_us: float = 4_000.0        # pressure decay half-life
+    throttle_threshold: float = 3.0     # level 1: throttled
+    pause_threshold: float = 8.0        # level 2: paused
+    recover_us: float = 15_000.0        # quiet dwell before stepping down
+    recover_factor: float = 0.5         # and pressure below threshold*this
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One reproducible fault scenario: seed + models + policies."""
+
+    seed: int = 0
+    intensity: float = 1.0
+    preset: str = "custom"
+    storms: Optional[LatencyStormSpec] = None
+    errors: Optional[TransientErrorSpec] = None
+    bandwidth: Optional[BandwidthDegradeSpec] = None
+    stalls: Optional[QueueStallSpec] = None
+    fabric: Optional[FabricSpec] = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    degrade: DegradePolicy = field(default_factory=DegradePolicy)
+
+    @property
+    def enabled(self) -> bool:
+        return self.intensity > 0 and (
+            self.storms is not None or self.errors is not None
+            or self.bandwidth is not None or self.stalls is not None
+            or self.fabric is not None)
+
+    def describe(self) -> str:
+        models = [name for name in
+                  ("storms", "errors", "bandwidth", "stalls", "fabric")
+                  if getattr(self, name) is not None]
+        return (f"{self.preset} (seed={self.seed}, "
+                f"intensity={self.intensity:g}, "
+                f"models={'+'.join(models) or 'none'})")
+
+
+# -- presets ----------------------------------------------------------------
+
+
+def _p(prob: float, intensity: float) -> float:
+    """Scale a per-request probability by intensity, capped sanely."""
+    return min(0.5, prob * intensity)
+
+
+def _gap(gap: float, intensity: float) -> float:
+    """More intense -> windows arrive more often."""
+    return max(500.0, gap / intensity)
+
+
+def _mult(mult: float, intensity: float) -> float:
+    """More intense -> deeper latency multipliers (1.0 at intensity 0)."""
+    return 1.0 + (mult - 1.0) * intensity
+
+
+def make_preset(name: str, *, seed: int = 0,
+                intensity: float = 1.0) -> FaultSpec:
+    """Build a named fault scenario scaled by ``intensity``.
+
+    ``intensity <= 0`` (or the ``"none"`` preset) returns a disabled
+    spec; the kernel then attaches no engine and the run is
+    byte-identical to a healthy one.
+    """
+    if name not in PRESETS:
+        raise ValueError(
+            f"unknown fault preset {name!r}; choose from "
+            f"{', '.join(PRESETS)}")
+    if name == "none" or intensity <= 0:
+        return FaultSpec(seed=seed, intensity=0.0, preset=name)
+    i = intensity
+    kwargs: dict = {}
+    if name in ("storm", "chaos"):
+        kwargs["storms"] = LatencyStormSpec(
+            mean_gap_us=_gap(30_000.0, i),
+            multiplier=_mult(8.0, i),
+            spike_prob=_p(0.01, i),
+            spike_multiplier=_mult(25.0, i))
+        # Mild transient errors ride along so the retry/degradation
+        # machinery (not just the latency model) is exercised.
+        kwargs["errors"] = TransientErrorSpec(
+            read_fail_prob=_p(0.008, i), write_fail_prob=_p(0.004, i))
+    if name in ("flaky", "chaos"):
+        kwargs["errors"] = TransientErrorSpec(
+            read_fail_prob=_p(0.03, i), write_fail_prob=_p(0.015, i))
+    if name in ("degraded", "chaos"):
+        kwargs["bandwidth"] = BandwidthDegradeSpec(
+            mean_gap_us=_gap(25_000.0, i),
+            factor=max(0.05, 0.25 / max(1.0, i)))
+    if name in ("stall", "chaos"):
+        kwargs["stalls"] = QueueStallSpec(mean_gap_us=_gap(40_000.0, i))
+    if name in ("fabric", "chaos"):
+        kwargs["fabric"] = FabricSpec(
+            drop_prob=_p(0.01, i),
+            partition_gap_us=_gap(80_000.0, i))
+    return FaultSpec(seed=seed, intensity=i, preset=name, **kwargs)
+
+
+PRESETS = ("none", "storm", "flaky", "degraded", "stall", "fabric", "chaos")
+
+
+# -- deterministic schedules ------------------------------------------------
+
+
+_M64 = (1 << 64) - 1
+
+
+def _unit(seed: int, salt: int, n: int) -> float:
+    """Deterministic hash of (seed, salt, n) to [0, 1).
+
+    SplitMix64-style finalizer; the per-request fault decisions use this
+    instead of a shared RNG stream so they cannot be perturbed by how
+    often the window tracks are queried.
+    """
+    x = (seed * 0x9E3779B97F4A7C15
+         + salt * 0xBF58476D1CE4E5B9
+         + n * 0x94D049BB133111EB) & _M64
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _M64
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _M64
+    x ^= x >> 31
+    return x / 2**64
+
+
+class _Windows:
+    """A lazy, deterministic schedule of (start, end, magnitude) windows.
+
+    Gaps and durations are exponentially distributed from a dedicated
+    ``random.Random(seed)`` stream; the cursor only moves forward, and
+    simulated time is monotone, so the realized schedule is a pure
+    function of the seed.
+    """
+
+    __slots__ = ("_rng", "_mean_gap", "_mean_dur", "_jitter", "_base_mag",
+                 "start", "end", "magnitude", "index")
+
+    def __init__(self, seed: int, mean_gap_us: float, mean_dur_us: float,
+                 magnitude: float = 1.0, jitter: float = 0.0):
+        self._rng = random.Random(seed)
+        self._mean_gap = max(1.0, mean_gap_us)
+        self._mean_dur = max(1.0, mean_dur_us)
+        self._base_mag = magnitude
+        self._jitter = jitter
+        self.start = 0.0
+        self.end = 0.0
+        self.magnitude = magnitude
+        self.index = -1
+        self._advance(0.0)
+
+    def _advance(self, now: float) -> None:
+        rng = self._rng
+        while self.end <= now:
+            gap = rng.expovariate(1.0 / self._mean_gap)
+            duration = max(1.0, rng.expovariate(1.0 / self._mean_dur))
+            self.start = self.end + gap
+            self.end = self.start + duration
+            self.index += 1
+            if self._jitter:
+                swing = self._jitter * (2.0 * rng.random() - 1.0)
+                self.magnitude = max(1.0, self._base_mag * (1.0 + swing))
+            else:
+                self.magnitude = self._base_mag
+
+    def current(self, now: float) -> Optional[tuple[float, float, int]]:
+        """``(magnitude, end, index)`` if ``now`` is inside a window."""
+        if now >= self.end:
+            self._advance(now)
+        if now >= self.start:
+            return (self.magnitude, self.end, self.index)
+        return None
+
+
+# -- the engine -------------------------------------------------------------
+
+
+@dataclass
+class FaultStats:
+    """What the engine injected (the device's stats count the damage)."""
+
+    decisions: int = 0          # requests inspected
+    storm_requests: int = 0     # served inside a latency-storm window
+    spikes: int = 0
+    error_faults: int = 0
+    degraded_requests: int = 0  # served inside a bandwidth window
+    stall_windows: int = 0
+    fabric_faults: int = 0
+    timeouts: int = 0           # prefetch deadlines that fired
+
+    @property
+    def injected(self) -> int:
+        return (self.spikes + self.error_faults + self.fabric_faults
+                + self.storm_requests + self.degraded_requests)
+
+
+class FaultDecision(tuple):
+    """(exc, fail_latency_us, latency_mult, bandwidth_factor) — plain
+    tuple subclass purely for readable reprs in tests."""
+
+    __slots__ = ()
+
+
+_HEALTHY = (None, 0.0, 1.0, 1.0)
+
+
+class FaultEngine:
+    """Per-device fault oracle: consulted once per dispatched request.
+
+    Attach with :meth:`StorageDevice.set_fault_engine`; a device with no
+    engine never calls in here (the healthy path is byte-identical).
+    """
+
+    def __init__(self, sim, spec: FaultSpec):
+        self.sim = sim
+        self.spec = spec
+        self.stats = FaultStats()
+        self.device = None
+        seed = spec.seed
+        self._seed = seed
+        self._n = 0
+        self._storms = None
+        if spec.storms is not None:
+            s = spec.storms
+            self._storms = _Windows(seed ^ 0x5701, s.mean_gap_us,
+                                    s.mean_duration_us, s.multiplier,
+                                    s.jitter)
+        self._bw = None
+        if spec.bandwidth is not None:
+            b = spec.bandwidth
+            self._bw = _Windows(seed ^ 0xBDB2, b.mean_gap_us,
+                                b.mean_duration_us, b.factor)
+        self._stalls = None
+        if spec.stalls is not None:
+            q = spec.stalls
+            self._stalls = _Windows(seed ^ 0x57A1, q.mean_gap_us,
+                                    q.mean_duration_us)
+        self._partitions = None
+        self._fabric_latency = 0.0
+        if spec.fabric is not None:
+            f = spec.fabric
+            self._partitions = _Windows(seed ^ 0xFAB0, f.partition_gap_us,
+                                        f.partition_duration_us)
+            self._fabric_latency = f.error_latency_us
+        self._last_stall = -1
+
+    def attach(self, device) -> None:
+        """Called by ``StorageDevice.set_fault_engine``.
+
+        On a remote (NVMe-oF) device the fabric error latency is raised
+        to a few RTTs — a drop is only *detected* after the transport
+        timeout, not instantly."""
+        self.device = device
+        remote = getattr(device, "remote", None)
+        if remote is not None and self.spec.fabric is not None:
+            self._fabric_latency = max(self._fabric_latency,
+                                       4.0 * remote.rtt)
+
+    # -- per-request oracle ------------------------------------------------
+
+    def decide(self, req, now: float):
+        """Fate of one dispatched request.
+
+        Returns ``(exc, fail_latency_us, latency_mult, bw_factor)``;
+        ``exc`` non-None means the attempt fails after ``fail_latency``.
+        """
+        self._n += 1
+        n = self._n
+        st = self.stats
+        st.decisions += 1
+        spec = self.spec
+        fabric = spec.fabric
+        if fabric is not None:
+            if self._partitions.current(now) is not None:
+                st.fabric_faults += 1
+                return (FabricError(
+                    f"fabric partition (window {self._partitions.index})"),
+                    self._fabric_latency, 1.0, 1.0)
+            if fabric.drop_prob and \
+                    _unit(self._seed, 11, n) < fabric.drop_prob:
+                st.fabric_faults += 1
+                return (FabricError("fabric packet drop"),
+                        self._fabric_latency, 1.0, 1.0)
+        errors = spec.errors
+        if errors is not None:
+            prob = (errors.read_fail_prob if req.kind == "read"
+                    else errors.write_fail_prob)
+            if prob and _unit(self._seed, 13, n) < prob:
+                st.error_faults += 1
+                return (DeviceError(f"transient {req.kind} failure"),
+                        errors.error_latency_us, 1.0, 1.0)
+        mult = 1.0
+        storms = spec.storms
+        if storms is not None:
+            window = self._storms.current(now)
+            if window is not None:
+                mult = window[0]
+                st.storm_requests += 1
+            if storms.spike_prob and \
+                    _unit(self._seed, 17, n) < storms.spike_prob:
+                if storms.spike_multiplier > mult:
+                    mult = storms.spike_multiplier
+                st.spikes += 1
+        factor = 1.0
+        if self._bw is not None:
+            window = self._bw.current(now)
+            if window is not None:
+                factor = window[0]
+                st.degraded_requests += 1
+        if mult == 1.0 and factor == 1.0:
+            return _HEALTHY
+        return (None, 0.0, mult, factor)
+
+    def stall_until(self, now: float) -> float:
+        """End of the current queue-stall window, or 0.0 if dispatching."""
+        if self._stalls is None:
+            return 0.0
+        window = self._stalls.current(now)
+        if window is None:
+            return 0.0
+        _mag, end, index = window
+        if index != self._last_stall:
+            self._last_stall = index
+            self.stats.stall_windows += 1
+        return end
+
+
+# -- graceful degradation ---------------------------------------------------
+
+
+class DegradeController:
+    """Prefetch degradation state machine (healthy/throttled/paused).
+
+    Deterministic: pressure is a function of fault events and simulated
+    time only.  The device feeds :meth:`note_fault` on failures and
+    timeouts and :meth:`note_ok` on completions; consumers (device
+    dispatch, Cross-OS submission, CROSS-LIB planning/workers) read
+    :meth:`current_level`:
+
+    * level 0 (*healthy*) — full prefetch;
+    * level 1 (*throttled*) — relaxed (multi-MB) windows withheld,
+      Cross-OS submissions clamped to the conservative cap, prefetch
+      in-flight slots halved;
+    * level 2 (*paused*) — no new prefetch is planned or dispatched
+      until the fault pressure drains.
+
+    Transitions invoke ``on_transition(level, now)`` (the device wires a
+    counter + span instant into it) so recovery is observable.
+    """
+
+    LEVEL_NAMES = ("healthy", "throttled", "paused")
+
+    def __init__(self, sim, policy: Optional[DegradePolicy] = None,
+                 on_transition: Optional[Callable[[int, float], None]]
+                 = None):
+        self.sim = sim
+        self.policy = policy or DegradePolicy()
+        self.on_transition = on_transition
+        self.level = 0
+        self.transitions = 0
+        self.pressure = 0.0
+        self._stamp = 0.0
+        self._last_fault = float("-inf")
+
+    def _decay(self, now: float) -> None:
+        dt = now - self._stamp
+        if dt > 0.0:
+            self.pressure *= 2.0 ** (-dt / self.policy.halflife_us)
+            self._stamp = now
+
+    def note_fault(self, now: float, weight: float = 1.0) -> None:
+        self._decay(now)
+        self.pressure += weight
+        self._last_fault = now
+        self._update(now)
+
+    def note_ok(self, now: float) -> None:
+        self._decay(now)
+        self._update(now)
+
+    def current_level(self, now: float) -> int:
+        self._decay(now)
+        self._update(now)
+        return self.level
+
+    def _update(self, now: float) -> None:
+        p = self.policy
+        new = self.level
+        if self.pressure >= p.pause_threshold:
+            new = 2
+        elif self.pressure >= p.throttle_threshold and new < 1:
+            new = 1
+        elif new > 0 and now - self._last_fault >= p.recover_us:
+            gate = (p.pause_threshold if new == 2
+                    else p.throttle_threshold)
+            if self.pressure < gate * p.recover_factor:
+                new -= 1   # step down one level per quiet update
+        if new != self.level:
+            self.level = new
+            self.transitions += 1
+            if self.on_transition is not None:
+                self.on_transition(new, now)

@@ -7,10 +7,20 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.sim.engine import Event, Simulator
+from repro.sim.faults import DegradeController, DeviceTimeout
 from repro.sim.stats import StatsRegistry
 from repro.storage.filesystem import EXT4, FilesystemProfile
 
 __all__ = ["BLOCKING", "PREFETCH", "DeviceStats", "IORequest", "StorageDevice"]
+
+
+def _sink(_ev: Event) -> None:
+    """No-op callback pre-parked on resilient request events.
+
+    A failed event with no callbacks at processing time crashes the run
+    loop ("failed event nobody waited on"); fault-injected failures are
+    expected, so every outer event carries this sink from birth.
+    """
 
 # Priority classes.  Blocking I/O (read()/write() waiters) always beats
 # prefetch I/O; prefetch dispatch is additionally gated by congestion
@@ -87,6 +97,26 @@ class DeviceStats:
     read_transfer_time: float = 0.0
     write_transfer_time: float = 0.0
     queue_wait: float = 0.0
+    # Fault/resilience telemetry (all zero on a healthy device).  The
+    # audit's byte-conservation equation under faults is:
+    #   consumed = read_bytes + failed_read_bytes + aborted_read_bytes
+    #   issued   = fill-issued bytes + retried_read_bytes
+    # so every failed attempt and every watchdog-cancelled queued
+    # request is accounted exactly once.
+    faults_injected: int = 0
+    read_failures: int = 0
+    write_failures: int = 0
+    failed_read_bytes: int = 0
+    failed_write_bytes: int = 0
+    retries: int = 0
+    retried_read_bytes: int = 0
+    retried_write_bytes: int = 0
+    retry_exhausted: int = 0
+    timeouts: int = 0
+    aborted_requests: int = 0
+    aborted_read_bytes: int = 0
+    aborted_write_bytes: int = 0
+    stall_time: float = 0.0
 
     @property
     def busy_time(self) -> float:
@@ -127,6 +157,19 @@ class DeviceStats:
         self.transfer_time += transfer
         self.queue_wait += waited
 
+    def fault_summary(self) -> dict:
+        """Compact dict of the fault/resilience counters for reports."""
+        return {
+            "faults_injected": self.faults_injected,
+            "read_failures": self.read_failures,
+            "write_failures": self.write_failures,
+            "retries": self.retries,
+            "retry_exhausted": self.retry_exhausted,
+            "timeouts": self.timeouts,
+            "aborted_requests": self.aborted_requests,
+            "stall_time_us": round(self.stall_time, 1),
+        }
+
 
 class StorageDevice:
     """Queue-depth-limited device with a serialized transfer channel.
@@ -135,7 +178,17 @@ class StorageDevice:
     scheduler: a fixed number of in-flight slots, strict priority of
     blocking over prefetch requests, and congestion control that holds
     prefetch requests back while blocking requests are queued.
+
+    With a :class:`~repro.sim.faults.FaultEngine` attached (see
+    :meth:`set_fault_engine`) every submission additionally runs through
+    the resilient path: capped exponential-backoff retry, a hard
+    deadline for prefetch requests, and a
+    :class:`~repro.sim.faults.DegradeController` throttling prefetch
+    dispatch while fault pressure is high.  Without an engine none of
+    that code executes — the healthy event sequence is byte-identical.
     """
+
+    is_remote = False
 
     def __init__(self, sim: Simulator, *,
                  name: str,
@@ -188,6 +241,11 @@ class StorageDevice:
         self.prefetch_backlog_us = 1500.0
         # stream id -> byte offset where the previous request ended
         self._stream_pos: dict[int, int] = {}
+        # Fault injection (None on a healthy device; see set_fault_engine).
+        self.faults = None
+        self.degrade: Optional[DegradeController] = None
+        self._stall_pending = False
+        self._resume_pending = False
         # Byte counters hoisted out of _start: the f-string + registry
         # lookup per request is measurable at tens of thousands of I/Os.
         if stats_registry is not None:
@@ -198,9 +256,38 @@ class StorageDevice:
 
     # -- public API --------------------------------------------------------
 
+    def set_fault_engine(self, engine) -> None:
+        """Attach a fault engine; all submissions become resilient.
+
+        Also wires the degradation controller, with transitions exported
+        as a counter + span instant so recovery is observable.
+        """
+        self.faults = engine
+        engine.attach(self)
+        on_transition = None
+        if self.registry is not None:
+            counter = self.registry.counter("device.degrade_transitions")
+            registry = self.registry
+
+            def on_transition(level: int, now: float,
+                              _c=counter, _r=registry) -> None:
+                _c.value += 1
+                observer = _r.observer
+                if observer is not None:
+                    observer.instant(
+                        "storage", "degrade", device=self.name,
+                        level=level,
+                        state=DegradeController.LEVEL_NAMES[level])
+
+        self.degrade = DegradeController(self.sim, engine.spec.degrade,
+                                         on_transition)
+
     def submit(self, kind: str, offset: int, nbytes: int, *,
                priority: int = BLOCKING, stream: int = 0) -> Event:
         """Queue a request; the returned event fires at completion."""
+        if self.faults is not None:
+            return self._submit_resilient(kind, offset, nbytes,
+                                          priority, stream)
         req = IORequest(kind=kind, offset=offset, nbytes=nbytes,
                         priority=priority, stream=stream,
                         submitted_at=self.sim.now,
@@ -211,6 +298,103 @@ class StorageDevice:
             self._queue_prefetch.append(req)
         self._dispatch()
         return req.done
+
+    def _submit_resilient(self, kind: str, offset: int, nbytes: int,
+                          priority: int, stream: int) -> Event:
+        """Submit under fault injection: retry with capped exponential
+        backoff, and (for prefetch) a hard deadline after which the
+        request is abandoned so readers behind it can fall back to
+        blocking I/O instead of wedging.
+
+        The returned *outer* event fires once — on first success, on
+        retry exhaustion, or at the prefetch deadline — regardless of
+        how many attempts ran underneath.
+        """
+        sim = self.sim
+        retry = self.faults.spec.retry
+        max_retries = (retry.blocking_retries if priority == BLOCKING
+                       else retry.prefetch_retries)
+        st = self.stats
+        outer = Event(sim)
+        outer.add_callback(_sink)
+        # attempt: completed tries so far; settled: outer already fired;
+        # req: the currently outstanding inner attempt (for the deadline
+        # watchdog to cancel if it is still queued).
+        state = {"attempt": 0, "settled": False, "req": None}
+
+        def start_attempt(_ev: Optional[Event] = None) -> None:
+            if state["settled"]:
+                return
+            n = state["attempt"]
+            req = IORequest(kind=kind, offset=offset, nbytes=nbytes,
+                            priority=priority, stream=stream,
+                            submitted_at=sim.now, done=Event(sim))
+            state["req"] = req
+            if n > 0:
+                # Counted at enqueue (not at failure) so the issued-side
+                # byte conservation holds even if the deadline watchdog
+                # settles the request mid-backoff.
+                st.retries += 1
+                if kind == READ:
+                    st.retried_read_bytes += nbytes
+                else:
+                    st.retried_write_bytes += nbytes
+            req.done.add_callback(on_done)
+            if priority == BLOCKING:
+                self._queue_blocking.append(req)
+            else:
+                self._queue_prefetch.append(req)
+            self._dispatch()
+
+        def on_done(ev: Event) -> None:
+            if state["settled"]:
+                return   # completed after the deadline fired; drop
+            if ev._ok:
+                state["settled"] = True
+                outer.succeed(ev._value)
+                return
+            state["attempt"] += 1
+            n = state["attempt"]
+            if n > max_retries:
+                state["settled"] = True
+                st.retry_exhausted += 1
+                outer.fail(ev._value)
+                return
+            backoff = min(retry.max_backoff_us,
+                          retry.base_backoff_us
+                          * retry.backoff_multiplier ** (n - 1))
+            sim.timeout(backoff).add_callback(start_attempt)
+
+        if priority == PREFETCH:
+            def deadline(_ev: Event) -> None:
+                if state["settled"]:
+                    return
+                state["settled"] = True
+                st.timeouts += 1
+                self.faults.stats.timeouts += 1
+                req = state["req"]
+                try:
+                    # Still queued: cancel it.  (In flight or mid-backoff
+                    # the attempt's own accounting already balances.)
+                    self._queue_prefetch.remove(req)
+                except ValueError:
+                    pass
+                else:
+                    st.aborted_requests += 1
+                    if kind == READ:
+                        st.aborted_read_bytes += nbytes
+                    else:
+                        st.aborted_write_bytes += nbytes
+                if self.degrade is not None:
+                    self.degrade.note_fault(sim.now, weight=2.0)
+                outer.fail(DeviceTimeout(
+                    f"prefetch {kind} offset={offset} nbytes={nbytes} "
+                    f"missed {retry.prefetch_timeout_us:g}us deadline"))
+
+            sim.timeout(retry.prefetch_timeout_us).add_callback(deadline)
+
+        start_attempt()
+        return outer
 
     def read(self, offset: int, nbytes: int, *, priority: int = BLOCKING,
              stream: int = 0) -> Event:
@@ -236,22 +420,54 @@ class StorageDevice:
     # -- scheduling --------------------------------------------------------
 
     def _dispatch(self) -> None:
+        if self.faults is not None:
+            until = self.faults.stall_until(self.sim.now)
+            if until > self.sim.now:
+                # Queue stall window: dispatch nothing until it ends.
+                if not self._stall_pending:
+                    self._stall_pending = True
+                    self.stats.stall_time += until - self.sim.now
+                    self.sim.timeout(until - self.sim.now) \
+                        .add_callback(self._unstall)
+                return
         while self._in_flight < self.queue_depth:
             req = self._pick()
             if req is None:
                 return
             self._start(req)
 
+    def _unstall(self, _ev: Event) -> None:
+        self._stall_pending = False
+        self._dispatch()
+
+    def _resume_poll(self, _ev: Event) -> None:
+        self._resume_pending = False
+        self._dispatch()
+
     def _pick(self) -> Optional[IORequest]:
         if self._queue_blocking:
             return self._queue_blocking.popleft()
         if not self._queue_prefetch:
             return None
+        max_prefetch = self.max_prefetch_in_flight
+        if self.degrade is not None:
+            level = self.degrade.current_level(self.sim.now)
+            if level >= 2:
+                # Paused: no new prefetch dispatch.  Nothing in flight
+                # means no completion will re-trigger _dispatch, so poll
+                # until the pressure drains (or the deadline watchdogs
+                # reap the queue).
+                if not self._resume_pending and not self._stall_pending:
+                    self._resume_pending = True
+                    self.sim.timeout(1000.0).add_callback(self._resume_poll)
+                return None
+            if level == 1:
+                max_prefetch = max(1, max_prefetch // 2)
         # Congestion control: keep queue depth free for blocking I/O and
         # bound the prefetch backlog on the transfer channel.
         if self._in_flight >= max(1, self.queue_depth - 1):
             return None
-        if self._in_flight_prefetch >= self.max_prefetch_in_flight:
+        if self._in_flight_prefetch >= max_prefetch:
             return None
         head = self._queue_prefetch[0]
         if head.kind == READ and \
@@ -260,6 +476,17 @@ class StorageDevice:
         return self._queue_prefetch.popleft()
 
     def _start(self, req: IORequest) -> None:
+        lat_mult = 1.0
+        bw_factor = 1.0
+        if self.faults is not None:
+            # Consult the fault oracle BEFORE stream-position
+            # bookkeeping: a failed dispatch must not advance the
+            # sequential stream (the transfer never happened).
+            exc, fail_latency, lat_mult, bw_factor = \
+                self.faults.decide(req, self.sim.now)
+            if exc is not None:
+                self._start_failed(req, exc, fail_latency)
+                return
         self._in_flight += 1
         if req.priority == PREFETCH:
             self._in_flight_prefetch += 1
@@ -275,11 +502,15 @@ class StorageDevice:
             # Prefetch requests are batched/merged more readily in the
             # kernel path; model as a small extra setup hold.
             latency += self.prefetch_hold
+        if lat_mult != 1.0:
+            latency *= lat_mult   # tail-latency storm / spike
 
         if req.kind == READ:
             bandwidth = self.read_bandwidth
         else:
             bandwidth = self.write_bandwidth
+        if bw_factor != 1.0:
+            bandwidth *= bw_factor   # degraded-bandwidth window
         transfer = req.nbytes / bandwidth
         if not sequential:
             transfer += self.random_channel_overhead
@@ -307,10 +538,50 @@ class StorageDevice:
         done_event = self.sim.timeout(finish - now)
         done_event.add_callback(lambda _ev, r=req: self._complete(r))
 
+    def _start_failed(self, req: IORequest, exc: Exception,
+                      fail_latency: float) -> None:
+        """Dispatch a doomed attempt: it occupies an in-flight slot
+        until the error is reported, then fails its done event."""
+        self._in_flight += 1
+        if req.priority == PREFETCH:
+            self._in_flight_prefetch += 1
+        req.queue_wait = self.sim.now - req.submitted_at
+        st = self.stats
+        st.faults_injected += 1
+        if req.kind == READ:
+            st.read_failures += 1
+            st.failed_read_bytes += req.nbytes
+        else:
+            st.write_failures += 1
+            st.failed_write_bytes += req.nbytes
+        self.sim.timeout(max(1.0, fail_latency)).add_callback(
+            lambda _ev, r=req, e=exc: self._complete_failed(r, e))
+
+    def _complete_failed(self, req: IORequest, exc: Exception) -> None:
+        self._in_flight -= 1
+        if req.priority == PREFETCH:
+            self._in_flight_prefetch -= 1
+        if self.degrade is not None:
+            self.degrade.note_fault(self.sim.now)
+        if self.registry is not None:
+            observer = self.registry.observer
+            if observer is not None:
+                observer.complete(
+                    "storage", req.kind, req.submitted_at,
+                    device=self.name, stream=req.stream,
+                    nbytes=req.nbytes,
+                    prefetch=req.priority == PREFETCH,
+                    error=exc.code,
+                    queue_wait_us=round(req.queue_wait, 3))
+        req.done.fail(exc)
+        self._dispatch()
+
     def _complete(self, req: IORequest) -> None:
         self._in_flight -= 1
         if req.priority == PREFETCH:
             self._in_flight_prefetch -= 1
+        if self.degrade is not None:
+            self.degrade.note_ok(self.sim.now)
         if self.registry is not None:
             observer = self.registry.observer
             if observer is not None:

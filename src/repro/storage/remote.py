@@ -35,6 +35,8 @@ class RemoteParams:
 class RemoteNVMeDevice(StorageDevice):
     """NVMe target reached over RDMA NVMe-oF."""
 
+    is_remote = True
+
     def __init__(self, sim: Simulator,
                  params: Optional[NVMeParams] = None,
                  remote: Optional[RemoteParams] = None,

@@ -53,6 +53,10 @@ class MicrobenchConfig:
     segment_bytes: int = 1 * MB      # random-order visit granularity
     backward_fraction: float = 0.4   # segments read in reverse
     seed: int = 42
+    # Capture per-pread latency samples (for p50/p99 under faults).
+    # Off by default: the sample list is pure overhead for throughput
+    # figures and keeps healthy runs allocation-identical.
+    sample_latencies: bool = False
 
     def __post_init__(self):
         if self.pattern not in ("seq", "rand"):
@@ -79,6 +83,7 @@ def run_microbench(kernel: Kernel, runtime: IORuntime,
             paths.append(path)
 
     stats: list[tuple[int, int, int, float]] = []
+    latencies: list[float] = [] if config.sample_latencies else None
 
     def reader(tid: int) -> Generator:
         rng = random.Random(config.seed * 1000 + tid)
@@ -90,7 +95,11 @@ def run_microbench(kernel: Kernel, runtime: IORuntime,
         if config.pattern == "seq":
             pos = base
             while pos < base + part:
+                if latencies is not None:
+                    op_t0 = kernel.now
                 r = yield from runtime.pread(handle, pos, config.io_size)
+                if latencies is not None:
+                    latencies.append(kernel.now - op_t0)
                 total += r.nbytes
                 hits += r.hit_pages
                 misses += r.miss_pages
@@ -105,8 +114,12 @@ def run_microbench(kernel: Kernel, runtime: IORuntime,
                 if rng.random() < config.backward_fraction:
                     offsets.reverse()
                 for off in offsets:
+                    if latencies is not None:
+                        op_t0 = kernel.now
                     r = yield from runtime.pread(handle, seg_base + off,
                                                  config.io_size)
+                    if latencies is not None:
+                        latencies.append(kernel.now - op_t0)
                     total += r.nbytes
                     hits += r.hit_pages
                     misses += r.miss_pages
@@ -126,6 +139,7 @@ def run_microbench(kernel: Kernel, runtime: IORuntime,
         hit_pages=sum(s[1] for s in stats),
         miss_pages=sum(s[2] for s in stats),
         nthreads=config.nthreads,
+        latencies_us=latencies,
     )
 
 

@@ -26,7 +26,7 @@ class TestParser:
     def test_every_experiment_registered(self):
         expected = {"fig2", "fig5", "fig6", "tab4", "fig7a", "fig7b",
                     "fig7c", "fig7d", "tab5", "fig10", "fig8a",
-                    "fig8b", "fig9a", "fig9b"}
+                    "fig8b", "fig9a", "fig9b", "resilience"}
         assert set(EXPERIMENTS) == expected
 
     def test_parser_requires_command(self):
@@ -130,3 +130,40 @@ class TestCheckCommand:
                      "--pattern", "seq", "--threads", "2",
                      "--memory-mb", "32", "--data-mb", "16", "--audit"])
         assert code == 0
+
+    def test_check_with_fault_preset(self, capsys):
+        code = main(["check", "fig5", "--faults", "flaky",
+                     "--stress", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault preset: flaky (seed=0)" in out
+        assert "ok   fig5" in out
+        assert "all invariant checks passed" in out
+
+
+class TestChaosCommand:
+    def test_chaos_quick_audit(self, capsys):
+        code = main(["chaos", "--quick", "--audit",
+                     "--intensity", "1.0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "seed: 0" in out
+        assert "Resilience" in out
+        assert "OSonly" in out and "CrossP[+predict+opt]" in out
+        assert "invariant audit passed for every chaotic run" in out
+
+    def test_chaos_unknown_approach(self, capsys):
+        code = main(["chaos", "--quick", "--approach", "MagicCache"])
+        assert code == 2
+        assert "unknown approach" in capsys.readouterr().err
+
+    def test_workload_with_faults_and_seed(self, capsys):
+        code = main(["workload", "--kind", "microbench",
+                     "--pattern", "seq", "--threads", "2",
+                     "--memory-mb", "32", "--data-mb", "16",
+                     "--approach", "OSonly",
+                     "--faults", "flaky", "--seed", "3", "--audit"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "seed: 3" in out
+        assert "MB/s" in out

@@ -1,0 +1,459 @@
+"""Tests for the fault-injection & resilience subsystem.
+
+Covers: deterministic schedules (``_unit``, ``_Windows``), preset
+construction and intensity scaling, the per-request fault oracle,
+retry/backoff + prefetch deadlines in the device, the degradation state
+machine, worker restart, and the end-to-end properties the subsystem
+promises — same seed ⇒ identical runs, and the invariant auditor stays
+green under chaos.
+"""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.audit import run_stress
+from repro.sim.faults import (
+    DegradeController,
+    DegradePolicy,
+    DeviceError,
+    DeviceTimeout,
+    FabricError,
+    FabricSpec,
+    FaultEngine,
+    FaultSpec,
+    PRESETS,
+    QueueStallSpec,
+    RetryPolicy,
+    TransientErrorSpec,
+    make_preset,
+    _unit,
+    _Windows,
+)
+from repro.storage import BLOCKING, PREFETCH, NVMeDevice, RemoteNVMeDevice
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+class _Req:
+    def __init__(self, kind="read"):
+        self.kind = kind
+
+
+# -- error types ------------------------------------------------------------
+
+
+class TestErrors:
+    def test_codes_and_messages(self):
+        assert str(DeviceError("boom")) == "[EIO] boom"
+        assert str(DeviceError()) == "EIO"
+        assert DeviceTimeout().code == "ETIMEDOUT"
+        assert FabricError().code == "ENOTCONN"
+        assert DeviceError("x", code="EBUSY").code == "EBUSY"
+        assert isinstance(DeviceTimeout(), DeviceError)
+        assert isinstance(FabricError(), DeviceError)
+
+
+# -- deterministic primitives ----------------------------------------------
+
+
+class TestUnit:
+    def test_pure_function_of_inputs(self):
+        assert _unit(7, 13, 42) == _unit(7, 13, 42)
+        assert _unit(7, 13, 42) != _unit(8, 13, 42)
+        assert _unit(7, 13, 42) != _unit(7, 11, 42)
+        assert _unit(7, 13, 42) != _unit(7, 13, 43)
+
+    def test_range_and_spread(self):
+        values = [_unit(3, 17, n) for n in range(2000)]
+        assert all(0.0 <= v < 1.0 for v in values)
+        # Roughly uniform: mean near 0.5.
+        assert 0.45 < sum(values) / len(values) < 0.55
+
+
+class TestWindows:
+    def test_schedule_independent_of_query_pattern(self):
+        dense = _Windows(99, 5_000.0, 2_000.0, 4.0, jitter=0.3)
+        sparse = _Windows(99, 5_000.0, 2_000.0, 4.0, jitter=0.3)
+        # Query one track at every microsecond-ish step, the other only
+        # at coarse instants: answers at shared instants must agree.
+        expected = {}
+        for t in range(0, 200_000, 50):
+            expected[t] = dense.current(float(t))
+        for t in range(0, 200_000, 1_700):
+            assert sparse.current(float(t)) == expected[t]
+
+    def test_windows_cover_time_with_magnitude(self):
+        w = _Windows(5, 1_000.0, 1_000.0, 8.0)
+        hits = sum(w.current(float(t)) is not None
+                   for t in range(0, 100_000, 25))
+        # gap ~= duration: roughly half the time inside a window.
+        assert 0.25 < hits / 4000 < 0.75
+        w2 = _Windows(5, 1_000.0, 1_000.0, 8.0)
+        inside = next(w2.current(float(t))
+                      for t in range(0, 100_000, 25)
+                      if w2.current(float(t)) is not None)
+        assert inside[0] == 8.0
+
+
+# -- presets ----------------------------------------------------------------
+
+
+class TestPresets:
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ValueError, match="unknown fault preset"):
+            make_preset("meteor")
+
+    def test_none_and_zero_intensity_disabled(self):
+        assert not make_preset("none").enabled
+        assert not make_preset("storm", intensity=0.0).enabled
+        assert not make_preset("chaos", intensity=-1.0).enabled
+
+    def test_every_preset_constructs(self):
+        for name in PRESETS:
+            spec = make_preset(name, seed=1)
+            assert spec.preset == name
+            assert name in spec.describe()
+            if name != "none":
+                assert spec.enabled
+
+    def test_chaos_enables_every_model(self):
+        spec = make_preset("chaos", seed=2)
+        for model in ("storms", "errors", "bandwidth", "stalls",
+                      "fabric"):
+            assert getattr(spec, model) is not None, model
+
+    def test_intensity_scales_probabilities_and_gaps(self):
+        lo = make_preset("flaky", intensity=1.0)
+        hi = make_preset("flaky", intensity=2.0)
+        assert hi.errors.read_fail_prob == 2 * lo.errors.read_fail_prob
+        # Probabilities cap at 0.5 no matter how wild the intensity.
+        wild = make_preset("flaky", intensity=1_000.0)
+        assert wild.errors.read_fail_prob == 0.5
+        s_lo = make_preset("storm", intensity=1.0)
+        s_hi = make_preset("storm", intensity=2.0)
+        assert s_hi.storms.mean_gap_us < s_lo.storms.mean_gap_us
+        assert s_hi.storms.multiplier > s_lo.storms.multiplier
+
+
+# -- the per-request oracle -------------------------------------------------
+
+
+class TestFaultEngine:
+    def test_certain_read_failure(self):
+        sim = Simulator()
+        spec = FaultSpec(seed=1, errors=TransientErrorSpec(
+            read_fail_prob=1.0, write_fail_prob=0.0))
+        engine = FaultEngine(sim, spec)
+        exc, latency, mult, factor = engine.decide(_Req("read"), 0.0)
+        assert isinstance(exc, DeviceError)
+        assert latency == spec.errors.error_latency_us
+        healthy = engine.decide(_Req("write"), 0.0)
+        assert healthy == (None, 0.0, 1.0, 1.0)
+        assert engine.stats.error_faults == 1
+        assert engine.stats.decisions == 2
+
+    def test_fabric_drop_and_remote_latency(self):
+        sim = Simulator()
+        spec = FaultSpec(seed=1, fabric=FabricSpec(
+            drop_prob=1.0, error_latency_us=10.0))
+        engine = FaultEngine(sim, spec)
+        remote = RemoteNVMeDevice(sim)
+        engine.attach(remote)
+        # A drop is detected only after ~4 RTTs on a remote device.
+        assert engine._fabric_latency == pytest.approx(
+            4.0 * remote.remote.rtt)
+        exc, latency, _m, _f = engine.decide(_Req("read"), 0.0)
+        assert isinstance(exc, FabricError)
+        assert latency == engine._fabric_latency
+
+    def test_stall_windows_counted_once(self):
+        sim = Simulator()
+        spec = FaultSpec(seed=4, stalls=QueueStallSpec(
+            mean_gap_us=1_000.0, mean_duration_us=1_000.0))
+        engine = FaultEngine(sim, spec)
+        mirror = _Windows(4 ^ 0x57A1, 1_000.0, 1_000.0)
+        start = None
+        for t in range(0, 100_000, 10):
+            if mirror.current(float(t)) is not None:
+                start = float(t)
+                break
+        assert start is not None
+        end = engine.stall_until(start)
+        assert end > start
+        assert engine.stats.stall_windows == 1
+        assert engine.stall_until(start + 1.0) == end
+        assert engine.stats.stall_windows == 1  # same window, one count
+
+
+# -- retry / backoff / deadline in the device -------------------------------
+
+
+def _engine_device(spec):
+    sim = Simulator()
+    dev = NVMeDevice(sim)
+    dev.set_fault_engine(FaultEngine(sim, spec))
+    return sim, dev
+
+
+class TestDeviceRetry:
+    def test_blocking_read_retries_through_transient_faults(self):
+        # ~50% failure rate: every blocking read must still succeed.
+        spec = FaultSpec(seed=7, errors=TransientErrorSpec(
+            read_fail_prob=0.5, write_fail_prob=0.0))
+        sim, dev = _engine_device(spec)
+        outcomes = []
+
+        def submitter():
+            for i in range(40):
+                try:
+                    yield dev.read(i * MB, 64 * KB, priority=BLOCKING,
+                                   stream=1)
+                except DeviceError:
+                    outcomes.append("fail")
+                else:
+                    outcomes.append("ok")
+
+        sim.process(submitter())
+        sim.run()
+        assert outcomes == ["ok"] * 40
+        assert dev.stats.read_failures > 0
+        assert dev.stats.retries >= dev.stats.read_failures
+        assert dev.stats.retry_exhausted == 0
+        assert dev.stats.read_bytes == 40 * 64 * KB
+
+    def test_blocking_retry_exhaustion_raises(self):
+        spec = FaultSpec(
+            seed=1,
+            errors=TransientErrorSpec(read_fail_prob=1.0),
+            retry=RetryPolicy(blocking_retries=3, base_backoff_us=10.0))
+        sim, dev = _engine_device(spec)
+        caught = []
+
+        def submitter():
+            try:
+                yield dev.read(0, 4 * KB, priority=BLOCKING, stream=1)
+            except DeviceError as exc:
+                caught.append(exc)
+
+        sim.process(submitter())
+        sim.run()
+        assert len(caught) == 1
+        assert caught[0].code == "EIO"
+        assert dev.stats.retry_exhausted == 1
+        assert dev.stats.retries == 3          # 4 attempts, 3 retries
+        assert dev.stats.read_failures == 4
+
+    def test_prefetch_deadline_aborts_instead_of_wedging(self):
+        # Retries never give up on their own; the deadline must.
+        spec = FaultSpec(
+            seed=1,
+            errors=TransientErrorSpec(read_fail_prob=1.0,
+                                      error_latency_us=40.0),
+            retry=RetryPolicy(prefetch_retries=10_000,
+                              prefetch_timeout_us=500.0,
+                              base_backoff_us=10.0,
+                              max_backoff_us=20.0))
+        sim, dev = _engine_device(spec)
+        caught = []
+        stamp = []
+
+        def submitter():
+            try:
+                yield dev.read(0, 4 * KB, priority=PREFETCH, stream=1)
+            except DeviceError as exc:
+                caught.append(exc)
+                stamp.append(sim.now)
+
+        sim.process(submitter())
+        sim.run()
+        assert len(caught) == 1
+        assert isinstance(caught[0], DeviceTimeout)
+        assert stamp[0] == pytest.approx(500.0)
+        assert dev.stats.timeouts == 1
+        assert dev.faults.stats.timeouts == 1
+        # The abandoned request feeds the degradation controller hard.
+        assert dev.degrade.pressure > 0.0
+
+    def test_prefetch_exhausts_quickly(self):
+        spec = FaultSpec(seed=1,
+                         errors=TransientErrorSpec(read_fail_prob=1.0))
+        sim, dev = _engine_device(spec)
+        caught = []
+
+        def submitter():
+            try:
+                yield dev.read(0, 4 * KB, priority=PREFETCH, stream=1)
+            except DeviceError as exc:
+                caught.append(exc)
+
+        sim.process(submitter())
+        sim.run()
+        assert len(caught) == 1
+        assert not isinstance(caught[0], DeviceTimeout)
+        assert dev.stats.retry_exhausted == 1
+        assert dev.stats.retries == spec.retry.prefetch_retries
+
+    def test_fault_summary_shape(self):
+        spec = FaultSpec(seed=7, errors=TransientErrorSpec(
+            read_fail_prob=0.5, write_fail_prob=0.0))
+        sim, dev = _engine_device(spec)
+
+        def submitter():
+            for i in range(10):
+                yield dev.read(i * MB, 16 * KB, priority=BLOCKING,
+                               stream=1)
+
+        sim.process(submitter())
+        sim.run()
+        summary = dev.stats.fault_summary()
+        assert set(summary) == {
+            "faults_injected", "read_failures", "write_failures",
+            "retries", "retry_exhausted", "timeouts",
+            "aborted_requests", "stall_time_us"}
+
+
+# -- degradation state machine ----------------------------------------------
+
+
+class TestDegradeController:
+    def test_escalation_and_hysteresis(self):
+        policy = DegradePolicy()
+        ctl = DegradeController(None, policy)
+        assert ctl.current_level(0.0) == 0
+        for _ in range(3):
+            ctl.note_fault(0.0)
+        assert ctl.level == 1                   # throttled
+        for _ in range(6):
+            ctl.note_fault(0.0)
+        assert ctl.level == 2                   # paused
+        assert ctl.transitions == 2
+        # Pressure decays, but recovery waits for the quiet dwell and
+        # then steps down one level at a time.
+        t1 = policy.recover_us + 1.0
+        assert ctl.current_level(t1) == 1
+        assert ctl.current_level(t1 + 1.0) == 0
+        assert ctl.transitions == 4
+
+    def test_no_step_down_while_faults_keep_arriving(self):
+        policy = DegradePolicy()
+        ctl = DegradeController(None, policy)
+        for _ in range(10):
+            ctl.note_fault(0.0)
+        assert ctl.level == 2
+        # Fresh faults reset the quiet clock: still paused much later.
+        ctl.note_fault(policy.recover_us)
+        assert ctl.current_level(policy.recover_us + 100.0) == 2
+
+    def test_transition_callback_fires(self):
+        seen = []
+        ctl = DegradeController(
+            None, DegradePolicy(),
+            on_transition=lambda level, now: seen.append(level))
+        for _ in range(10):
+            ctl.note_fault(0.0)
+        assert seen[:2] == [1, 2]
+
+
+# -- worker restart ---------------------------------------------------------
+
+
+class _StubRegistry:
+    def __init__(self):
+        self.counts = {}
+
+    def count(self, name):
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+
+class TestWorkerRestart:
+    def test_supervisor_restarts_crashed_worker(self):
+        from types import SimpleNamespace
+
+        from repro.crosslib.workers import WorkerPool
+
+        sim = Simulator()
+        registry = _StubRegistry()
+        runtime = SimpleNamespace(
+            sim=sim, registry=registry,
+            config=SimpleNamespace(nr_workers=1),
+            kernel=SimpleNamespace(
+                device=SimpleNamespace(faults=object(), degrade=None)))
+
+        class BoomPool(WorkerPool):
+            def _worker_loop(self, index):
+                if self.restarts == 0:
+                    raise RuntimeError("boom")
+                # Restarted incarnation parks on the (empty) queue.
+                yield self.queue.get()
+
+        pool = BoomPool(runtime)
+        sim.run()
+        assert pool.restarts == 1
+        assert registry.counts["cross.worker_restarts"] == 1
+        assert all(w.is_alive for w in pool._workers)
+        # Teardown interrupts cleanly — no restart loop on Interrupt.
+        pool.teardown()
+        sim.run()
+        assert pool.restarts == 1
+
+
+# -- end-to-end properties --------------------------------------------------
+
+
+class TestDeterminism:
+    def test_same_seed_same_chaos_run(self):
+        spec = make_preset("chaos", seed=3)
+        r1 = run_stress(3, faults=spec)
+        r2 = run_stress(3, faults=make_preset("chaos", seed=3))
+        assert r1 == r2
+        assert r1["faults"]["faults_injected"] > 0
+
+    def test_disabled_spec_is_byte_identical_to_healthy(self):
+        healthy = run_stress(0)
+        disabled = run_stress(0, faults=make_preset("storm",
+                                                    intensity=0.0))
+        assert healthy == disabled
+        assert "faults" not in disabled
+
+    def test_microbench_identical_event_sequence_under_faults(self):
+        from repro.harness.configs import MachineConfig, Scale
+        from repro.harness.runner import faulting, run_one
+        from repro.workloads.microbench import (
+            MicrobenchConfig,
+            run_microbench,
+        )
+
+        def workload(kernel, runtime):
+            cfg = MicrobenchConfig(nthreads=2, total_bytes=8 * MB,
+                                   pattern="rand", sharing="shared",
+                                   sample_latencies=True)
+            return run_microbench(kernel, runtime, cfg)
+
+        machine = MachineConfig.local_ext4(Scale())
+        runs = []
+        with faulting(make_preset("chaos", seed=5)):
+            for _ in range(2):
+                runs.append(run_one(machine, "CrossP[+predict+opt]",
+                                    workload, memory_bytes=16 * MB))
+        m1, m2 = runs
+        # The full per-op latency sequence matching means the two runs
+        # made identical scheduling decisions, not just similar totals.
+        assert m1.latencies_us == m2.latencies_us
+        assert m1.duration_us == m2.duration_us
+        assert m1.extra["faults"] == m2.extra["faults"]
+
+
+class TestAuditUnderChaos:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_chaos_audit_green(self, seed):
+        spec = make_preset("chaos", seed=seed, intensity=1.5)
+        summary = run_stress(seed, faults=spec)   # raises on violation
+        assert summary["faults"]["faults_injected"] >= 0
+
+    def test_fabric_preset_on_stress(self):
+        summary = run_stress(1, faults=make_preset("flaky", seed=1,
+                                                   intensity=2.0))
+        faults = summary["faults"]
+        assert faults["read_failures"] + faults["write_failures"] > 0
+        assert faults["retries"] > 0
