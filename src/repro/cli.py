@@ -31,6 +31,12 @@ Commands
     simulated events/sec per benchmark); ``--baseline`` gates against
     a committed BENCH_sim_core.json.
 
+Multi-tenant QoS: ``--tenants name[:weight[:slo_us]],...`` on
+``experiment``/``workload``/``chaos`` attaches a per-tenant QoS manager
+(token buckets, fair-share prefetch slots, per-tenant degradation);
+``--fault-region N`` scopes a fault preset to one device region.  The
+``fairness`` experiment demonstrates both (see ``docs/qos.md``).
+
 Examples::
 
     python -m repro list
@@ -40,8 +46,10 @@ Examples::
     python -m repro check fig5 --faults flaky --stress 2
     python -m repro bench --baseline BENCH_sim_core.json
     python -m repro trace fig2 --quick --out traces
+    python -m repro experiment fairness --seed 1
     python -m repro workload --kind microbench --pattern rand \
-        --approach OSonly --approach "CrossP[+predict+opt]"
+        --approach OSonly --approach "CrossP[+predict+opt]" \
+        --tenants "A:2,B:1" --faults storm --fault-region 0
 """
 
 from __future__ import annotations
@@ -55,10 +63,17 @@ from repro.harness import experiments as exp
 from repro.harness import runner
 from repro.harness.metrics import ApproachMetrics
 from repro.harness.report import format_table
-from repro.harness.runner import TraceSpec, auditing, faulting, tracing
+from repro.harness.runner import (
+    TraceSpec,
+    auditing,
+    faulting,
+    tenancy,
+    tracing,
+)
 from repro.os.kernel import Kernel
 from repro.runtimes.factory import APPROACHES, build_runtime, needs_cross
 from repro.sim.faults import PRESETS, FaultSpec, make_preset
+from repro.sim.qos import QosSpec
 from repro.sim.trace import Tracer
 
 __all__ = ["main"]
@@ -81,6 +96,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "fig9a": exp.run_fig9a_ycsb,
     "fig9b": exp.run_fig9b_snappy,
     "resilience": exp.run_resilience,
+    "fairness": exp.run_fairness,
 }
 
 
@@ -90,7 +106,16 @@ def _fault_spec(args: argparse.Namespace) -> Optional[FaultSpec]:
     if not preset or preset == "none":
         return None
     return make_preset(preset, seed=getattr(args, "seed", 0),
-                       intensity=getattr(args, "fault_intensity", 1.0))
+                       intensity=getattr(args, "fault_intensity", 1.0),
+                       region=getattr(args, "fault_region", None))
+
+
+def _qos_spec(args: argparse.Namespace) -> Optional[QosSpec]:
+    """Build the QoS spec requested by ``--tenants`` (None if absent)."""
+    text = getattr(args, "tenants", None)
+    if not text:
+        return None
+    return QosSpec.parse(text)
 
 
 def _add_seed_arg(p: argparse.ArgumentParser) -> None:
@@ -108,6 +133,16 @@ def _add_fault_args(p: argparse.ArgumentParser) -> None:
                    metavar="X",
                    help="scale the fault preset's probabilities and "
                         "window frequency (default 1.0)")
+    p.add_argument("--fault-region", type=int, default=None, metavar="N",
+                   help="scope per-request faults to streams placed in "
+                        "device region N (default: device-wide)")
+
+
+def _add_tenant_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--tenants", default=None, metavar="SPEC",
+                   help="enable multi-tenant QoS: comma-separated "
+                        "name[:weight[:slo_us]] entries, e.g. "
+                        "'A:2,B:1' or 'latency:1:2500,batch:3'")
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -156,6 +191,7 @@ QUICK_ARGS: dict[str, dict] = {
                   total_bytes=64 * MB),
     "resilience": dict(intensities=(0.0, 1.0), nthreads=2,
                        memory_bytes=24 * MB, oversubscription=1.5),
+    "fairness": dict(memory_bytes=24 * MB, oversubscription=1.5),
 }
 
 
@@ -189,7 +225,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         kwargs["seed"] = args.seed
     print(f"seed: {args.seed}")
     with tracing(spec), auditing(bool(getattr(args, "audit", False))), \
-            faulting(_fault_spec(args)):
+            faulting(_fault_spec(args)), tenancy(_qos_spec(args)):
         _results, report = fn(**kwargs)
     print(report)
     if spec is not None and spec.results:
@@ -339,7 +375,8 @@ def _run_workload(kind: str, approach: str, *, nthreads: int,
                     emit_lock_holds=spec.emit_holds
                     if spec is not None else False,
                     audit=runner.audit_enabled(),
-                    faults=runner.active_fault_spec())
+                    faults=runner.active_fault_spec(),
+                    qos=runner.active_qos_spec())
     runtime = build_runtime(approach, kernel)
 
     def _finish(metrics: ApproachMetrics) -> ApproachMetrics:
@@ -392,7 +429,7 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     results = {}
     print(f"seed: {args.seed}")
     with tracing(spec), auditing(bool(getattr(args, "audit", False))), \
-            faulting(_fault_spec(args)):
+            faulting(_fault_spec(args)), tenancy(_qos_spec(args)):
         for approach in approaches:
             if approach not in APPROACHES:
                 print(f"unknown approach {approach!r}", file=sys.stderr)
@@ -432,7 +469,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         kwargs["approaches"] = tuple(args.approach)
     print(f"seed: {args.seed}")
     try:
-        with auditing(bool(args.audit)):
+        with auditing(bool(args.audit)), tenancy(_qos_spec(args)):
             _results, report = exp.run_resilience(**kwargs)
     except AuditError as exc:
         print(f"AUDIT FAIL under chaos: {exc}", file=sys.stderr)
@@ -464,6 +501,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "violation)")
     _add_seed_arg(p_exp)
     _add_fault_args(p_exp)
+    _add_tenant_args(p_exp)
     p_exp.set_defaults(fn=_cmd_experiment)
 
     p_chk = sub.add_parser(
@@ -549,6 +587,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="repeatable; defaults to OSonly + "
                            "CrossP[+predict+opt]")
     _add_seed_arg(p_ch)
+    _add_tenant_args(p_ch)
     p_ch.set_defaults(fn=_cmd_chaos)
 
     p_wl = sub.add_parser("workload", help="run one workload ad hoc")
@@ -570,6 +609,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="run with the invariant auditor attached")
     _add_seed_arg(p_wl)
     _add_fault_args(p_wl)
+    _add_tenant_args(p_wl)
     p_wl.set_defaults(fn=_cmd_workload)
     return parser
 

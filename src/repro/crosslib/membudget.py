@@ -12,6 +12,25 @@ Below the eviction watermark the budget manager reclaims on the user's
 terms rather than waiting for kernel LRU churn: inactive files first
 (open count zero / idle past the 30 s threshold), then cold ranges of
 the least-recently-used active file, all via ``fadvise(DONTNEED)``.
+
+Public entry points: :meth:`MemoryBudget.update` /
+:meth:`MemoryBudget.refresh` feed free-memory telemetry;
+``allow_prefetch`` / ``allow_aggressive`` / ``allow_bulk`` are the
+gates the runtime and workers consult; :meth:`MemoryBudget.maybe_evict`
+is the reclamation pass (a simulation process — re-entry is guarded by
+``_evicting``, so concurrent callers cannot run two passes).
+
+With a QoS manager attached (``kernel.qos``) victim selection prefers
+files of *degraded* tenants: a throttled/paused tenant is not filling
+its cache anyway, so its pages are the cheapest to re-lease to healthy
+tenants.  Ties (and every run without QoS) fall back to the stock
+oldest-``last_access`` order, so healthy runs pick identical victims.
+
+Auditor invariants touched here: eviction goes through
+``fadvise(DONTNEED)``, so page-cache residency, the Cross-OS mirror
+bitmap, and the user-space range tree stay consistent
+(``repro.sim.audit`` checks all three); ``evicted_pages`` feeds the
+``cross.evicted_pages`` counter.
 """
 
 from __future__ import annotations
@@ -125,9 +144,20 @@ class MemoryBudget:
         self.update(mem.free_pages, mem.total_pages)
         return freed
 
+    def _victim_key(self, state: UserFileState,
+                    now: float) -> tuple[int, float]:
+        """Victim preference: degraded tenants' files first (their
+        prefetch is throttled anyway), then oldest access.  Without QoS
+        every level is 0 and the order is the stock LRU."""
+        qos = self.runtime.kernel.device.qos
+        level = 0 if qos is None \
+            else qos.level_of(state.inode.id, now)
+        return (level, -state.last_access)
+
     def _pick_inactive(self, now: float) -> Optional[UserFileState]:
-        """Oldest inactive file with cached pages, if any."""
+        """Best inactive file with cached pages, if any."""
         best: Optional[UserFileState] = None
+        best_key: Optional[tuple[int, float]] = None
         for state in self.runtime.iter_states():
             if state.open_count > 0:
                 continue
@@ -135,17 +165,21 @@ class MemoryBudget:
                 continue
             if state.inode.cache.cached_pages == 0:
                 continue
-            if best is None or state.last_access < best.last_access:
-                best = state
+            key = self._victim_key(state, now)
+            if best_key is None or key > best_key:
+                best, best_key = state, key
         return best
 
     def _pick_lru_active(self) -> Optional[UserFileState]:
+        now = self.runtime.sim.now
         best: Optional[UserFileState] = None
+        best_key: Optional[tuple[int, float]] = None
         for state in self.runtime.iter_states():
             if state.inode.cache.cached_pages == 0:
                 continue
-            if best is None or state.last_access < best.last_access:
-                best = state
+            key = self._victim_key(state, now)
+            if best_key is None or key > best_key:
+                best, best_key = state, key
         return best
 
     def _evict_from(self, state: UserFileState,

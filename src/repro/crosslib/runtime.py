@@ -56,8 +56,11 @@ class CrossLibRuntime(IORuntime):
             and not self.config.fetchall
         # Fault-pressure controller (None on a healthy device): while it
         # is throttled the library stops asking for relaxed windows and
-        # suspends opportunistic bulk loading.
+        # suspends opportunistic bulk loading.  With a QoS manager the
+        # check is per-tenant (only the faulted tenant's streams are
+        # throttled); otherwise the device-global controller applies.
         self._degrade = kernel.device.degrade
+        self._qos = kernel.device.qos
 
     # -- helpers ----------------------------------------------------------------
 
@@ -138,11 +141,18 @@ class CrossLibRuntime(IORuntime):
             relaxed = self.config.relax_limits and (
                 not self._aggressive
                 or self.budget.allow_aggressive)
-            if relaxed and self._degrade is not None \
-                    and self._degrade.current_level(self.sim.now) >= 1:
-                # Device under fault pressure: fall back to conservative
-                # windows until the controller recovers.
-                relaxed = False
+            if relaxed:
+                if self._qos is not None:
+                    if self._qos.level_of(inode.id, self.sim.now) >= 1:
+                        # This stream's tenant is absorbing faults: fall
+                        # back to conservative windows until it recovers
+                        # (co-tenants keep their relaxed windows).
+                        relaxed = False
+                elif self._degrade is not None \
+                        and self._degrade.current_level(self.sim.now) >= 1:
+                    # Device under fault pressure: fall back to
+                    # conservative windows until the controller recovers.
+                    relaxed = False
             plan = ufd.predictor.plan(state.nblocks, relaxed)
             if plan is not None and self._plan_due(ufd, plan, b0, count):
                 yield from self._maybe_enqueue(state, plan)
@@ -265,10 +275,13 @@ class CrossLibRuntime(IORuntime):
             return
         if not self.budget.allow_bulk:
             return
-        if self._degrade is not None \
+        # Bulk loading is pure opportunism — first thing to go when the
+        # device (or, under QoS, this stream's tenant) absorbs faults.
+        if self._qos is not None:
+            if self._qos.level_of(state.inode.id, self.sim.now) >= 1:
+                return
+        elif self._degrade is not None \
                 and self._degrade.current_level(self.sim.now) >= 1:
-            # Bulk loading is pure opportunism — first thing to go when
-            # the device is absorbing faults.
             return
         if self.workers.backlog >= cfg.nr_workers:
             return

@@ -99,9 +99,15 @@ class WorkerPool:
                 if span is not None:
                     span.end(dropped=True)
                 continue
-            degrade = runtime.kernel.device.degrade
-            if degrade is not None \
-                    and degrade.current_level(runtime.sim.now) >= 2:
+            qos = runtime.kernel.device.qos
+            if qos is not None:
+                paused = qos.level_of(state.inode.id,
+                                      runtime.sim.now) >= 2
+            else:
+                degrade = runtime.kernel.device.degrade
+                paused = degrade is not None \
+                    and degrade.current_level(runtime.sim.now) >= 2
+            if paused:
                 # Prefetch paused by fault pressure: drop before paying
                 # the syscall; dedup marks released so a later pass can
                 # re-request once the device recovers.

@@ -28,8 +28,10 @@ from repro.harness.experiments.apps import (
     run_fig9b_snappy,
 )
 from repro.harness.experiments.resilience import run_resilience
+from repro.harness.experiments.fairness import run_fairness
 
 __all__ = [
+    "run_fairness",
     "run_fig10_prefetch_limit",
     "run_fig2_motivation",
     "run_fig5_microbench",

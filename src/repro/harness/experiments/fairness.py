@@ -1,0 +1,209 @@
+"""Fairness experiment: multi-tenant QoS under a single-region fault.
+
+Not a figure from the paper — this is the multi-tenant pillar: two
+tenants stream their own files, placed in different device regions, and
+a fault preset is scoped to tenant A's region only
+(``FaultSpec.region``).  The claim under test is *fault isolation*:
+
+* with the per-tenant QoS manager attached (``--tenants``), only tenant
+  A's prefetch is throttled/paused; tenant B must keep ≥90% of its
+  fault-free throughput, because A's freed prefetch slots and bucket
+  rate are re-leased to B and none of B's submissions are clamped;
+* with the PR-4 *global* degrade clamp (same kernel, no QoS manager),
+  A's fault pressure throttles B's prefetch too — B's retention
+  visibly regresses even though B's region is perfectly healthy;
+* OS-only readahead is the control: no clamp at all, but also no
+  large-window prefetch to protect.
+
+Every row is deterministic per seed and runs green under the invariant
+auditor (``repro check fairness``).  See ``docs/qos.md``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generator, Optional, Sequence
+
+from repro.harness.configs import MachineConfig, Scale
+from repro.harness.metrics import ApproachMetrics, collect_metrics
+from repro.harness.report import format_matrix
+from repro.harness.runner import faulting, run_approaches, tenancy
+from repro.runtimes.base import HINT_RANDOM
+from repro.sim.faults import make_preset
+from repro.sim.qos import QosSpec, TenantSpec
+
+__all__ = ["run_fairness"]
+
+KB = 1 << 10
+MB = 1 << 20
+
+CROSS = "CrossP[+predict+opt]"
+OSONLY = "OSonly"
+
+
+def _percentile(samples: list, pct: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = pct / 100 * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def run_fairness(seed: int = 0,
+                 preset: str = "flaky",
+                 intensity: float = 6.0,
+                 memory_bytes: int = 64 * MB,
+                 oversubscription: float = 2.0,
+                 io_size: int = 16 * KB,
+                 segment_bytes: int = 1 * MB,
+                 backward_fraction: float = 0.4,
+                 tenants: Sequence[str] = ("A", "B"),
+                 faulted_region: int = 0) -> tuple[dict, str]:
+    """Per-tenant throughput with one tenant's region faulted.
+
+    Each tenant owns one file pinned to its own device region; tenant
+    ``tenants[faulted_region]``'s region takes the ``preset`` fault
+    scenario while the co-tenants' regions stay healthy.  Rows compare
+    per-tenant QoS, the global degrade clamp, and OS-only readahead,
+    each against its own fault-free baseline.
+    """
+    total_bytes = int(memory_bytes * oversubscription)
+    per_tenant = total_bytes // len(tenants) // io_size * io_size
+    machine = MachineConfig.local_ext4(Scale())
+    qos = QosSpec(tenants=tuple(TenantSpec(name) for name in tenants))
+
+    def workload(kernel, runtime) -> ApproachMetrics:
+        for idx, name in enumerate(tenants):
+            kernel.create_file(f"/fair/{name}", per_tenant,
+                               tenant=name, region=idx)
+        per: dict[str, dict] = {}
+
+        def reader(idx: int, name: str) -> Generator:
+            rng = random.Random(seed * 1000 + idx)
+            handle = yield from runtime.open(f"/fair/{name}",
+                                             HINT_RANDOM)
+            t0 = kernel.now
+            moved = hits = misses = 0
+            lats: list[float] = []
+            seg = segment_bytes
+            order = list(range(per_tenant // seg))
+            rng.shuffle(order)
+            for s in order:
+                seg_base = s * seg
+                offsets = list(range(0, seg, io_size))
+                if rng.random() < backward_fraction:
+                    offsets.reverse()
+                for off in offsets:
+                    op_t0 = kernel.now
+                    r = yield from runtime.pread(
+                        handle, seg_base + off, io_size)
+                    lats.append(kernel.now - op_t0)
+                    moved += r.nbytes
+                    hits += r.hit_pages
+                    misses += r.miss_pages
+            yield from runtime.close(handle)
+            dt = kernel.now - t0
+            per[name] = dict(
+                bytes=moved, hits=hits, misses=misses, dt=dt,
+                mbps=moved / MB / (dt / 1e6) if dt > 0 else 0.0,
+                p99_us=_percentile(lats, 99),
+                latencies=lats)
+
+        for idx, name in enumerate(tenants):
+            kernel.sim.process(reader(idx, name),
+                               name=f"fair_reader[{name}]")
+        kernel.run()
+
+        duration = max(d["dt"] for d in per.values())
+        all_lats: list[float] = []
+        for d in per.values():
+            all_lats.extend(d.pop("latencies"))
+        metrics = collect_metrics(
+            runtime.name, kernel,
+            duration_us=duration,
+            bytes_read=sum(d["bytes"] for d in per.values()),
+            ops=sum(d["bytes"] // io_size for d in per.values()),
+            hit_pages=sum(d["hits"] for d in per.values()),
+            miss_pages=sum(d["misses"] for d in per.values()),
+            nthreads=len(tenants),
+            latencies_us=all_lats,
+        )
+        metrics.extra["tenants"] = per
+        return metrics
+
+    fault = make_preset(preset, seed=seed, intensity=intensity,
+                        region=faulted_region)
+
+    def run_row(approach: str, qos_spec: Optional[QosSpec],
+                fault_spec) -> ApproachMetrics:
+        with tenancy(qos_spec), faulting(fault_spec):
+            results = run_approaches(machine, (approach,), workload,
+                                     memory_bytes=memory_bytes)
+        return results[approach]
+
+    rows: dict[str, ApproachMetrics] = {
+        "CrossP+QoS / healthy": run_row(CROSS, qos, None),
+        "CrossP+QoS / faulted": run_row(CROSS, qos, fault),
+        "CrossP global / healthy": run_row(CROSS, None, None),
+        "CrossP global / faulted": run_row(CROSS, None, fault),
+        "OSonly / healthy": run_row(OSONLY, None, None),
+        "OSonly / faulted": run_row(OSONLY, None, fault),
+    }
+
+    faulted_tenant = tenants[faulted_region]
+    co_tenants = [t for t in tenants if t != faulted_tenant]
+
+    def tenant_mbps(row: str, tenant: str) -> float:
+        return rows[row].extra["tenants"][tenant]["mbps"]
+
+    def retention(mode: str, tenant: str) -> float:
+        healthy = tenant_mbps(f"{mode} / healthy", tenant)
+        if healthy <= 0:
+            return 0.0
+        return 100.0 * tenant_mbps(f"{mode} / faulted", tenant) / healthy
+
+    tput: dict[str, dict[str, float]] = {}
+    p99: dict[str, dict[str, float]] = {}
+    for label, metrics in rows.items():
+        tput[label] = {t: tenant_mbps(label, t) for t in tenants}
+        tput[label]["total"] = metrics.throughput_mbps
+        p99[label] = {t: metrics.extra["tenants"][t]["p99_us"]
+                      for t in tenants}
+
+    ret: dict[str, dict[str, float]] = {
+        mode: {t: retention(mode, t) for t in tenants}
+        for mode in ("CrossP+QoS", "CrossP global", "OSonly")
+    }
+
+    title = (f"preset={preset}, intensity={intensity:g}, "
+             f"region {faulted_region} (tenant {faulted_tenant}) "
+             f"faulted, seed={seed}")
+    lines = [
+        format_matrix(f"Fairness — per-tenant throughput (MB/s) "
+                      f"({title})", tput, xlabel="tenant ->"),
+        format_matrix(f"Fairness — per-tenant p99 read latency (us) "
+                      f"({title})", p99, xlabel="tenant ->",
+                      fmt="{:>10.0f}"),
+        format_matrix(f"Fairness — faulted-run throughput retention "
+                      f"(% of own fault-free baseline) ({title})",
+                      ret, xlabel="tenant ->", fmt="{:>9.1f}%"),
+    ]
+    co = co_tenants[0]
+    lines.append(
+        f"co-tenant {co} retention: "
+        f"QoS {ret['CrossP+QoS'][co]:.1f}% vs "
+        f"global clamp {ret['CrossP global'][co]:.1f}% vs "
+        f"OS-only {ret['OSonly'][co]:.1f}%")
+
+    results = {
+        "rows": rows,
+        "retention": ret,
+        "faulted_tenant": faulted_tenant,
+        "co_tenants": co_tenants,
+    }
+    return results, "\n\n".join(lines)

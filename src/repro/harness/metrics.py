@@ -126,6 +126,11 @@ def collect_metrics(approach: str, kernel: Kernel, *,
         if degrade is not None:
             faults["degrade_transitions"] = degrade.transitions
         extra["faults"] = faults
+    qos = getattr(kernel, "qos", None)
+    if qos is not None:
+        extra["qos"] = qos.snapshot()
+        extra["qos"]["_spec"] = qos.spec.describe()
+        extra["qos"]["_reroutes"] = kernel.device.stats.reroutes
     return ApproachMetrics(
         approach=approach,
         duration_us=duration_us,

@@ -30,9 +30,10 @@ from repro.sim.observe import export_chrome_trace
 from repro.sim.trace import Tracer
 
 __all__ = ["ParallelTaskError", "TraceSpec", "active_fault_spec",
-           "active_trace_spec", "audit_enabled", "auditing", "faulting",
-           "finish_trace", "make_kernel", "run_approaches", "run_one",
-           "run_parallel", "tracing"]
+           "active_qos_spec", "active_trace_spec", "audit_enabled",
+           "auditing", "faulting", "finish_trace", "make_kernel",
+           "run_approaches", "run_one", "run_parallel", "tenancy",
+           "tracing"]
 
 WorkloadFn = Callable[[Kernel, IORuntime], ApproachMetrics]
 
@@ -99,6 +100,32 @@ def faulting(spec) -> Iterator[None]:
         yield
     finally:
         _active_faults = previous
+
+
+_active_qos = None
+
+
+def active_qos_spec():
+    return _active_qos
+
+
+@contextmanager
+def tenancy(spec) -> Iterator[None]:
+    """Run every kernel built inside the block with a multi-tenant QoS
+    manager attached.
+
+    ``spec`` is a :class:`repro.sim.qos.QosSpec` (or None / a spec with
+    no tenants for a no-op).  Mirrors :func:`faulting`: a module-global
+    lets the ``--tenants`` flags wrap any experiment function without
+    changing its signature.
+    """
+    global _active_qos
+    previous = _active_qos
+    _active_qos = spec if spec is not None and spec.enabled else None
+    try:
+        yield
+    finally:
+        _active_qos = previous
 
 
 _audit_active = False
@@ -200,6 +227,7 @@ def make_kernel(machine: MachineConfig, approach: str,
         emit_lock_holds=emit_lock_holds,
         audit=_audit_active,
         faults=_active_faults,
+        qos=_active_qos,
     )
 
 

@@ -15,6 +15,39 @@ This is the kernel half of CrossPrefetch (§4.4, §4.7):
 
 Unlike ``readahead(2)``, the call *reports what actually happened*, which
 is the visibility that lets CROSS-LIB skip redundant prefetch syscalls.
+
+Public entry points
+-------------------
+
+* :meth:`CrossOS.attach` / :meth:`CrossOS.detach` — wire a
+  :class:`CrossState` (bitmap + rw-lock, mirror hooks into the page
+  cache) onto an inode;
+* :meth:`CrossOS.readahead_info` — the syscall itself (a simulation
+  process: drive with ``yield from`` or ``sim.process``);
+* :meth:`CrossOS.evict_range` — ``fadvise(DONTNEED)`` through Cross-OS
+  accounting, used by CROSS-LIB aggressive reclaim.
+
+Admission control
+-----------------
+
+``readahead_info`` is also where degradation and multi-tenant QoS
+admission act on the prefetch stream:
+
+* with no QoS manager, the *global* device
+  :class:`~repro.sim.faults.DegradeController` clamps relaxed requests
+  to ``cross_degraded_request_bytes`` (level 1) or skips submission
+  entirely (level 2);
+* with a QoS manager attached (``kernel.qos``), the clamp is
+  **per-tenant** — only streams of the degraded tenant are clamped or
+  paused — and the missing runs are additionally trimmed to the
+  tenant's token-bucket byte budget
+  (:meth:`repro.sim.qos.QosManager.trim_runs`).
+
+Invariants the auditor checks here (``repro.sim.audit``): the exported
+bitmap must mirror page-cache residency exactly (``check_mirror`` on
+every insert/evict hook), and every block counted in
+``cross.prefetch_blocks`` is attributed to exactly one tenant when QoS
+is on (Σ per-tenant ``admitted_blocks`` equals that counter).
 """
 
 from __future__ import annotations
@@ -149,20 +182,33 @@ class CrossOS:
 
         cap = info.max_request_bytes or cfg.cross_max_request_bytes
         cap = min(cap, cfg.cross_max_request_bytes)
-        # Graceful degradation under fault pressure: while the device's
-        # controller is throttled, relaxed multi-MB requests shrink to
-        # the conservative window; while it is paused, the syscall still
-        # serves bitmap + telemetry but submits no prefetch at all.
+        # Graceful degradation under fault pressure: while throttled,
+        # relaxed multi-MB requests shrink to the conservative window;
+        # while paused, the syscall still serves bitmap + telemetry but
+        # submits no prefetch at all.  With a QoS manager the level is
+        # the *stream's tenant's* — co-tenants on healthy regions keep
+        # their relaxed windows (the global clamp was the unfairness
+        # this fixes); otherwise the device-global controller decides.
         degrade_paused = False
-        degrade = vfs.device.degrade
-        if degrade is not None:
-            level = degrade.current_level(sim.now)
+        qos = vfs.device.qos
+        if qos is not None:
+            level = qos.level_of(inode.id, sim.now)
             if level >= 2:
                 degrade_paused = True
                 vfs.registry.count("cross.degraded_skips")
             elif level == 1 and cap > cfg.cross_degraded_request_bytes:
                 cap = cfg.cross_degraded_request_bytes
                 vfs.registry.count("cross.degraded_clamps")
+        else:
+            degrade = vfs.device.degrade
+            if degrade is not None:
+                level = degrade.current_level(sim.now)
+                if level >= 2:
+                    degrade_paused = True
+                    vfs.registry.count("cross.degraded_skips")
+                elif level == 1 and cap > cfg.cross_degraded_request_bytes:
+                    cap = cfg.cross_degraded_request_bytes
+                    vfs.registry.count("cross.degraded_clamps")
         nbytes = min(info.nbytes, max(0, inode.size - info.offset))
         if nbytes > cap:
             nbytes = cap
@@ -195,10 +241,20 @@ class CrossOS:
                 missing = subtracted
         state.lock.release_read()
 
+        # cached_pages reports residency, so it is computed from the
+        # pre-admission miss total: blocks the token bucket trims away
+        # below are still absent from the cache.
+        missing_total = sum(n for _s, n in missing)
         submitted = 0
         if missing and not info.fetch_bitmap_only \
                 and not state.prefetch_disabled and not degrade_paused:
+            if qos is not None:
+                # Token-bucket admission: trim this submission to the
+                # tenant's remaining byte budget (block-granular).
+                missing = qos.trim_runs(inode.id, missing,
+                                        cfg.block_size, sim.now)
             submitted = sum(n for _s, n in missing)
+        if submitted:
             vfs.registry.count("cross.prefetch_blocks", submitted)
             # Claim the runs before yielding so a concurrent caller in
             # the same instant cannot double-submit the same blocks.
@@ -228,8 +284,7 @@ class CrossOS:
         info.bitmap_bits = window
         info.bitmap_start = win_start
         info.bitmap_count = win_count
-        info.cached_pages = (count - sum(n for _s, n in missing)
-                             if count > 0 else 0)
+        info.cached_pages = count - missing_total if count > 0 else 0
         info.prefetch_submitted = submitted
         info.file_cached_pages = inode.cache.cached_pages
         info.free_pages = vfs.mem.free_pages

@@ -21,6 +21,7 @@ from repro.sim.audit import Auditor
 from repro.sim.engine import Simulator
 from repro.sim.faults import FaultEngine, FaultSpec
 from repro.sim.observe import Observer
+from repro.sim.qos import QosManager, QosSpec
 from repro.sim.stats import StatsRegistry
 from repro.storage.device import StorageDevice
 from repro.storage.nvme import NVMeDevice
@@ -48,7 +49,8 @@ class Kernel:
                  tracer=None,
                  emit_lock_holds: bool = False,
                  audit: bool = False,
-                 faults: Optional[FaultSpec] = None):
+                 faults: Optional[FaultSpec] = None,
+                 qos: Optional[QosSpec] = None):
         self.config = config or KernelConfig()
         self.sim = Simulator()
         self.registry = StatsRegistry()
@@ -81,6 +83,17 @@ class Kernel:
         if faults is not None and faults.enabled:
             self.fault_engine = FaultEngine(self.sim, faults)
             self.device.set_fault_engine(self.fault_engine)
+        # Multi-tenant QoS attaches after the fault engine (it reuses
+        # the spec's degrade policy per tenant) and before the VFS so
+        # the read path sees device.qos from its first request.  A spec
+        # with no tenants attaches nothing — byte-identical run.
+        self.qos: Optional[QosManager] = None
+        if qos is not None and qos.enabled:
+            policy = faults.degrade \
+                if faults is not None and faults.enabled else None
+            self.qos = QosManager(self.sim, qos, policy=policy,
+                                  registry=self.registry)
+            self.device.set_qos(self.qos)
         self.vfs = VFS(self.sim, self.device, self.mem, self.config,
                        self.registry)
         self.vfs.tracer = tracer
@@ -95,10 +108,18 @@ class Kernel:
     def now(self) -> float:
         return self.sim.now
 
-    def create_file(self, path: str, size: int) -> Inode:
+    def create_file(self, path: str, size: int, *,
+                    tenant: Optional[str] = None,
+                    region: Optional[int] = None) -> Inode:
+        """Create a file; optionally tag its stream with a QoS tenant
+        and pin it to a device region for region-scoped faults."""
         inode = self.vfs.create(path, size)
         if self.cross is not None:
             self.cross.attach(inode)
+        if self.qos is not None:
+            self.qos.register_stream(inode.id, tenant)
+        if region is not None:
+            self.device.place_stream(inode.id, region)
         return inode
 
     def mmap(self, file: File) -> MmapRegion:

@@ -52,6 +52,10 @@ class ReadaheadState:
         self.prev_end: Optional[int] = None  # block after previous read
         self.async_triggers = 0
         self.sync_expansions = 0
+        # Per-stream degradation clamp (blocks).  Set by the VFS from
+        # the QoS manager while the FD's tenant is throttled; None
+        # leaves the stock window untouched.
+        self.degraded_cap: Optional[int] = None
 
     # -- hints ---------------------------------------------------------------
 
@@ -69,9 +73,10 @@ class ReadaheadState:
 
     @property
     def max_window(self) -> int:
-        if self.sequential_hint:
-            return self.ra_pages * 2
-        return self.ra_pages
+        cap = self.ra_pages * 2 if self.sequential_hint else self.ra_pages
+        if self.degraded_cap is not None and self.degraded_cap < cap:
+            return self.degraded_cap
+        return cap
 
     # -- the on-demand algorithm ----------------------------------------------
 

@@ -259,6 +259,11 @@ class VFS:
             cache.touch_range(b0, count)
 
             ra = file.ra
+            if self.device.qos is not None and ra.enabled:
+                # Per-stream degradation: clamp the OS readahead window
+                # while this FD's tenant is throttled (None otherwise).
+                ra.degraded_cap = self.device.qos.window_cap(
+                    inode.id, self.sim.now)
             if not ra.enabled:
                 # Stock readahead off (CROSS-LIB owns this FD, or
                 # FADV_RANDOM): the engine would only record the stream

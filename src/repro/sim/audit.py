@@ -20,7 +20,11 @@ Three families of checks:
     * device bytes read ≡ bytes the VFS fill path issued (``≤`` while
       requests are queued, equal once the simulation drains);
     * per-direction device channel utilization ≤ 1.0 (the check that
-      catches double-counted busy time).
+      catches double-counted busy time);
+    * with a QoS manager attached: Σ per-tenant ``admitted_blocks`` ≡
+      the ``cross.prefetch_blocks`` counter (every admission charged to
+      exactly one tenant), token buckets never overdrawn, and every
+      tenant's in-flight prefetch count back to zero at shutdown.
 
 **Deadlock / lock order** (fed by the sync-primitive hooks)
     * a wait-for graph over ``Lock``/``RwLock``/``Semaphore``: a cycle
@@ -321,6 +325,25 @@ class Auditor:
                 f" aborted={stats.aborted_read_bytes}) but only {issued} "
                 f"were issued (fill={self.fill_read_bytes}, "
                 f"retried={stats.retried_read_bytes})")
+        # Multi-tenant fairness: every Cross-OS block admission went
+        # through exactly one tenant's bucket, and no bucket was ever
+        # overdrawn (grant() clamps at zero; negative tokens would mean
+        # the fair-share arbiter leaked budget).
+        qos = getattr(kernel, "qos", None)
+        if qos is not None:
+            admitted = sum(state.admitted_blocks
+                           for state in qos.tenants.values())
+            counted = kernel.registry.get("cross.prefetch_blocks")
+            if admitted != counted:
+                self.violations.append(
+                    f"qos admission not conserved: tenants admitted "
+                    f"{admitted} blocks but cross.prefetch_blocks="
+                    f"{counted:g}")
+            for name, state in qos.tenants.items():
+                if state.bucket.tokens < -1e-9:
+                    self.violations.append(
+                        f"qos bucket for tenant {name!r} overdrawn: "
+                        f"{state.bucket.tokens} tokens")
 
     def final_check(self, kernel: Optional["Kernel"] = None) -> None:
         """End-of-run audit; raises :class:`AuditError` on violations.
@@ -358,6 +381,14 @@ class Auditor:
                 if bm.count_set():
                     self.violations.append(
                         f"planned bitmap not empty for inode {inode_id}")
+            qos = getattr(kernel, "qos", None)
+            if qos is not None:
+                for name, state in qos.tenants.items():
+                    if state.inflight != 0:
+                        self.violations.append(
+                            f"qos tenant {name!r} still has "
+                            f"{state.inflight} prefetch requests in "
+                            f"flight at end of run")
         for prim, holders in self._holders.items():
             for holder, n in holders.items():
                 if n > 0:
@@ -384,7 +415,7 @@ class Auditor:
 
 def run_stress(seed: int, *, steps: int = 40, nthreads: int = 4,
                file_mb: int = 8, memory_mb: int = 2,
-               faults=None) -> dict:
+               faults=None, qos=None) -> dict:
     """Drive an audited kernel with randomized concurrent readers,
     prefetchers, writers, and reclaim pressure.
 
@@ -393,7 +424,10 @@ def run_stress(seed: int, *, steps: int = 40, nthreads: int = 4,
     fadvise(DONTNEED) paths concurrently.  Deterministic in ``seed``.
     With a ``faults`` spec (:class:`repro.sim.faults.FaultSpec`) the
     same mix runs under chaos — the audit must stay green while the
-    device injects failures, storms, and stalls.  Raises
+    device injects failures, storms, and stalls.  A ``qos`` spec
+    (:class:`repro.sim.qos.QosSpec`) attaches the multi-tenant manager
+    so the fairness invariants (admission conservation, bucket
+    non-negativity, inflight drain) are exercised too.  Raises
     :class:`AuditError` if any invariant breaks; returns a small stats
     dict otherwise.
     """
@@ -402,7 +436,7 @@ def run_stress(seed: int, *, steps: int = 40, nthreads: int = 4,
     MB = 1 << 20
     rng = random.Random(seed)
     kernel = Kernel(memory_bytes=memory_mb * MB, cross_enabled=True,
-                    audit=True, faults=faults)
+                    audit=True, faults=faults, qos=qos)
     inode = kernel.create_file("/stress", file_mb * MB)
     bs = kernel.config.block_size
 
@@ -450,4 +484,7 @@ def run_stress(seed: int, *, steps: int = 40, nthreads: int = 4,
         degrade = kernel.device.degrade
         if degrade is not None:
             summary["degrade_transitions"] = degrade.transitions
+    if kernel.qos is not None:
+        summary["qos"] = kernel.qos.snapshot()
+        summary["reroutes"] = kernel.device.stats.reroutes
     return summary

@@ -34,6 +34,27 @@ Fault models (each optional, all composable):
   fails until the partition heals), tuned to the device RTT when the
   engine is attached to a :class:`~repro.storage.remote.RemoteNVMeDevice`.
 
+Fault scenarios can be **region-scoped**: ``FaultSpec.region`` limits
+every per-request model (errors, storms, bandwidth, fabric) to streams
+the device has placed in that region (``StorageDevice.place_stream`` /
+``region_of``), leaving co-located streams untouched — the substrate
+for the multi-tenant fairness experiments in ``docs/qos.md``.  Queue
+stalls remain global (the device has one dispatch queue).  Fabric
+faults only strike the primary path (``IORequest.path == 0``); with a
+QoS manager attached the device re-routes a fabric-faulted request once
+onto a modeled secondary path, which is fault-free but pays
+``FabricSpec.secondary_latency_mult`` on access latency.
+
+Public entry points: :func:`make_preset` builds a named
+:class:`FaultSpec`; :class:`FaultEngine` (attached via
+``StorageDevice.set_fault_engine``) answers :meth:`FaultEngine.decide`
+and :meth:`FaultEngine.stall_until`; :class:`DegradeController` is the
+hysteretic throttle consumed globally by the device (and per-tenant by
+:class:`repro.sim.qos.QosManager`).  The auditor treats all of this as
+part of the byte-conservation equation: every failed/aborted/retried
+byte the engine causes must show up in ``DeviceStats`` (see
+``repro.sim.audit``).
+
 The retry/backoff policy and the prefetch-degradation state machine
 (:class:`DegradeController`) live here too, so ``repro.storage.device``
 only consumes decisions.  See ``docs/robustness.md``.
@@ -143,6 +164,9 @@ class FabricSpec:
     # Time until a drop/partition is detected and reported.  Attached to
     # a remote device this is raised to a few RTTs automatically.
     error_latency_us: float = 120.0
+    # Access-latency multiplier paid by requests re-routed onto the
+    # modeled secondary fabric path (longer route, cold transport).
+    secondary_latency_mult: float = 2.0
 
 
 @dataclass(frozen=True)
@@ -187,6 +211,9 @@ class FaultSpec:
     seed: int = 0
     intensity: float = 1.0
     preset: str = "custom"
+    # Restrict per-request faults to streams the device placed in this
+    # region (None = device-wide).  Queue stalls stay global.
+    region: Optional[int] = None
     storms: Optional[LatencyStormSpec] = None
     errors: Optional[TransientErrorSpec] = None
     bandwidth: Optional[BandwidthDegradeSpec] = None
@@ -206,9 +233,10 @@ class FaultSpec:
         models = [name for name in
                   ("storms", "errors", "bandwidth", "stalls", "fabric")
                   if getattr(self, name) is not None]
+        scope = "" if self.region is None else f", region={self.region}"
         return (f"{self.preset} (seed={self.seed}, "
                 f"intensity={self.intensity:g}, "
-                f"models={'+'.join(models) or 'none'})")
+                f"models={'+'.join(models) or 'none'}{scope})")
 
 
 # -- presets ----------------------------------------------------------------
@@ -229,13 +257,14 @@ def _mult(mult: float, intensity: float) -> float:
     return 1.0 + (mult - 1.0) * intensity
 
 
-def make_preset(name: str, *, seed: int = 0,
-                intensity: float = 1.0) -> FaultSpec:
+def make_preset(name: str, *, seed: int = 0, intensity: float = 1.0,
+                region: Optional[int] = None) -> FaultSpec:
     """Build a named fault scenario scaled by ``intensity``.
 
     ``intensity <= 0`` (or the ``"none"`` preset) returns a disabled
     spec; the kernel then attaches no engine and the run is
-    byte-identical to a healthy one.
+    byte-identical to a healthy one.  ``region`` scopes per-request
+    faults to streams placed in that device region.
     """
     if name not in PRESETS:
         raise ValueError(
@@ -268,7 +297,8 @@ def make_preset(name: str, *, seed: int = 0,
         kwargs["fabric"] = FabricSpec(
             drop_prob=_p(0.01, i),
             partition_gap_us=_gap(80_000.0, i))
-    return FaultSpec(seed=seed, intensity=i, preset=name, **kwargs)
+    return FaultSpec(seed=seed, intensity=i, preset=name,
+                     region=region, **kwargs)
 
 
 PRESETS = ("none", "storm", "flaky", "degraded", "stall", "fabric", "chaos")
@@ -443,8 +473,14 @@ class FaultEngine:
         st = self.stats
         st.decisions += 1
         spec = self.spec
+        if spec.region is not None and self.device is not None \
+                and self.device.region_of(req.stream) != spec.region:
+            # Region-scoped scenario: streams placed elsewhere are
+            # untouched.  The ordinal still advanced above, so fates
+            # stay a pure function of (seed, request ordinal).
+            return _HEALTHY
         fabric = spec.fabric
-        if fabric is not None:
+        if fabric is not None and getattr(req, "path", 0) == 0:
             if self._partitions.current(now) is not None:
                 st.fabric_faults += 1
                 return (FabricError(

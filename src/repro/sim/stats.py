@@ -97,6 +97,18 @@ class StatsRegistry:
             return 0.0
         return min(1.0, self.total_lock_wait / busy_time)
 
+    def prefixed(self, prefix: str) -> Dict[str, float]:
+        """Counters under ``prefix.``, keyed by the stripped suffix.
+
+        ``registry.prefixed("qos")`` -> ``{"reroutes": 3.0, ...}`` —
+        the grouping reports use for per-subsystem counter families.
+        """
+        dot = prefix if prefix.endswith(".") else prefix + "."
+        start = len(dot)
+        return {name[start:]: counter.value
+                for name, counter in self.counters.items()
+                if name.startswith(dot)}
+
     def snapshot(self) -> Dict[str, float]:
         """Flat dict of every counter plus per-category lock waits."""
         out = {name: counter.value for name, counter in self.counters.items()}

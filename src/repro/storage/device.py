@@ -7,7 +7,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.sim.engine import Event, Simulator
-from repro.sim.faults import DegradeController, DeviceTimeout
+from repro.sim.faults import DegradeController, DeviceTimeout, FabricError
 from repro.sim.stats import StatsRegistry
 from repro.storage.filesystem import EXT4, FilesystemProfile
 
@@ -37,17 +37,21 @@ class IORequest:
 
     ``stream`` identifies a sequential stream (we use the inode id) so
     the device can waive the seek penalty when a request continues where
-    the stream's previous request ended.  Hand-rolled (not a dataclass):
-    one is allocated per device I/O.
+    the stream's previous request ended.  ``path`` selects the modeled
+    fabric path: 0 = primary (fault-injectable), 1 = secondary failover
+    (fault-free but slower; see ``FabricSpec.secondary_latency_mult``).
+    Hand-rolled (not a dataclass): one is allocated per device I/O.
     """
 
     __slots__ = ("kind", "offset", "nbytes", "priority", "stream",
-                 "submitted_at", "done", "queue_wait", "sequential")
+                 "submitted_at", "done", "queue_wait", "sequential",
+                 "path")
 
     def __init__(self, kind: str, offset: int, nbytes: int,
                  priority: int = BLOCKING, stream: int = 0,
                  submitted_at: float = 0.0,
-                 done: Optional[Event] = None):
+                 done: Optional[Event] = None,
+                 path: int = 0):
         if nbytes <= 0:
             raise ValueError(f"request size must be positive: {nbytes}")
         if kind not in (READ, WRITE):
@@ -59,6 +63,7 @@ class IORequest:
         self.stream = stream
         self.submitted_at = submitted_at
         self.done = done
+        self.path = path
         # Filled in by the scheduler for telemetry/span export.
         self.queue_wait = 0.0
         self.sequential = False
@@ -117,6 +122,10 @@ class DeviceStats:
     aborted_read_bytes: int = 0
     aborted_write_bytes: int = 0
     stall_time: float = 0.0
+    # Fabric failovers onto the secondary path (QoS manager attached).
+    # Deliberately not part of fault_summary(): rerouted bytes are
+    # already counted as retried bytes for conservation.
+    reroutes: int = 0
 
     @property
     def busy_time(self) -> float:
@@ -246,6 +255,12 @@ class StorageDevice:
         self.degrade: Optional[DegradeController] = None
         self._stall_pending = False
         self._resume_pending = False
+        # Multi-tenant QoS (None unless set_qos attaches a manager) and
+        # stream placement for region-scoped fault scenarios.  Streams
+        # default to region 0; region_of works with or without QoS so
+        # the global-clamp comparison rows can still place files.
+        self.qos = None
+        self.region_map: dict[int, int] = {}
         # Byte counters hoisted out of _start: the f-string + registry
         # lookup per request is measurable at tens of thousands of I/Os.
         if stats_registry is not None:
@@ -281,6 +296,25 @@ class StorageDevice:
 
         self.degrade = DegradeController(self.sim, engine.spec.degrade,
                                          on_transition)
+
+    def set_qos(self, manager) -> None:
+        """Attach a :class:`~repro.sim.qos.QosManager`.
+
+        Prefetch dispatch then arbitrates per tenant (token buckets +
+        in-flight slot shares) instead of through the global degrade
+        clamp, and fabric-faulted requests fail over once to the
+        secondary path.  Without a manager none of that code runs.
+        """
+        self.qos = manager
+        manager.attach_device(self)
+
+    def place_stream(self, stream: int, region: int) -> None:
+        """Pin a stream (inode id) to a device region for region-scoped
+        fault scenarios (``FaultSpec.region``)."""
+        self.region_map[stream] = region
+
+    def region_of(self, stream: int) -> int:
+        return self.region_map.get(stream, 0)
 
     def submit(self, kind: str, offset: int, nbytes: int, *,
                priority: int = BLOCKING, stream: int = 0) -> Event:
@@ -319,8 +353,11 @@ class StorageDevice:
         outer.add_callback(_sink)
         # attempt: completed tries so far; settled: outer already fired;
         # req: the currently outstanding inner attempt (for the deadline
-        # watchdog to cancel if it is still queued).
-        state = {"attempt": 0, "settled": False, "req": None}
+        # watchdog to cancel if it is still queued); path: fabric path
+        # for subsequent attempts; extra: retry-budget credit granted by
+        # a secondary-path failover (the failover retry is free).
+        state = {"attempt": 0, "settled": False, "req": None,
+                 "path": 0, "extra": 0}
 
         def start_attempt(_ev: Optional[Event] = None) -> None:
             if state["settled"]:
@@ -328,7 +365,8 @@ class StorageDevice:
             n = state["attempt"]
             req = IORequest(kind=kind, offset=offset, nbytes=nbytes,
                             priority=priority, stream=stream,
-                            submitted_at=sim.now, done=Event(sim))
+                            submitted_at=sim.now, done=Event(sim),
+                            path=state["path"])
             state["req"] = req
             if n > 0:
                 # Counted at enqueue (not at failure) so the issued-side
@@ -353,9 +391,23 @@ class StorageDevice:
                 state["settled"] = True
                 outer.succeed(ev._value)
                 return
+            if (self.qos is not None and state["path"] == 0
+                    and isinstance(ev._value, FabricError)):
+                # Fabric failover: retry immediately on the modeled
+                # secondary path (no backoff, no retry-budget charge —
+                # hence the "extra" credit).  The attempt counter still
+                # advances so start_attempt books the retried bytes and
+                # the conservation audit balances.
+                state["path"] = 1
+                state["extra"] = 1
+                state["attempt"] += 1
+                st.reroutes += 1
+                self.qos.note_reroute(stream)
+                start_attempt()
+                return
             state["attempt"] += 1
             n = state["attempt"]
-            if n > max_retries:
+            if n > max_retries + state["extra"]:
                 state["settled"] = True
                 st.retry_exhausted += 1
                 outer.fail(ev._value)
@@ -387,6 +439,8 @@ class StorageDevice:
                         st.aborted_write_bytes += nbytes
                 if self.degrade is not None:
                     self.degrade.note_fault(sim.now, weight=2.0)
+                if self.qos is not None:
+                    self.qos.note_fault(stream, sim.now, weight=2.0)
                 outer.fail(DeviceTimeout(
                     f"prefetch {kind} offset={offset} nbytes={nbytes} "
                     f"missed {retry.prefetch_timeout_us:g}us deadline"))
@@ -450,6 +504,8 @@ class StorageDevice:
         if not self._queue_prefetch:
             return None
         max_prefetch = self.max_prefetch_in_flight
+        if self.qos is not None:
+            return self._pick_prefetch_qos(max_prefetch)
         if self.degrade is not None:
             level = self.degrade.current_level(self.sim.now)
             if level >= 2:
@@ -475,6 +531,45 @@ class StorageDevice:
             return None
         return self._queue_prefetch.popleft()
 
+    def _pick_prefetch_qos(self,
+                           max_prefetch: int) -> Optional[IORequest]:
+        """Tenant-aware prefetch pick: the per-tenant slot/level gate
+        replaces the global degrade clamp, so one tenant's fault
+        pressure never starves another's prefetch stream.
+
+        Scans past head-of-line requests of inadmissible tenants (a
+        paused tenant's queue entries wait in place for the deadline
+        watchdogs; admissible co-tenants behind them dispatch).
+        """
+        now = self.sim.now
+        if self._in_flight >= max(1, self.queue_depth - 1):
+            return None
+        if self._in_flight_prefetch >= max_prefetch:
+            return None
+        backlogged = \
+            self._read_free - now > self.prefetch_backlog_us
+        queue = self._queue_prefetch
+        qos = self.qos
+        for i, req in enumerate(queue):
+            if not qos.can_dispatch(req.stream, now):
+                continue
+            if req.kind == READ and backlogged:
+                # Channel backlog bound applies to every tenant; the
+                # next completion will re-dispatch.
+                return None
+            if i == 0:
+                return queue.popleft()
+            del queue[i]
+            return req
+        # Nothing admissible.  With requests queued but zero in flight
+        # no completion will re-trigger _dispatch — poll, as the global
+        # paused branch does.
+        if queue and self._in_flight == 0 and \
+                not self._resume_pending and not self._stall_pending:
+            self._resume_pending = True
+            self.sim.timeout(1000.0).add_callback(self._resume_poll)
+        return None
+
     def _start(self, req: IORequest) -> None:
         lat_mult = 1.0
         bw_factor = 1.0
@@ -490,6 +585,8 @@ class StorageDevice:
         self._in_flight += 1
         if req.priority == PREFETCH:
             self._in_flight_prefetch += 1
+            if self.qos is not None:
+                self.qos.note_dispatch(req.stream)
         now = self.sim.now
         waited = now - req.submitted_at
         sequential = self._stream_pos.get(req.stream) == req.offset
@@ -504,6 +601,10 @@ class StorageDevice:
             latency += self.prefetch_hold
         if lat_mult != 1.0:
             latency *= lat_mult   # tail-latency storm / spike
+        if req.path != 0 and self.faults is not None \
+                and self.faults.spec.fabric is not None:
+            # Secondary fabric path: fault-free but slower.
+            latency *= self.faults.spec.fabric.secondary_latency_mult
 
         if req.kind == READ:
             bandwidth = self.read_bandwidth
@@ -545,6 +646,8 @@ class StorageDevice:
         self._in_flight += 1
         if req.priority == PREFETCH:
             self._in_flight_prefetch += 1
+            if self.qos is not None:
+                self.qos.note_dispatch(req.stream)
         req.queue_wait = self.sim.now - req.submitted_at
         st = self.stats
         st.faults_injected += 1
@@ -561,8 +664,12 @@ class StorageDevice:
         self._in_flight -= 1
         if req.priority == PREFETCH:
             self._in_flight_prefetch -= 1
+            if self.qos is not None:
+                self.qos.note_complete(req.stream)
         if self.degrade is not None:
             self.degrade.note_fault(self.sim.now)
+        if self.qos is not None:
+            self.qos.note_fault(req.stream, self.sim.now)
         if self.registry is not None:
             observer = self.registry.observer
             if observer is not None:
@@ -580,8 +687,16 @@ class StorageDevice:
         self._in_flight -= 1
         if req.priority == PREFETCH:
             self._in_flight_prefetch -= 1
+            if self.qos is not None:
+                self.qos.note_complete(req.stream)
         if self.degrade is not None:
             self.degrade.note_ok(self.sim.now)
+        if self.qos is not None:
+            now = self.sim.now
+            self.qos.note_ok(req.stream, now)
+            if req.priority == BLOCKING and req.kind == READ:
+                self.qos.note_latency(req.stream,
+                                      now - req.submitted_at, now)
         if self.registry is not None:
             observer = self.registry.observer
             if observer is not None:

@@ -26,7 +26,8 @@ class TestParser:
     def test_every_experiment_registered(self):
         expected = {"fig2", "fig5", "fig6", "tab4", "fig7a", "fig7b",
                     "fig7c", "fig7d", "tab5", "fig10", "fig8a",
-                    "fig8b", "fig9a", "fig9b", "resilience"}
+                    "fig8b", "fig9a", "fig9b", "resilience",
+                    "fairness"}
         assert set(EXPERIMENTS) == expected
 
     def test_parser_requires_command(self):

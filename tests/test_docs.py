@@ -1,0 +1,71 @@
+"""The docs checker: the repo's markdown stays consistent with the code.
+
+``tools/check_docs.py`` is the CI gate; these tests run the same
+checks through pytest and prove the checker actually catches the two
+failure classes it exists for (broken links, phantom CLI flags).
+"""
+
+import importlib.util
+import os
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+spec = importlib.util.spec_from_file_location(
+    "check_docs", os.path.join(REPO, "tools", "check_docs.py"))
+check_docs = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_docs)
+
+
+class TestRepoDocs:
+    def test_all_docs_clean(self):
+        assert check_docs.main() == 0
+
+    def test_covers_the_docs_dir(self):
+        files = check_docs.doc_files()
+        assert "README.md" in files
+        assert os.path.join("docs", "qos.md") in files
+        assert os.path.join("docs", "index.md") in files
+
+    def test_cli_flag_inventory_includes_subparser_flags(self):
+        flags = check_docs.cli_flags()
+        assert {"--tenants", "--faults", "--fault-region", "--audit",
+                "--seed", "--trace-out"} <= flags
+
+
+class TestCheckerCatches:
+    def test_broken_relative_link_is_reported(self):
+        problems = []
+        check_docs.check_links(
+            "README.md", "see [x](docs/no-such-file.md)", problems)
+        assert len(problems) == 1
+        assert "no-such-file" in problems[0]
+
+    def test_external_and_anchor_links_are_skipped(self):
+        problems = []
+        check_docs.check_links(
+            "README.md",
+            "[a](https://example.com) [b](#section) "
+            "[c](mailto:x@example.com)",
+            problems)
+        assert problems == []
+
+    def test_fragment_suffix_is_stripped(self):
+        problems = []
+        check_docs.check_links(
+            "docs/qos.md", "[sim](simulation.md#scaling)", problems)
+        assert problems == []
+
+    def test_unknown_flag_is_reported(self):
+        problems = []
+        check_docs.check_flags(
+            "docs/qos.md", "pass --definitely-not-a-flag",
+            {"--tenants"}, problems)
+        assert len(problems) == 1
+        assert "--definitely-not-a-flag" in problems[0]
+
+    def test_known_and_allowlisted_flags_pass(self):
+        problems = []
+        check_docs.check_flags(
+            "README.md", "--tenants and --benchmark-only",
+            {"--tenants"}, problems)
+        assert problems == []

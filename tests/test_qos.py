@@ -1,0 +1,414 @@
+"""Tests for the per-tenant QoS subsystem.
+
+Covers: token-bucket arithmetic (never overdrawn, deterministic lazy
+refill), ``--tenants`` spec parsing, weighted-fair re-leasing on
+degrade transitions, region-scoped fault isolation, secondary-path
+re-routing with byte conservation, the global-clamp regression the
+subsystem fixes, the fairness invariants the auditor enforces, and
+bit-determinism per seed with tenants attached.
+"""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.audit import run_stress
+from repro.sim.faults import (
+    FabricSpec,
+    FaultEngine,
+    FaultSpec,
+    TransientErrorSpec,
+    make_preset,
+)
+from repro.sim.qos import (
+    DEGRADED_RA_BLOCKS,
+    QosManager,
+    QosSpec,
+    TenantSpec,
+    TokenBucket,
+)
+from repro.storage import BLOCKING, PREFETCH, NVMeDevice
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+# -- token bucket -----------------------------------------------------------
+
+
+class TestTokenBucket:
+    def test_grant_never_overdraws(self):
+        b = TokenBucket(rate=10.0, capacity=100.0, now=0.0)
+        assert b.grant(60.0, 0.0) == 60.0
+        assert b.grant(60.0, 0.0) == 40.0   # only what is left
+        assert b.grant(60.0, 0.0) == 0.0    # empty, not negative
+        assert b.tokens == 0.0
+
+    def test_lazy_refill_is_pure_function_of_elapsed_time(self):
+        a = TokenBucket(rate=2.0, capacity=1000.0, now=0.0)
+        b = TokenBucket(rate=2.0, capacity=1000.0, now=0.0)
+        a.grant(1000.0, 0.0)
+        b.grant(1000.0, 0.0)
+        # a refills in many small steps, b in one jump: same tokens.
+        for t in range(1, 101):
+            a.refill(float(t))
+        b.refill(100.0)
+        assert a.tokens == pytest.approx(b.tokens)
+        assert a.tokens == pytest.approx(200.0)
+
+    def test_refill_clamps_at_capacity(self):
+        b = TokenBucket(rate=50.0, capacity=75.0, now=0.0)
+        b.refill(1e9)
+        assert b.tokens == 75.0
+
+    def test_set_rate_refills_at_old_rate_first(self):
+        b = TokenBucket(rate=4.0, capacity=1000.0, now=0.0)
+        b.grant(1000.0, 0.0)
+        b.set_rate(0.0, 10.0)       # 10 µs at the old rate = 40 tokens
+        assert b.tokens == pytest.approx(40.0)
+        b.refill(1000.0)            # rate is now zero: no growth
+        assert b.tokens == pytest.approx(40.0)
+
+    def test_bad_parameters_raise(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=-1.0, capacity=10.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, capacity=0.0)
+
+
+# -- spec parsing -----------------------------------------------------------
+
+
+class TestQosSpecParse:
+    def test_equal_weights(self):
+        spec = QosSpec.parse("A,B")
+        assert [t.name for t in spec.tenants] == ["A", "B"]
+        assert all(t.weight == 1.0 for t in spec.tenants)
+        assert spec.enabled
+
+    def test_weights_and_slo(self):
+        spec = QosSpec.parse("latency:1:2500,batch:3")
+        lat, batch = spec.tenants
+        assert (lat.name, lat.weight, lat.slo_us) == ("latency", 1.0,
+                                                      2500.0)
+        assert (batch.name, batch.weight, batch.slo_us) == ("batch",
+                                                            3.0, None)
+
+    def test_duplicate_tenant_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            QosSpec.parse("A,A")
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError, match="no tenants"):
+            QosSpec.parse(" , ")
+
+    def test_too_many_fields_rejected(self):
+        with pytest.raises(ValueError, match="expected"):
+            QosSpec.parse("A:1:2:3")
+
+    def test_bad_weight_rejected(self):
+        with pytest.raises(ValueError, match="weight"):
+            QosSpec.parse("A:0")
+
+    def test_describe_round_trips_the_essentials(self):
+        text = QosSpec.parse("A:2,B:1:5000").describe()
+        assert "A:2" in text and "B:1:5000us" in text
+
+    def test_empty_qosspec_is_disabled(self):
+        assert not QosSpec().enabled
+
+
+# -- fair-share re-leasing --------------------------------------------------
+
+
+def _manager(spec_text="A,B", **kwargs):
+    sim = Simulator()
+    mgr = QosManager(sim, QosSpec.parse(spec_text, **kwargs))
+    return sim, mgr
+
+
+class TestRebalance:
+    def test_static_split_matches_weights(self):
+        _sim, mgr = _manager("A:3,B:1", prefetch_slots=8)
+        total = mgr.spec.rate_bytes_per_us
+        assert mgr.tenants["A"].bucket.rate == pytest.approx(total * 0.75)
+        assert mgr.tenants["B"].bucket.rate == pytest.approx(total * 0.25)
+        assert mgr.tenants["A"].slots == 6
+        assert mgr.tenants["B"].slots == 2
+
+    def test_paused_tenant_budget_re_leased(self):
+        sim, mgr = _manager("A,B", prefetch_slots=8)
+        mgr.register_stream(1, "A")
+        mgr.register_stream(2, "B")
+        # Hammer A's controller past the pause threshold: the
+        # transition hook re-leases A's rate and slots to B.
+        for _ in range(20):
+            mgr.note_fault(1, sim.now)
+        assert mgr.level_of(1, sim.now) == 2
+        assert mgr.level_of(2, sim.now) == 0
+        assert mgr.tenants["A"].bucket.rate == 0.0
+        assert mgr.tenants["A"].slots == 0
+        assert mgr.tenants["B"].bucket.rate == \
+            pytest.approx(mgr.spec.rate_bytes_per_us)
+        assert mgr.tenants["B"].slots == 8
+        assert not mgr.can_dispatch(1, sim.now)
+        assert mgr.can_dispatch(2, sim.now)
+
+    def test_window_cap_only_for_degraded_tenant(self):
+        sim, mgr = _manager()
+        mgr.register_stream(1, "A")
+        mgr.register_stream(2, "B")
+        for _ in range(4):
+            mgr.note_fault(1, sim.now)
+        assert mgr.level_of(1, sim.now) >= 1
+        assert mgr.window_cap(1, sim.now) == DEGRADED_RA_BLOCKS
+        assert mgr.window_cap(2, sim.now) is None
+
+    def test_unnamed_registration_round_robins(self):
+        _sim, mgr = _manager("A,B")
+        assert mgr.register_stream(10).name == "A"
+        assert mgr.register_stream(11).name == "B"
+        assert mgr.register_stream(12).name == "A"
+
+    def test_unknown_tenant_rejected(self):
+        _sim, mgr = _manager("A,B")
+        with pytest.raises(KeyError, match="unknown tenant"):
+            mgr.register_stream(1, "C")
+
+
+class TestTrimRuns:
+    def test_admission_conserves_blocks_and_tokens(self):
+        sim, mgr = _manager("A", rate_mb_per_s=1.0, burst_us=1000.0)
+        # Tiny bucket: capacity ~= 1048 bytes -> 2 full 512-byte blocks.
+        state = mgr.register_stream(1, "A")
+        runs = [(0, 1), (4, 3)]
+        admitted = mgr.trim_runs(1, runs, 512, sim.now)
+        taken = sum(n for _s, n in admitted)
+        assert taken == 2
+        assert admitted == [(0, 1), (4, 1)]   # boundary run cut
+        assert state.admitted_blocks == 2
+        assert state.trimmed_blocks == 2
+        assert state.bucket.tokens >= 0.0
+        # Nothing left: the next submission is fully trimmed.
+        assert mgr.trim_runs(1, [(9, 4)], 512, sim.now) == []
+        assert state.bucket.tokens >= 0.0
+
+
+# -- region scoping ---------------------------------------------------------
+
+
+class TestRegionScoping:
+    def test_faults_only_hit_the_scoped_region(self):
+        spec = FaultSpec(seed=3, region=0, errors=TransientErrorSpec(
+            read_fail_prob=0.6, write_fail_prob=0.0))
+        sim = Simulator()
+        dev = NVMeDevice(sim)
+        dev.set_fault_engine(FaultEngine(sim, spec))
+        dev.place_stream(1, 0)
+        dev.place_stream(2, 1)
+
+        sim.process(_reads(dev, 1))
+        sim.process(_reads(dev, 2))
+        sim.run()
+        assert dev.stats.read_failures > 0
+        # Re-run with only the healthy-region stream: zero failures.
+        sim2 = Simulator()
+        dev2 = NVMeDevice(sim2)
+        dev2.set_fault_engine(FaultEngine(sim2, spec))
+        dev2.place_stream(2, 1)
+        sim2.process(_reads(dev2, 2))
+        sim2.run()
+        assert dev2.stats.read_failures == 0
+
+    def test_unplaced_streams_default_to_region_zero(self):
+        sim = Simulator()
+        dev = NVMeDevice(sim)
+        assert dev.region_of(99) == 0
+
+    def test_region_preset_plumbing(self):
+        spec = make_preset("flaky", seed=1, region=2)
+        assert spec.region == 2
+        assert "region=2" in spec.describe()
+
+
+def _reads(dev, stream, n=30):
+    for i in range(n):
+        yield dev.read(i * MB, 16 * KB, priority=BLOCKING,
+                       stream=stream)
+
+
+# -- secondary-path re-routing ----------------------------------------------
+
+
+class TestReroute:
+    def _fabric_device(self, *, qos=True):
+        spec = FaultSpec(seed=5, fabric=FabricSpec(
+            drop_prob=1.0, partition_gap_us=0.0,
+            secondary_latency_mult=3.0))
+        sim = Simulator()
+        dev = NVMeDevice(sim)
+        dev.set_fault_engine(FaultEngine(sim, spec))
+        if qos:
+            mgr = QosManager(sim, QosSpec.parse("A"))
+            dev.set_qos(mgr)
+            mgr.register_stream(1, "A")
+        return sim, dev
+
+    def test_fabric_fault_reroutes_to_secondary_path(self):
+        sim, dev = self._fabric_device()
+        done = []
+
+        def submitter():
+            yield dev.read(0, 64 * KB, priority=BLOCKING, stream=1)
+            done.append(sim.now)
+
+        sim.process(submitter())
+        sim.run()
+        assert done, "read never completed despite secondary path"
+        assert dev.stats.reroutes == 1
+        assert dev.qos.tenants["A"].reroutes == 1
+        # The drop consumed one failed attempt; the secondary attempt
+        # carried the payload.  Conservation: failed + ok == 2 attempts.
+        assert dev.stats.read_bytes == 64 * KB
+        assert dev.stats.failed_read_bytes == 64 * KB
+        assert dev.stats.retried_read_bytes == 64 * KB
+
+    def test_secondary_path_pays_the_latency_penalty(self):
+        sim, dev = self._fabric_device()
+        stamps = []
+
+        def submitter():
+            t0 = sim.now
+            yield dev.read(0, 256 * KB, priority=BLOCKING, stream=1)
+            stamps.append(sim.now - t0)
+
+        sim.process(submitter())
+        sim.run()
+        healthy_sim = Simulator()
+        healthy = NVMeDevice(healthy_sim)
+        healthy_stamps = []
+
+        def healthy_submitter():
+            t0 = healthy_sim.now
+            yield healthy.read(0, 256 * KB, priority=BLOCKING, stream=1)
+            healthy_stamps.append(healthy_sim.now - t0)
+
+        healthy_sim.process(healthy_submitter())
+        healthy_sim.run()
+        assert stamps[0] > healthy_stamps[0]
+
+    def test_reroutes_not_in_fault_summary(self):
+        # fault_summary()'s key set is a frozen API (test_faults pins
+        # it); reroutes live in their own DeviceStats field.
+        sim, dev = self._fabric_device()
+        sim.process(_reads(dev, 1, n=1))
+        sim.run()
+        assert "reroutes" not in dev.stats.fault_summary()
+        assert dev.stats.reroutes == 1
+
+    def test_without_qos_fabric_faults_follow_the_retry_ladder(self):
+        # No manager attached -> no secondary path; the retry ladder
+        # still recovers from per-request drops on its own.
+        spec = FaultSpec(seed=5, fabric=FabricSpec(
+            drop_prob=0.5, partition_gap_us=1e12))
+        sim = Simulator()
+        dev = NVMeDevice(sim)
+        dev.set_fault_engine(FaultEngine(sim, spec))
+        sim.process(_reads(dev, 1, n=20))
+        sim.run()
+        assert dev.stats.reroutes == 0
+        assert dev.stats.read_bytes == 20 * 16 * KB
+
+
+# -- the global-clamp regression (the bug this subsystem fixes) -------------
+
+
+class TestGlobalClampRegression:
+    def test_faulted_tenant_does_not_clamp_its_neighbour(self):
+        """One tenant's fault pressure must not degrade the other.
+
+        Under the PR-4 global controller, stream 1's retry pressure
+        withheld relaxed readahead from stream 2 too.  Per-tenant
+        controllers keep stream 2 at level 0 (full windows, relaxed
+        thresholds) no matter how hard tenant A is failing.
+        """
+        sim, mgr = _manager("A,B")
+        mgr.register_stream(1, "A")
+        mgr.register_stream(2, "B")
+        for _ in range(50):
+            mgr.note_fault(1, sim.now)
+        assert mgr.level_of(1, sim.now) == 2          # A paused
+        assert mgr.level_of(2, sim.now) == 0          # B untouched
+        assert mgr.window_cap(2, sim.now) is None     # full window
+        assert mgr.can_dispatch(2, sim.now)
+
+    def test_fairness_experiment_isolates_the_co_tenant(self):
+        """End to end: region fault + QoS keeps the co-tenant near its
+        fault-free throughput; the global clamp visibly regresses it."""
+        from repro.harness.experiments.fairness import run_fairness
+
+        results, _report = run_fairness(
+            seed=1, memory_bytes=24 * MB, oversubscription=1.5)
+        ret = results["retention"]
+        co = results["co_tenants"][0]
+        assert ret["CrossP+QoS"][co] >= 90.0
+        assert ret["CrossP global"][co] < ret["CrossP+QoS"][co]
+
+
+# -- auditor invariants -----------------------------------------------------
+
+
+class TestFairnessInvariants:
+    def test_admission_conservation_under_stress(self):
+        # run_stress raises AuditError if Σ admitted_blocks diverges
+        # from cross.prefetch_blocks, a bucket goes negative, or any
+        # tenant leaks in-flight slots.
+        summary = run_stress(2, qos=QosSpec.parse("A,B"))
+        qos = summary["qos"]
+        assert set(qos) == {"A", "B"}
+        assert all(t["inflight"] == 0 for t in qos.values())
+        assert all(t["tokens"] >= 0.0 for t in qos.values())
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_chaos_with_tenants_stays_audit_green(self, seed):
+        spec = make_preset("chaos", seed=seed, intensity=1.5)
+        summary = run_stress(seed, faults=spec,
+                             qos=QosSpec.parse("A:2,B:1"))
+        assert summary["faults"]["faults_injected"] >= 0
+
+    def test_region_scoped_chaos_audit_green(self):
+        spec = make_preset("flaky", seed=4, intensity=2.0, region=0)
+        run_stress(4, faults=spec, qos=QosSpec.parse("A,B"))
+
+
+# -- determinism ------------------------------------------------------------
+
+
+class TestDeterminismWithTenants:
+    def test_same_seed_same_run_with_qos(self):
+        r1 = run_stress(6, qos=QosSpec.parse("A:2,B:1"))
+        r2 = run_stress(6, qos=QosSpec.parse("A:2,B:1"))
+        assert r1 == r2
+
+    def test_same_seed_same_run_with_qos_and_faults(self):
+        kwargs = dict(faults=make_preset("flaky", seed=7,
+                                         intensity=3.0, region=0),
+                      qos=QosSpec.parse("A,B"))
+        r1 = run_stress(7, **kwargs)
+        r2 = run_stress(7, faults=make_preset("flaky", seed=7,
+                                              intensity=3.0, region=0),
+                        qos=QosSpec.parse("A,B"))
+        assert r1 == r2
+
+    def test_fairness_experiment_bit_deterministic(self):
+        from repro.harness.experiments.fairness import run_fairness
+
+        runs = [run_fairness(seed=3, memory_bytes=16 * MB,
+                             oversubscription=1.5)
+                for _ in range(2)]
+        (res1, rep1), (res2, rep2) = runs
+        assert rep1 == rep2
+        assert res1["retention"] == res2["retention"]
+        for label in res1["rows"]:
+            m1, m2 = res1["rows"][label], res2["rows"][label]
+            assert m1.latencies_us == m2.latencies_us
+            assert m1.duration_us == m2.duration_us

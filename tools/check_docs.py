@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""Docs consistency checker (run in CI).
+
+Two checks over the repo's markdown (README.md, EXPERIMENTS.md,
+ROADMAP.md, DESIGN.md, docs/*.md):
+
+1. **Links** — every relative markdown link ``[text](target)`` must
+   resolve to an existing file or directory (``#fragment`` suffixes
+   stripped; ``http(s)://``, ``mailto:`` and pure-anchor links are
+   skipped).
+2. **CLI flags** — every ``--flag`` token mentioned in the docs must be
+   an option the ``repro`` CLI actually defines somewhere in
+   ``repro.cli.build_parser()`` (subparsers included), so renaming or
+   removing a flag without updating the docs fails the build.  Flags
+   belonging to other tools (pytest, pip) live in ``FLAG_ALLOWLIST``.
+
+Exit status 0 when clean; 1 with one message per problem otherwise.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DOC_GLOBS = ("README.md", "EXPERIMENTS.md", "ROADMAP.md", "DESIGN.md",
+             "PAPER.md", "CHANGES.md")
+DOCS_DIR = "docs"
+
+# Flags that appear in the docs but belong to tools other than the
+# repro CLI (pytest/pytest-benchmark invocations, pip, etc.).
+FLAG_ALLOWLIST = {
+    "--benchmark-only",
+}
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FLAG_RE = re.compile(r"(?<![\w-])(--[a-z][a-z0-9-]+)")
+
+
+def doc_files() -> list[str]:
+    files = [f for f in DOC_GLOBS
+             if os.path.isfile(os.path.join(REPO, f))]
+    docs = os.path.join(REPO, DOCS_DIR)
+    if os.path.isdir(docs):
+        files.extend(os.path.join(DOCS_DIR, f)
+                     for f in sorted(os.listdir(docs))
+                     if f.endswith(".md"))
+    return files
+
+
+def cli_flags() -> set[str]:
+    """Every option string any repro subparser defines."""
+    from repro.cli import build_parser
+
+    flags: set[str] = set()
+
+    def walk(parser: argparse.ArgumentParser) -> None:
+        for action in parser._actions:
+            flags.update(s for s in action.option_strings
+                         if s.startswith("--"))
+            if isinstance(action, argparse._SubParsersAction):
+                for sub in action.choices.values():
+                    walk(sub)
+
+    walk(build_parser())
+    return flags
+
+
+def check_links(relpath: str, text: str, problems: list[str]) -> None:
+    base = os.path.dirname(os.path.join(REPO, relpath))
+    for lineno, line in enumerate(text.splitlines(), 1):
+        for target in LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:        # pure anchor
+                continue
+            resolved = os.path.normpath(os.path.join(base, path))
+            if not os.path.exists(resolved):
+                problems.append(
+                    f"{relpath}:{lineno}: broken link "
+                    f"({target!r} -> {os.path.relpath(resolved, REPO)})")
+
+
+def check_flags(relpath: str, text: str, known: set[str],
+                problems: list[str]) -> None:
+    for lineno, line in enumerate(text.splitlines(), 1):
+        for flag in FLAG_RE.findall(line):
+            if flag in known or flag in FLAG_ALLOWLIST:
+                continue
+            problems.append(
+                f"{relpath}:{lineno}: flag {flag} is not defined by "
+                f"any repro subcommand (rename the doc or add the "
+                f"flag to repro.cli)")
+
+
+def main() -> int:
+    problems: list[str] = []
+    known = cli_flags()
+    for relpath in doc_files():
+        with open(os.path.join(REPO, relpath), encoding="utf-8") as fh:
+            text = fh.read()
+        check_links(relpath, text, problems)
+        check_flags(relpath, text, known, problems)
+    if problems:
+        print(f"check_docs: {len(problems)} problem(s)")
+        for p in problems:
+            print("  " + p)
+        return 1
+    n = len(doc_files())
+    print(f"check_docs: {n} markdown files clean "
+          f"({len(known)} CLI flags known)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
