@@ -30,6 +30,13 @@ Commands
     Run the simulation-core performance suite (wall seconds and
     simulated events/sec per benchmark); ``--baseline`` gates against
     a committed BENCH_sim_core.json.
+``recover``
+    Crash-point fuzz smoke sweep: crash a seeded LSM write workload at
+    several points under the durable-damage fault preset, recover each
+    crash on a fresh audited kernel, and check the recovery invariants
+    (recovered DB ≡ committed WAL prefix, no acknowledged-durable
+    bytes lost).  On a violation the smallest failing crash ordinal is
+    reported.  Non-zero exit on any violation.
 
 Multi-tenant QoS: ``--tenants name[:weight[:slo_us]],...`` on
 ``experiment``/``workload``/``chaos`` attaches a per-tenant QoS manager
@@ -45,6 +52,8 @@ Examples::
     python -m repro chaos --preset storm --quick --audit
     python -m repro check fig5 --faults flaky --stress 2
     python -m repro bench --baseline BENCH_sim_core.json
+    python -m repro recover --seeds 11 --seeds 23 --points 4
+    python -m repro experiment recovery --seed 1
     python -m repro trace fig2 --quick --out traces
     python -m repro experiment fairness --seed 1
     python -m repro workload --kind microbench --pattern rand \
@@ -97,6 +106,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "fig9b": exp.run_fig9b_snappy,
     "resilience": exp.run_resilience,
     "fairness": exp.run_fairness,
+    "recovery": exp.run_recovery,
 }
 
 
@@ -192,6 +202,7 @@ QUICK_ARGS: dict[str, dict] = {
     "resilience": dict(intensities=(0.0, 1.0), nthreads=2,
                        memory_bytes=24 * MB, oversubscription=1.5),
     "fairness": dict(memory_bytes=24 * MB, oversubscription=1.5),
+    "recovery": dict(nseeds=1, puts=220, num_keys=8192, memory_mb=64),
 }
 
 
@@ -480,6 +491,61 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+DURABLE_PRESETS = ("torn", "wbdrop", "crash")
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Crash-point fuzz smoke sweep with recovery-invariant checks."""
+    from repro.harness.crashfuzz import (
+        FuzzConfig,
+        find_minimal_failure,
+        sweep,
+    )
+    from repro.sim.audit import AuditError
+
+    seeds = args.seeds or [11, 23, 47]
+    approach = args.approach or "CrossP[+predict+opt]"
+    if approach not in APPROACHES:
+        print(f"unknown approach {approach!r}; choose from "
+              f"{', '.join(APPROACHES)}", file=sys.stderr)
+        return 2
+    cfg = FuzzConfig(puts=args.puts, preset=args.preset,
+                     intensity=args.fault_intensity)
+    print(f"preset: {args.preset} (intensity {args.fault_intensity:g}), "
+          f"{args.puts} puts, {args.points} crash points per seed, "
+          f"approach {approach}")
+    failures = 0
+    for seed in seeds:
+        try:
+            results = sweep(seed, points=args.points, cfg=cfg,
+                            approach=approach)
+        except AuditError as exc:
+            print(f"  FAIL crash(seed={seed}): {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        bad = [(o, r) for o, r in results if not r.ok]
+        for ordinal, report in results:
+            status = "ok  " if report.ok else "FAIL"
+            print(f"  {status} crash(seed={seed}, ordinal={ordinal}): "
+                  f"{report.describe()}")
+            for violation in report.violations:
+                print(f"         {violation}", file=sys.stderr)
+        if bad:
+            failures += len(bad)
+            first_bad = bad[0][0]
+            minimal = find_minimal_failure(
+                seed, range(1, first_bad + 1), cfg, approach)
+            if minimal is not None:
+                print(f"  minimal failing crash ordinal for seed "
+                      f"{seed}: {minimal[0]}", file=sys.stderr)
+    if failures:
+        print(f"{failures} crash-recovery check(s) FAILED",
+              file=sys.stderr)
+        return 1
+    print("all crash-recovery invariants held")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -550,6 +616,30 @@ def build_parser() -> argparse.ArgumentParser:
                       help="allowed events/sec drop vs baseline "
                            "(default 0.3 = 30%%)")
     p_bn.set_defaults(fn=_cmd_bench)
+
+    p_rc = sub.add_parser(
+        "recover",
+        help="crash-point fuzz sweep: crash, recover, check invariants")
+    p_rc.add_argument("--seeds", type=int, action="append", metavar="N",
+                      help="repeatable workload seed (default 11 23 47)")
+    p_rc.add_argument("--points", type=int, default=4, metavar="N",
+                      help="crash ordinals per seed, spread across the "
+                           "run (default 4)")
+    p_rc.add_argument("--puts", type=int, default=160, metavar="N",
+                      help="puts in the fuzzed LSM write workload "
+                           "(default 160)")
+    p_rc.add_argument("--preset", default="crash",
+                      choices=DURABLE_PRESETS,
+                      help="durable-damage fault preset for the crashed "
+                           "run (default crash)")
+    p_rc.add_argument("--fault-intensity", type=float, default=1.0,
+                      metavar="X",
+                      help="scale the preset's damage probabilities "
+                           "(default 1.0)")
+    p_rc.add_argument("--approach", default=None,
+                      help="recovery approach (default "
+                           "CrossP[+predict+opt])")
+    p_rc.set_defaults(fn=_cmd_recover)
 
     p_tr = sub.add_parser(
         "trace", help="run an experiment with span tracing on")

@@ -72,7 +72,9 @@ class CrossLibRuntime(IORuntime):
         return iter(self._states.values())
 
     def _state_for(self, handle_file) -> UserFileState:
-        inode = handle_file.inode
+        return self._state_for_inode(handle_file.inode)
+
+    def _state_for_inode(self, inode) -> UserFileState:
         state = self._states.get(inode.id)
         if state is None:
             prefetch_file = self.vfs.open_sync(inode.path)
@@ -81,6 +83,21 @@ class CrossLibRuntime(IORuntime):
                                   prefetch_file, self.config)
             self._states[inode.id] = state
         return state
+
+    def prime(self, path: str, start: int, count: int,
+              chunk_bytes: Optional[int] = None) -> Generator:
+        """Queue a block range of ``path`` for background prefetch.
+
+        The public priming entry point used by repair/recovery scans
+        (:mod:`repro.crosslib.repair`): no open FD or predictor state is
+        needed — the range goes straight through the user bitmap check
+        to the worker pool, so only uncached, unrequested runs generate
+        ``readahead_info`` syscalls.
+        """
+        inode = self.vfs.lookup(path)
+        state = self._state_for_inode(inode)
+        yield from self._enqueue_range(state, start, count,
+                                       chunk_bytes=chunk_bytes)
 
     # -- policy hooks ----------------------------------------------------------------
 

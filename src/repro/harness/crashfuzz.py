@@ -1,0 +1,242 @@
+"""Crash-point fuzzing: crash an LSM write workload anywhere, recover,
+and check the recovery invariants.
+
+The trick that makes "crash after exactly the k-th put" well defined in
+a discrete-event world is a **probe run**: the write workload runs to
+completion under the *same* fault spec and seed, recording the
+simulated completion time of every put.  Determinism guarantees the
+damage run replays an identical event prefix, so cutting it at the
+midpoint between put ``k`` and put ``k+1`` (``Simulator.run(until=t)``)
+lands between exactly those two acknowledgements — including any
+background flush or compaction that happened to be mid-write.
+
+Pipeline per scenario::
+
+    probe(seed)  ->  put completion times
+    damage(seed, crash at ordinal k)  ->  CrashSnapshot + manifest + WAL
+    recover(snapshot, approach)  ->  RecoveryReport  (fresh audited kernel)
+
+Invariants asserted (the fuzz property): the crash snapshot itself
+raises if acknowledged-durable bytes are lost; the recovery report must
+come back with zero violations (recovered DB ≡ committed prefix); and
+the recovery kernel must shut down audit-green.
+
+:func:`sweep` spreads crash ordinals across the run;
+:func:`find_minimal_failure` re-scans ascending to the smallest failing
+ordinal (the deterministic shrink the stress harness reports).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Generator, Optional, Sequence
+
+from repro.os.kernel import Kernel
+from repro.runtimes.factory import build_runtime, needs_cross
+from repro.sim.crash import CrashSnapshot, restore_into, take_snapshot
+from repro.sim.faults import make_preset
+from repro.workloads.lsm.db import DbConfig, LsmDb
+from repro.workloads.lsm.recovery import LsmRecovery, RecoveryReport
+from repro.workloads.lsm.sstable import SSTable
+from repro.workloads.lsm.wal import WalLog
+
+__all__ = ["CrashScenario", "FuzzConfig", "build_scenario",
+           "find_minimal_failure", "probe_put_times", "recover", "sweep"]
+
+MB = 1 << 20
+KB = 1 << 10
+
+
+@dataclass
+class FuzzConfig:
+    """Shape of the fuzzed write workload (small on purpose)."""
+
+    puts: int = 160
+    num_keys: int = 2048
+    value_size: int = 512
+    sst_bytes: int = 128 * KB
+    memtable_bytes: int = 32 * KB
+    l0_compaction_trigger: int = 3
+    write_buffer_io: int = 32 * KB
+    wal_sync_ops: int = 7           # group commit: committed prefix exists
+    preset: str = "crash"
+    intensity: float = 1.0
+    memory_mb: int = 64
+
+    def db_config(self, seed: int) -> DbConfig:
+        return DbConfig(num_keys=self.num_keys,
+                        value_size=self.value_size,
+                        sst_bytes=self.sst_bytes,
+                        memtable_bytes=self.memtable_bytes,
+                        l0_compaction_trigger=self.l0_compaction_trigger,
+                        write_buffer_io=self.write_buffer_io,
+                        wal_sync_ops=self.wal_sync_ops,
+                        seed=seed)
+
+
+@dataclass
+class CrashScenario:
+    """Everything recovery needs, detached from the crashed kernel."""
+
+    seed: int
+    ordinal: int
+    crash_time_us: float
+    snapshot: CrashSnapshot
+    manifest: list[SSTable]
+    wal: WalLog
+    db_config: DbConfig
+    puts_completed: int = 0
+    put_times: list[float] = field(default_factory=list)
+
+    def describe(self) -> str:
+        return (f"seed={self.seed} ordinal={self.ordinal} "
+                f"({self.puts_completed} puts acked) "
+                f"{self.snapshot.describe()}")
+
+
+def _writer(db: LsmDb, cfg: FuzzConfig, seed: int,
+            put_times: list[float]) -> Generator:
+    """Single sequential writer: keeps WAL append order == seq order."""
+    rng = random.Random(seed ^ 0x5EED_C0DE)
+    ctx = db.new_thread()
+    for _ in range(cfg.puts):
+        key = rng.randrange(cfg.num_keys)
+        yield from db.put(ctx, key)
+        put_times.append(db.kernel.sim.now)
+    yield from ctx.close_all()
+    yield from db.close()
+
+
+def _build_damage_kernel(seed: int, cfg: FuzzConfig
+                         ) -> tuple[Kernel, LsmDb, list[float]]:
+    faults = make_preset(cfg.preset, seed=seed, intensity=cfg.intensity)
+    if not faults.durable:
+        raise ValueError(
+            f"preset {cfg.preset!r} has no durable-damage model; "
+            f"crash fuzzing needs torn/wbdrop/crash faults")
+    kernel = Kernel(memory_bytes=cfg.memory_mb * MB, faults=faults)
+    runtime = build_runtime("OSonly", kernel)
+    db = LsmDb(kernel, runtime, cfg.db_config(seed))
+    db.populate()
+    put_times: list[float] = []
+    kernel.sim.process(_writer(db, cfg, seed, put_times),
+                       name="crashfuzz_writer")
+    return kernel, db, put_times
+
+
+def probe_put_times(seed: int, cfg: Optional[FuzzConfig] = None
+                    ) -> list[float]:
+    """Run the write workload to completion; per-put completion times."""
+    cfg = cfg or FuzzConfig()
+    kernel, _db, put_times = _build_damage_kernel(seed, cfg)
+    kernel.sim.run()
+    return put_times
+
+
+def crash_time_for(put_times: Sequence[float], ordinal: int) -> float:
+    """The instant that falls after put ``ordinal`` acks and before the
+    next — midpoints keep the cut stable under float jitter."""
+    if not put_times:
+        raise ValueError("probe recorded no puts")
+    if ordinal <= 0:
+        return put_times[0] * 0.5
+    if ordinal >= len(put_times):
+        return put_times[-1] + 1.0
+    return (put_times[ordinal - 1] + put_times[ordinal]) * 0.5
+
+
+def build_scenario(seed: int, ordinal: int,
+                   cfg: Optional[FuzzConfig] = None, *,
+                   put_times: Optional[Sequence[float]] = None
+                   ) -> CrashScenario:
+    """Probe (unless ``put_times`` given), then damage at ``ordinal``.
+
+    The damage run replays the probe's event stream and is cut at the
+    crash instant; the crashed kernel is snapshotted and abandoned
+    (never audited — it is mid-flight by construction).
+    """
+    cfg = cfg or FuzzConfig()
+    if put_times is None:
+        put_times = probe_put_times(seed, cfg)
+    crash_t = crash_time_for(put_times, ordinal)
+    kernel, db, damage_times = _build_damage_kernel(seed, cfg)
+    kernel.sim.run(until=crash_t)
+    snapshot = take_snapshot(kernel)
+    return CrashScenario(seed=seed, ordinal=ordinal,
+                         crash_time_us=crash_t, snapshot=snapshot,
+                         manifest=db.manifest(), wal=db.wal,
+                         db_config=db.config,
+                         puts_completed=len(damage_times),
+                         put_times=list(put_times))
+
+
+def recover(scenario: CrashScenario, approach: str = "CrossP[+predict+opt]", *,
+            memory_mb: int = 64, audit: bool = True,
+            verify_cpu_us_per_block: float = 0.5,
+            lookahead_files: int = 3) -> RecoveryReport:
+    """Restore the snapshot into a fresh kernel and run recovery.
+
+    The fresh kernel is healthy (no faults) and fully audited: the
+    recovery workload itself must hold every cross-layer invariant.
+    Raises :class:`~repro.sim.audit.AuditError` on audit violations;
+    recovery-invariant violations come back in ``report.violations``.
+    """
+    kernel = Kernel(memory_bytes=memory_mb * MB,
+                    cross_enabled=needs_cross(approach), audit=audit)
+    runtime = build_runtime(approach, kernel)
+    restore_into(kernel, scenario.snapshot)
+    recovery = LsmRecovery(
+        kernel, runtime, scenario.snapshot, scenario.manifest,
+        scenario.wal, scenario.db_config,
+        lookahead_files=lookahead_files,
+        verify_cpu_us_per_block=verify_cpu_us_per_block)
+    result: list[RecoveryReport] = []
+
+    def driver() -> Generator:
+        report = yield from recovery.run()
+        result.append(report)
+
+    kernel.sim.process(driver(), name="recovery_driver")
+    kernel.sim.run()
+    runtime.teardown()
+    kernel.shutdown()
+    return result[0]
+
+
+def sweep(seed: int, points: int = 8,
+          cfg: Optional[FuzzConfig] = None,
+          approach: str = "CrossP[+predict+opt]") -> list[tuple[int, RecoveryReport]]:
+    """Crash at ``points`` ordinals spread across the run; recover each.
+
+    One probe serves every point (same seed, same event stream).
+    """
+    cfg = cfg or FuzzConfig()
+    put_times = probe_put_times(seed, cfg)
+    n = len(put_times)
+    ordinals = sorted({max(1, (i + 1) * n // (points + 1))
+                       for i in range(points)})
+    out: list[tuple[int, RecoveryReport]] = []
+    for ordinal in ordinals:
+        scenario = build_scenario(seed, ordinal, cfg,
+                                  put_times=put_times)
+        out.append((ordinal, recover(scenario, approach)))
+    return out
+
+
+def find_minimal_failure(seed: int,
+                         ordinals: Sequence[int],
+                         cfg: Optional[FuzzConfig] = None,
+                         approach: str = "CrossP[+predict+opt]"
+                         ) -> Optional[tuple[int, RecoveryReport]]:
+    """Deterministic shrink: smallest crash ordinal whose recovery
+    violates an invariant, or None if all pass."""
+    cfg = cfg or FuzzConfig()
+    put_times = probe_put_times(seed, cfg)
+    for ordinal in sorted(set(ordinals)):
+        scenario = build_scenario(seed, ordinal, cfg,
+                                  put_times=put_times)
+        report = recover(scenario, approach)
+        if not report.ok:
+            return ordinal, report
+    return None

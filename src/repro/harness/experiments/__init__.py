@@ -29,6 +29,7 @@ from repro.harness.experiments.apps import (
 )
 from repro.harness.experiments.resilience import run_resilience
 from repro.harness.experiments.fairness import run_fairness
+from repro.harness.experiments.recovery import run_recovery
 
 __all__ = [
     "run_fairness",
@@ -44,6 +45,7 @@ __all__ = [
     "run_fig8b_filebench",
     "run_fig9a_ycsb",
     "run_fig9b_snappy",
+    "run_recovery",
     "run_resilience",
     "run_tab4_mmap",
     "run_tab5_breakdown",

@@ -83,6 +83,14 @@ class Kernel:
         if faults is not None and faults.enabled:
             self.fault_engine = FaultEngine(self.sim, faults)
             self.device.set_fault_engine(self.fault_engine)
+        # Durable-damage scenarios additionally attach the persistence
+        # ledger (pure bookkeeping; no events), which the VFS write
+        # paths and ``repro.sim.crash`` consume.
+        self.durable = None
+        if faults is not None and faults.durable:
+            from repro.storage.durable import DurableState
+            self.durable = DurableState(faults.seed, torn=faults.torn)
+            self.device.set_durable(self.durable)
         # Multi-tenant QoS attaches after the fault engine (it reuses
         # the spec's degrade policy per tenant) and before the VFS so
         # the read path sees device.qos from its first request.  A spec
@@ -114,6 +122,9 @@ class Kernel:
         """Create a file; optionally tag its stream with a QoS tenant
         and pin it to a device region for region-scoped faults."""
         inode = self.vfs.create(path, size)
+        if self.durable is not None:
+            # Pre-populated contents already exist on media.
+            self.durable.seed_file(inode.id, size)
         if self.cross is not None:
             self.cross.attach(inode)
         if self.qos is not None:

@@ -73,6 +73,11 @@ class PageCache:
         # them to mirror residency into the exported bitmap.
         self.insert_hooks: list[Callable[[int, int], None]] = []
         self.evict_hooks: list[Callable[[int, int], None]] = []
+        # Fired as (start, nblocks) for each *dirty* run an eviction is
+        # about to clear.  Eviction counts dirty pages as written back
+        # (see evict_chunk); the durability ledger needs to see those
+        # implied writes or a crash model would silently lose them.
+        self.dirty_evict_hooks: list[Callable[[int, int], None]] = []
         # Bound LRU entry points, hoisted once past the MemoryManager
         # delegation: touch/insert run for every chunk of every read.
         self._lru_inserted = mem.lru.inserted
@@ -172,6 +177,7 @@ class PageCache:
             return 0
         freed = self.present.count_set(start, count)
         if freed:
+            self._note_dirty_evicted(start, count)
             self.present.clear_range(start, count)
             self.dirty.clear_range(start, count)
             self.mem.uncharge(freed)
@@ -192,6 +198,7 @@ class PageCache:
         if observer is not None:
             observer.instant("pagecache", "evict", inode=self.inode_id,
                              block=start, pages=freed)
+        self._note_dirty_evicted(start, count)
         self.present.clear_range(start, count)
         self.dirty.clear_range(start, count)
         self.mem.uncharge(freed)
@@ -205,6 +212,14 @@ class PageCache:
             if clen <= 0 or not self.present.any_set(cstart, clen):
                 self.mem.chunk_removed((self.inode_id, chunk))
         return freed
+
+    def _note_dirty_evicted(self, start: int, count: int) -> None:
+        """Report the dirty runs an eviction is about to clear (no-op
+        without registered hooks — the common case)."""
+        if self.dirty_evict_hooks and self.dirty.any_set(start, count):
+            for run_start, run_len in self.dirty.set_runs(start, count):
+                for hook in self.dirty_evict_hooks:
+                    hook(run_start, run_len)
 
     def clean_range(self, start: int, count: int) -> None:
         self.dirty.clear_range(start, count)

@@ -158,6 +158,20 @@ class VFS:
         self._inflight[inode.id] = BlockBitmap(inode.nblocks)
         self._planned[inode.id] = BlockBitmap(inode.nblocks)
         self._fill_cond[inode.id] = Condition(self.sim, f"fill[{inode.id}]")
+        durable = self.device.durable
+        if durable is not None:
+            # Evicting a dirty page counts as writeback (see
+            # PageCache.evict_chunk); the persistence ledger must see
+            # those implied device writes or a crash would lose bytes
+            # the model considers written.
+            bs = self.config.block_size
+
+            def _dirty_evicted(start: int, count: int,
+                               _ino=inode, _d=durable, _bs=bs) -> None:
+                nbytes = min(count * _bs, _ino.size - start * _bs)
+                _d.note_write(_ino.id, start * _bs, nbytes)
+
+            inode.cache.dirty_evict_hooks.append(_dirty_evicted)
         return inode
 
     def lookup(self, path: str) -> Inode:
@@ -421,6 +435,12 @@ class VFS:
         yield self.sim.timeout(self.config.syscall_overhead)
         self.registry.count("syscalls.fsync")
         yield from self._flush_inode(file.inode, priority=BLOCKING)
+        # Flush barrier: everything the device write cache holds for
+        # this stream is now persisted and acknowledged-durable.  A run
+        # that failed to flush (blocking retries exhausted — practically
+        # unreachable) was never reported to the ledger, so the barrier
+        # cannot acknowledge bytes that did not reach the device.
+        self.device.flush_stream(file.inode.id)
 
     # -- prefetch syscalls -----------------------------------------------------------
 
@@ -891,11 +911,17 @@ class VFS:
                 priority=priority, stream=inode.id))
             cleaned.append((run_start, run_len))
             flushed += run_len
+        durable = self.device.durable
         if events:
             if self.device.faults is None:
                 yield self.sim.all_of(events)
                 for run_start, run_len in cleaned:
                     cache.clean_range(run_start, run_len)
+                    if durable is not None:
+                        durable.note_write(
+                            inode.id, run_start * bs,
+                            min(run_len * bs,
+                                inode.size - run_start * bs))
             else:
                 # Settle each run: a failed/timed-out flush keeps its
                 # pages dirty so the next flusher pass retries them.
@@ -904,6 +930,16 @@ class VFS:
                     ok = yield from self._settle_one(ev)
                     if ok:
                         cache.clean_range(run_start, run_len)
+                        if durable is not None:
+                            # Ledger sees exact file bytes (not the
+                            # amplified device bytes): the write reached
+                            # the device cache, volatile until a
+                            # barrier.  Failed runs stay dirty and are
+                            # never reported.
+                            durable.note_write(
+                                inode.id, run_start * bs,
+                                min(run_len * bs,
+                                    inode.size - run_start * bs))
                     else:
                         failed_pages += run_len
                         flushed -= run_len

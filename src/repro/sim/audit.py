@@ -389,6 +389,13 @@ class Auditor:
                             f"qos tenant {name!r} still has "
                             f"{state.inflight} prefetch requests in "
                             f"flight at end of run")
+            # Durability: every byte a flush barrier acknowledged must
+            # still be persisted at shutdown (crash-time coverage is
+            # checked by repro.sim.crash.take_snapshot instead, since a
+            # crashed kernel never reaches final_check).
+            durable = getattr(kernel, "durable", None)
+            if durable is not None:
+                self.violations.extend(durable.verify_acked())
         for prim, holders in self._holders.items():
             for holder, n in holders.items():
                 if n > 0:
@@ -430,6 +437,16 @@ def run_stress(seed: int, *, steps: int = 40, nthreads: int = 4,
     non-negativity, inflight drain) are exercised too.  Raises
     :class:`AuditError` if any invariant breaks; returns a small stats
     dict otherwise.
+
+    Durable-damage specs extend the run in two ways.  The worker mix
+    gains ``fsync`` (flush barriers are what make persistence
+    accounting non-trivial).  A spec with a crash model additionally
+    switches to crash-restart mode: the run is cut at the
+    seed-deterministic crash instant, the persisted remnants are
+    snapshotted (checking the no-acked-bytes-lost invariant), the
+    crashed kernel is abandoned, and a fresh audited kernel is rebuilt
+    from the snapshot and driven through verification reads — so the
+    whole restart path runs under the full invariant audit.
     """
     from repro.os.kernel import Kernel
 
@@ -439,6 +456,8 @@ def run_stress(seed: int, *, steps: int = 40, nthreads: int = 4,
                     audit=True, faults=faults, qos=qos)
     inode = kernel.create_file("/stress", file_mb * MB)
     bs = kernel.config.block_size
+
+    has_durable = faults is not None and faults.durable
 
     def worker(tid: int):
         from repro.os.crossos import CacheInfo
@@ -466,8 +485,46 @@ def run_stress(seed: int, *, steps: int = 40, nthreads: int = 4,
             if rng.random() < 0.2:
                 yield kernel.sim.timeout(rng.uniform(0.0, 50.0))
 
+    def worker_durable(tid: int):
+        # Durable-damage mix: like worker(), plus fsync — flush
+        # barriers are what turn persistence accounting into an
+        # invariant worth auditing.  A separate closure so runs under
+        # the pre-existing presets stay byte-identical.
+        from repro.os.crossos import CacheInfo
+        file = kernel.vfs.open_sync("/stress")
+        for _ in range(steps):
+            op = rng.random()
+            offset = rng.randrange(0, inode.size - bs)
+            nbytes = rng.choice((bs, 4 * bs, 32 * bs, 128 * bs))
+            if op < 0.40:
+                yield from kernel.vfs.read(file, offset, nbytes)
+            elif op < 0.55:
+                info = CacheInfo(offset=offset, nbytes=nbytes)
+                yield from kernel.cross.readahead_info(file, info)
+                if rng.random() < 0.5:
+                    yield info.completion
+            elif op < 0.65:
+                yield from kernel.vfs.readahead(file, offset, nbytes)
+            elif op < 0.80:
+                yield from kernel.vfs.write(file, offset, nbytes)
+            elif op < 0.87:
+                yield from kernel.vfs.fsync(file)
+            elif op < 0.95:
+                yield from kernel.vfs.fadvise(file, "dontneed", offset,
+                                              nbytes)
+            else:
+                yield from kernel.vfs.fincore(file, offset, nbytes)
+            if rng.random() < 0.2:
+                yield kernel.sim.timeout(rng.uniform(0.0, 50.0))
+
+    make_worker = worker_durable if has_durable else worker
     for tid in range(nthreads):
-        kernel.sim.process(worker(tid), name=f"stress[{tid}]")
+        kernel.sim.process(make_worker(tid), name=f"stress[{tid}]")
+
+    if faults is not None and faults.crash is not None:
+        return _finish_stress_crash(kernel, seed, faults,
+                                    memory_mb * MB, steps, nthreads)
+
     kernel.sim.run()
     auditor = kernel.auditor
     auditor.check_now(kernel)
@@ -487,4 +544,69 @@ def run_stress(seed: int, *, steps: int = 40, nthreads: int = 4,
     if kernel.qos is not None:
         summary["qos"] = kernel.qos.snapshot()
         summary["reroutes"] = kernel.device.stats.reroutes
+    if has_durable and kernel.durable is not None:
+        summary["durable"] = kernel.durable.summary()
     return summary
+
+
+def _finish_stress_crash(kernel, seed: int, faults, memory_bytes: int,
+                         steps: int, nthreads: int) -> dict:
+    """Crash-restart tail of :func:`run_stress` (crash specs only).
+
+    Cuts the run at the seed-derived crash instant, snapshots the
+    persisted remnants (which itself checks the acked-bytes invariant),
+    abandons the crashed kernel — it is mid-flight, so neither
+    ``check_now`` nor ``final_check`` may run on it — and rebuilds a
+    fresh audited kernel from the snapshot, driving deterministic
+    verification reads over the restored file.
+    """
+    from repro.os.kernel import Kernel
+    from repro.sim.crash import restore_into, take_snapshot
+    from repro.sim.faults import crash_time_us
+
+    crash_t = crash_time_us(faults)
+    kernel.sim.run(until=crash_t)
+    snapshot = take_snapshot(kernel)
+    crashed_faults = kernel.device.stats.fault_summary()
+
+    restarted = Kernel(memory_bytes=memory_bytes, cross_enabled=True,
+                       audit=True)
+    restore_into(restarted, snapshot)
+    remnant = snapshot.files["/stress"]
+    bs = restarted.config.block_size
+
+    def verifier(tid: int):
+        from repro.os.crossos import CacheInfo
+        vrng = random.Random((seed << 8) ^ (tid * 0x9E37 + 1))
+        file = restarted.vfs.open_sync("/stress")
+        for _ in range(max(4, steps // 2)):
+            offset = vrng.randrange(0, remnant.size - bs)
+            nbytes = vrng.choice((bs, 4 * bs, 32 * bs))
+            if vrng.random() < 0.3:
+                info = CacheInfo(offset=offset, nbytes=nbytes)
+                yield from restarted.cross.readahead_info(file, info)
+                yield info.completion
+            yield from restarted.vfs.read(file, offset, nbytes)
+
+    for tid in range(nthreads):
+        restarted.sim.process(verifier(tid), name=f"verify[{tid}]")
+    restarted.sim.run()
+    auditor = restarted.auditor
+    auditor.check_now(restarted)
+    restarted.shutdown()  # drains + final_check
+    return {
+        "seed": seed,
+        "sim_time_us": restarted.sim.now,
+        "read_bytes": restarted.device.stats.read_bytes,
+        "mirror_checks": auditor.mirror_checks,
+        "warnings": list(auditor.warnings),
+        "faults": crashed_faults,
+        "durable": snapshot.durable,
+        "crash": {
+            "time_us": round(crash_t, 3),
+            "lost_dirty_pages": snapshot.lost_dirty_pages,
+            "damaged_blocks": sum(r.invalid_blocks()
+                                  for r in snapshot.files.values()),
+            "resolution": snapshot.resolution,
+        },
+    }

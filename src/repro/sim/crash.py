@@ -1,0 +1,153 @@
+"""Seed-deterministic crash-restart: snapshot persisted state, rebuild.
+
+A crash is modeled as cutting the event loop at an instant ``t``
+(``Simulator.run(until=t)``), then asking the persistence ledger
+(:class:`~repro.storage.durable.DurableState`) what actually survives:
+persisted intervals stay, volatile write-cache records resolve to
+persisted / torn / lost (pure function of ``(seed, write ordinal)``),
+and every dirty page that never reached the device is gone.
+
+:func:`take_snapshot` freezes that into a :class:`CrashSnapshot` — a
+plain-data description of the surviving device contents, one
+:class:`FileRemnant` per file.  The crashed kernel is then **abandoned**
+(it is mid-flight, so its auditor must never run ``final_check`` on it);
+:func:`restore_into` rebuilds the namespace in a *fresh* kernel, after
+which recovery runs as an ordinary workload
+(:mod:`repro.workloads.lsm.recovery`) and the new kernel can carry a
+fresh auditor end to end.
+
+The snapshot itself enforces the first recovery invariant at crash
+time: **no acknowledged-durable bytes lost** — every byte a flush
+barrier acknowledged must be covered by the resolved surviving
+intervals.  A hole raises :class:`~repro.sim.audit.AuditError`
+immediately, naming the stream and range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.audit import AuditError
+from repro.storage.durable import IntervalSet
+
+__all__ = ["CrashSnapshot", "FileRemnant", "restore_into", "take_snapshot"]
+
+
+@dataclass
+class FileRemnant:
+    """What one file looks like on media after the crash."""
+
+    path: str
+    size: int
+    block_size: int
+    persisted: IntervalSet
+
+    @property
+    def nblocks(self) -> int:
+        return (self.size + self.block_size - 1) // self.block_size
+
+    def covered(self, offset: int, nbytes: int) -> bool:
+        """True iff every byte of ``[offset, offset+nbytes)`` survived."""
+        return self.persisted.covers(offset, offset + nbytes)
+
+    def covered_prefix(self, offset: int, nbytes: int) -> int:
+        return self.persisted.covered_prefix(offset, offset + nbytes)
+
+    def block_valid(self, block: int) -> bool:
+        """True iff the (size-clipped) block is fully persisted."""
+        start = block * self.block_size
+        end = min(start + self.block_size, self.size)
+        return end <= start or self.persisted.covers(start, end)
+
+    def invalid_blocks(self) -> int:
+        """Blocks with at least one lost byte — what a scrub must find."""
+        bs = self.block_size
+        bad = 0
+        next_uncounted = 0
+        for gap_start, gap_end in self.persisted.gaps(0, self.size):
+            first = max(gap_start // bs, next_uncounted)
+            last = (gap_end - 1) // bs
+            if last >= first:
+                bad += last - first + 1
+                next_uncounted = last + 1
+        return bad
+
+
+@dataclass
+class CrashSnapshot:
+    """Frozen post-crash device state (plain data, kernel-free)."""
+
+    seed: int
+    time_us: float
+    block_size: int
+    files: dict[str, FileRemnant] = field(default_factory=dict)
+    lost_dirty_pages: int = 0
+    resolution: dict = field(default_factory=dict)
+    durable: dict = field(default_factory=dict)
+
+    def covered(self, path: str, offset: int, nbytes: int) -> bool:
+        remnant = self.files.get(path)
+        return remnant is not None and remnant.covered(offset, nbytes)
+
+    def block_valid(self, path: str, block: int) -> bool:
+        remnant = self.files.get(path)
+        return remnant is not None and remnant.block_valid(block)
+
+    def describe(self) -> str:
+        bad = sum(r.invalid_blocks() for r in self.files.values())
+        return (f"crash@{self.time_us:.0f}us: {len(self.files)} files, "
+                f"{self.lost_dirty_pages} dirty pages lost, "
+                f"{bad} damaged blocks, "
+                f"resolution={self.resolution}")
+
+
+def take_snapshot(kernel) -> CrashSnapshot:
+    """Freeze the surviving device state of a crashed kernel.
+
+    The kernel must carry a persistence ledger (``kernel.durable``,
+    attached for any durable-damage fault spec).  The kernel is not
+    required to be quiescent — that is the point: call this right after
+    ``kernel.run(until=crash_t)`` and then abandon the kernel without
+    ``shutdown()``.  Raises :class:`AuditError` if any
+    acknowledged-durable byte failed to survive resolution.
+    """
+    durable = kernel.durable
+    if durable is None:
+        raise ValueError(
+            "kernel has no persistence ledger; crash-restart needs a "
+            "durable fault spec (e.g. make_preset('crash', seed=...))")
+    resolved, resolution = durable.resolve_crash()
+    violations = durable.verify_acked(resolved)
+    if violations:
+        raise AuditError(
+            "crash resolution lost acknowledged-durable bytes:\n  "
+            + "\n  ".join(violations))
+    vfs = kernel.vfs
+    bs = kernel.config.block_size
+    snapshot = CrashSnapshot(seed=durable.seed, time_us=kernel.sim.now,
+                             block_size=bs, resolution=resolution,
+                             durable=durable.summary())
+    for path in vfs.paths():
+        inode = vfs.lookup(path)
+        survived = IntervalSet()
+        have = resolved.get(inode.id)
+        if have is not None:
+            for start, end in have.intersect(0, inode.size):
+                survived.add(start, end)
+        snapshot.files[path] = FileRemnant(
+            path=path, size=inode.size, block_size=bs, persisted=survived)
+        snapshot.lost_dirty_pages += inode.cache.dirty_pages
+    return snapshot
+
+
+def restore_into(kernel, snapshot: CrashSnapshot) -> None:
+    """Rebuild the crashed namespace in a fresh (healthy) kernel.
+
+    Files come back at their crashed sizes with cold caches; which
+    bytes are *valid* stays a snapshot query (the simulator models
+    time, not contents).  The fresh kernel is typically built without
+    faults and with a fresh auditor, so the whole recovery workload
+    runs under the full invariant audit.
+    """
+    for path in sorted(snapshot.files):
+        kernel.create_file(path, snapshot.files[path].size)

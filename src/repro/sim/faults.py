@@ -34,6 +34,21 @@ Fault models (each optional, all composable):
   fails until the partition heals), tuned to the device RTT when the
   engine is attached to a :class:`~repro.storage.remote.RemoteNVMeDevice`.
 
+Beyond transient faults, three **durable-damage** models feed the
+crash-consistency machinery (``repro.storage.durable``,
+``repro.sim.crash``, ``docs/robustness.md``):
+
+* ``torn``   — torn writes: at a crash, each un-barriered write record
+  is resolved (pure function of ``(seed, record ordinal)``) to fully
+  persisted, a persisted byte-prefix, or lost;
+* ``wbdrop`` — dropped writeback: background (prefetch-priority)
+  writeback attempts fail with a *detected* error, so the flusher keeps
+  the pages dirty and ``fsync`` semantics hold by construction;
+* ``crash``  — seed-deterministic crash-restart: the run is cut at a
+  crash instant, only "persisted" device state survives
+  (:func:`repro.sim.crash.take_snapshot`), and a fresh kernel is
+  rebuilt from the remnants.
+
 Fault scenarios can be **region-scoped**: ``FaultSpec.region`` limits
 every per-request model (errors, storms, bandwidth, fabric) to streams
 the device has placed in that region (``StorageDevice.place_stream`` /
@@ -67,15 +82,19 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 __all__ = [
+    "CrashSpec",
     "DegradeController",
     "DegradePolicy",
     "DeviceError",
     "DeviceTimeout",
+    "DroppedWritebackSpec",
     "FabricError",
     "FaultEngine",
     "FaultSpec",
     "FaultStats",
     "PRESETS",
+    "TornWriteSpec",
+    "crash_time_us",
     "make_preset",
 ]
 
@@ -170,6 +189,54 @@ class FabricSpec:
 
 
 @dataclass(frozen=True)
+class TornWriteSpec:
+    """Torn writes: how un-barriered write records resolve at a crash.
+
+    Data written to the device but not yet covered by a flush barrier
+    (``fsync``) sits in the volatile write cache.  When the machine
+    crashes, each such record — in write order, by its global ordinal —
+    is resolved deterministically: with ``persist_prob`` it made it to
+    media whole, with ``torn_prob`` only a byte-prefix of it did (the
+    torn write), and otherwise it is lost entirely.  Without this spec
+    a crash loses every un-barriered byte (clean volatile-cache loss).
+    """
+
+    persist_prob: float = 0.45
+    torn_prob: float = 0.30
+
+
+@dataclass(frozen=True)
+class DroppedWritebackSpec:
+    """Dropped writeback: background flusher writes fail before media.
+
+    Only **prefetch-priority** writes (the background flusher) are hit;
+    ``fsync`` flushes at blocking priority and is never dropped.  The
+    failure is *detected* — the flusher keeps the pages dirty and
+    retries on a later pass — so durability invariants hold by
+    construction while dirty data stays at risk longer (the window a
+    crash exploits).
+    """
+
+    drop_prob: float = 0.15
+    error_latency_us: float = 40.0      # time until the drop is reported
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """Seed-deterministic crash-restart.
+
+    The crash instant for self-timed harnesses (``run_stress``) is a
+    pure function of the spec seed — see :func:`crash_time_us`.
+    Harnesses that pick their own crash point (the crash-point fuzzer,
+    the recovery experiment) pass an explicit instant instead and use
+    this spec only as the "this scenario crashes" marker.
+    """
+
+    mean_crash_us: float = 60_000.0
+    min_crash_us: float = 5_000.0
+
+
+@dataclass(frozen=True)
 class RetryPolicy:
     """Capped exponential backoff, differentiated by request class.
 
@@ -219,19 +286,32 @@ class FaultSpec:
     bandwidth: Optional[BandwidthDegradeSpec] = None
     stalls: Optional[QueueStallSpec] = None
     fabric: Optional[FabricSpec] = None
+    torn: Optional[TornWriteSpec] = None
+    wbdrop: Optional[DroppedWritebackSpec] = None
+    crash: Optional[CrashSpec] = None
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     degrade: DegradePolicy = field(default_factory=DegradePolicy)
+
+    @property
+    def durable(self) -> bool:
+        """True when any durable-damage model is active (the kernel then
+        attaches persistence accounting — ``repro.storage.durable``)."""
+        return self.intensity > 0 and (
+            self.torn is not None or self.wbdrop is not None
+            or self.crash is not None)
 
     @property
     def enabled(self) -> bool:
         return self.intensity > 0 and (
             self.storms is not None or self.errors is not None
             or self.bandwidth is not None or self.stalls is not None
-            or self.fabric is not None)
+            or self.fabric is not None or self.torn is not None
+            or self.wbdrop is not None or self.crash is not None)
 
     def describe(self) -> str:
         models = [name for name in
-                  ("storms", "errors", "bandwidth", "stalls", "fabric")
+                  ("storms", "errors", "bandwidth", "stalls", "fabric",
+                   "torn", "wbdrop", "crash")
                   if getattr(self, name) is not None]
         scope = "" if self.region is None else f", region={self.region}"
         return (f"{self.preset} (seed={self.seed}, "
@@ -297,11 +377,22 @@ def make_preset(name: str, *, seed: int = 0, intensity: float = 1.0,
         kwargs["fabric"] = FabricSpec(
             drop_prob=_p(0.01, i),
             partition_gap_us=_gap(80_000.0, i))
+    # Durable-damage presets are deliberately NOT folded into "chaos":
+    # the existing transient presets stay byte-identical, and a durable
+    # scenario is diagnosable on its own.  "crash" composes all three.
+    if name in ("torn", "crash"):
+        kwargs["torn"] = TornWriteSpec(
+            persist_prob=max(0.15, 0.45 / max(1.0, i)),
+            torn_prob=_p(0.30, i))
+        kwargs["crash"] = CrashSpec(mean_crash_us=_gap(60_000.0, i))
+    if name in ("wbdrop", "crash"):
+        kwargs["wbdrop"] = DroppedWritebackSpec(drop_prob=_p(0.15, i))
     return FaultSpec(seed=seed, intensity=i, preset=name,
                      region=region, **kwargs)
 
 
-PRESETS = ("none", "storm", "flaky", "degraded", "stall", "fabric", "chaos")
+PRESETS = ("none", "storm", "flaky", "degraded", "stall", "fabric", "chaos",
+           "torn", "wbdrop", "crash")
 
 
 # -- deterministic schedules ------------------------------------------------
@@ -326,6 +417,22 @@ def _unit(seed: int, salt: int, n: int) -> float:
     x = (x * 0x94D049BB133111EB) & _M64
     x ^= x >> 31
     return x / 2**64
+
+
+def crash_time_us(spec: FaultSpec) -> float:
+    """Deterministic crash instant for a spec with a crash model.
+
+    A pure function of ``(seed, CrashSpec)`` — self-timed harnesses
+    (``run_stress``) crash here; if the workload finishes earlier the
+    "crash" lands on an idle machine, which still exercises snapshot +
+    restart.  Harnesses that choose their own crash points (the fuzzer)
+    ignore this and pass explicit instants.
+    """
+    if spec.crash is None:
+        raise ValueError("spec has no crash model")
+    c = spec.crash
+    return max(c.min_crash_us,
+               c.mean_crash_us * (0.25 + 1.5 * _unit(spec.seed, 31, 1)))
 
 
 class _Windows:
@@ -390,11 +497,13 @@ class FaultStats:
     degraded_requests: int = 0  # served inside a bandwidth window
     stall_windows: int = 0
     fabric_faults: int = 0
+    wbdrop_faults: int = 0      # background writeback attempts dropped
     timeouts: int = 0           # prefetch deadlines that fired
 
     @property
     def injected(self) -> int:
         return (self.spikes + self.error_faults + self.fabric_faults
+                + self.wbdrop_faults
                 + self.storm_requests + self.degraded_requests)
 
 
@@ -491,6 +600,17 @@ class FaultEngine:
                 st.fabric_faults += 1
                 return (FabricError("fabric packet drop"),
                         self._fabric_latency, 1.0, 1.0)
+        wbdrop = spec.wbdrop
+        if wbdrop is not None and req.kind == "write" \
+                and req.priority != 0:
+            # Background writeback only: priority 0 is BLOCKING (fsync
+            # and friends), everything else is flusher/prefetch-class.
+            if wbdrop.drop_prob and \
+                    _unit(self._seed, 23, n) < wbdrop.drop_prob:
+                st.wbdrop_faults += 1
+                return (DeviceError("writeback dropped before media",
+                                    code="EIO"),
+                        wbdrop.error_latency_us, 1.0, 1.0)
         errors = spec.errors
         if errors is not None:
             prob = (errors.read_fail_prob if req.kind == "read"

@@ -261,6 +261,10 @@ class StorageDevice:
         # the global-clamp comparison rows can still place files.
         self.qos = None
         self.region_map: dict[int, int] = {}
+        # Persistence ledger for crash-consistency scenarios (None
+        # unless the kernel attaches one; see set_durable).  Pure
+        # bookkeeping — never adds events or I/O.
+        self.durable = None
         # Byte counters hoisted out of _start: the f-string + registry
         # lookup per request is measurable at tens of thousands of I/Os.
         if stats_registry is not None:
@@ -307,6 +311,20 @@ class StorageDevice:
         """
         self.qos = manager
         manager.attach_device(self)
+
+    def set_durable(self, state) -> None:
+        """Attach a :class:`~repro.storage.durable.DurableState` ledger
+        (durable-damage fault scenarios).  The VFS then reports settled
+        writeback via ``durable.note_write`` and ``fsync`` issues flush
+        barriers through :meth:`flush_stream`."""
+        self.durable = state
+
+    def flush_stream(self, stream: int) -> None:
+        """Flush barrier for one stream: every volatile byte the ledger
+        holds for it becomes persisted and acknowledged-durable.  No-op
+        without a ledger (healthy runs are untouched)."""
+        if self.durable is not None:
+            self.durable.flush_stream(stream)
 
     def place_stream(self, stream: int, region: int) -> None:
         """Pin a stream (inode id) to a device region for region-scoped
@@ -470,6 +488,9 @@ class StorageDevice:
 
     def forget_stream(self, stream: int) -> None:
         self._stream_pos.pop(stream, None)
+        if self.durable is not None:
+            # Unlinked file: its durability obligations end with it.
+            self.durable.forget_stream(stream)
 
     # -- scheduling --------------------------------------------------------
 

@@ -1,0 +1,279 @@
+"""Durable-state accounting for crash-consistency scenarios.
+
+Under a durable-damage fault spec (``FaultSpec.durable``) the kernel
+attaches a :class:`DurableState` to the storage device.  It tracks, per
+stream (inode), which byte ranges of a file are
+
+* **persisted** — on media, survive a crash;
+* **volatile**  — written to the device (the flusher or an eviction
+  counted as writeback) but not yet covered by a flush barrier; they
+  sit in the device write cache and are at risk;
+* **acked**     — acknowledged durable to the application: exactly the
+  ranges that were volatile at some ``fsync`` barrier.  The core
+  recovery invariant is ``acked ⊆ persisted`` — no
+  acknowledged-durable byte may ever be lost (``repro.sim.audit``
+  checks it at shutdown, :func:`repro.sim.crash.take_snapshot` at a
+  crash).
+
+Crash resolution is seed-deterministic: each volatile record carries a
+global write **ordinal**, and its fate (fully persisted / torn to a
+byte-prefix / lost) is a pure function of ``(seed, ordinal)`` via the
+same SplitMix64 mixer the fault engine uses (salts 19 and 29).  With no
+:class:`~repro.sim.faults.TornWriteSpec` a crash loses every volatile
+byte — the clean volatile-cache-loss model.
+
+The accounting adds **no I/O and no events**: every hook
+(``note_write``, ``flush_stream``) is synchronous bookkeeping, so a
+faulted run's event sequence is unchanged by attaching it.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Optional
+
+from repro.sim.faults import TornWriteSpec, _unit
+
+__all__ = ["DurableState", "IntervalSet"]
+
+# SplitMix64 salts (shared namespace with repro.sim.faults: fabric=11,
+# errors=13, spikes=17, wbdrop=23, crash instant=31).
+_SALT_FATE = 19         # volatile-record fate at crash
+_SALT_FRACTION = 29     # persisted prefix fraction of a torn record
+
+
+class IntervalSet:
+    """A set of disjoint, sorted, half-open byte intervals ``[s, e)``.
+
+    Supports merge-on-add, coverage queries, and longest-covered-prefix
+    — everything the durability invariants and WAL replay need.  Pure
+    Python, O(log n) lookup, O(n) worst-case add (amortized fine at the
+    scales the simulator runs).
+    """
+
+    __slots__ = ("_starts", "_ends")
+
+    def __init__(self) -> None:
+        self._starts: list[int] = []
+        self._ends: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._starts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IntervalSet):
+            return NotImplemented
+        return self._starts == other._starts and self._ends == other._ends
+
+    def __repr__(self) -> str:
+        runs = ", ".join(f"[{s}, {e})"
+                         for s, e in zip(self._starts, self._ends))
+        return f"IntervalSet({runs})"
+
+    def copy(self) -> "IntervalSet":
+        dup = IntervalSet()
+        dup._starts = list(self._starts)
+        dup._ends = list(self._ends)
+        return dup
+
+    def add(self, start: int, end: int) -> None:
+        """Insert ``[start, end)``, merging with any overlap/adjacency."""
+        if end <= start:
+            return
+        starts, ends = self._starts, self._ends
+        # Leftmost interval whose end touches start, through rightmost
+        # whose start touches end, all coalesce into one.
+        lo = bisect.bisect_left(ends, start)
+        hi = bisect.bisect_right(starts, end)
+        if lo < hi:
+            start = min(start, starts[lo])
+            end = max(end, ends[hi - 1])
+        starts[lo:hi] = [start]
+        ends[lo:hi] = [end]
+
+    def covers(self, start: int, end: int) -> bool:
+        """True iff every byte of ``[start, end)`` is in the set."""
+        if end <= start:
+            return True
+        i = bisect.bisect_right(self._starts, start) - 1
+        return i >= 0 and self._ends[i] >= end
+
+    def covered_prefix(self, start: int, end: int) -> int:
+        """Length of the longest covered prefix of ``[start, end)``."""
+        if end <= start:
+            return 0
+        i = bisect.bisect_right(self._starts, start) - 1
+        if i < 0 or self._ends[i] <= start:
+            return 0
+        return min(end, self._ends[i]) - start
+
+    def intersect(self, start: int, end: int) -> list[tuple[int, int]]:
+        """The sub-intervals of the set that overlap ``[start, end)``."""
+        out: list[tuple[int, int]] = []
+        i = max(0, bisect.bisect_right(self._ends, start))
+        while i < len(self._starts) and self._starts[i] < end:
+            out.append((max(start, self._starts[i]),
+                        min(end, self._ends[i])))
+            i += 1
+        return out
+
+    def gaps(self, start: int, end: int) -> list[tuple[int, int]]:
+        """The sub-intervals of ``[start, end)`` NOT covered by the set."""
+        out: list[tuple[int, int]] = []
+        pos = start
+        for s, e in self.intersect(start, end):
+            if s > pos:
+                out.append((pos, s))
+            pos = max(pos, e)
+        if pos < end:
+            out.append((pos, end))
+        return out
+
+    def total(self) -> int:
+        """Total bytes covered."""
+        return sum(e - s for s, e in zip(self._starts, self._ends))
+
+    def runs(self) -> list[tuple[int, int]]:
+        return list(zip(self._starts, self._ends))
+
+
+class DurableState:
+    """Per-device persistence ledger (see module docstring).
+
+    Wired by the kernel: ``StorageDevice.durable`` points here, the VFS
+    calls :meth:`note_write` when writeback settles (and when a dirty
+    page is evicted, which the page-cache model counts as written
+    back), ``fsync`` drives :meth:`flush_stream`, ``unlink`` drives
+    :meth:`forget_stream`, and ``Kernel.create_file`` seeds
+    pre-populated files via :meth:`seed_file`.
+    """
+
+    def __init__(self, seed: int, *,
+                 torn: Optional[TornWriteSpec] = None) -> None:
+        self.seed = seed
+        self.torn = torn
+        # stream -> [(ordinal, start, end)] in write order.
+        self._volatile: dict[int, list[tuple[int, int, int]]] = {}
+        self.persisted: dict[int, IntervalSet] = {}
+        self.acked: dict[int, IntervalSet] = {}
+        self._ordinal = 0
+        # Counters (reported via summary(), never merged into
+        # DeviceStats.fault_summary so existing outputs are unchanged).
+        self.volatile_records = 0
+        self.barriers = 0
+        self.seeded_files = 0
+        self.forgotten_streams = 0
+
+    # -- write-path hooks ---------------------------------------------------
+
+    def seed_file(self, stream: int, size: int) -> None:
+        """A pre-populated file's initial contents are on media."""
+        if size > 0:
+            self.persisted.setdefault(stream, IntervalSet()).add(0, size)
+            self.seeded_files += 1
+
+    def note_write(self, stream: int, offset: int, nbytes: int) -> None:
+        """A write reached the device (volatile until a barrier)."""
+        if nbytes <= 0:
+            return
+        rec = (self._ordinal, offset, offset + nbytes)
+        self._ordinal += 1
+        self.volatile_records += 1
+        self._volatile.setdefault(stream, []).append(rec)
+
+    def flush_stream(self, stream: int) -> None:
+        """Flush barrier (``fsync``): every volatile byte of the stream
+        becomes persisted *and* acknowledged-durable."""
+        self.barriers += 1
+        recs = self._volatile.pop(stream, None)
+        if not recs:
+            return
+        persisted = self.persisted.setdefault(stream, IntervalSet())
+        acked = self.acked.setdefault(stream, IntervalSet())
+        for _ordinal, start, end in recs:
+            persisted.add(start, end)
+            acked.add(start, end)
+
+    def forget_stream(self, stream: int) -> None:
+        """The file was unlinked; its durability obligations end."""
+        if (self._volatile.pop(stream, None) is not None
+                or self.persisted.pop(stream, None) is not None):
+            self.forgotten_streams += 1
+        self.acked.pop(stream, None)
+
+    # -- crash resolution ---------------------------------------------------
+
+    def resolve_crash(self) -> tuple[dict[int, IntervalSet], dict]:
+        """What survives a crash right now.
+
+        Pure (mutates nothing; calling twice gives identical results).
+        Returns ``(resolved, resolution)``: per-stream surviving
+        intervals, plus counters describing the volatile records' fates.
+        """
+        resolved = {s: iv.copy() for s, iv in self.persisted.items()}
+        res = {"records_persisted": 0, "records_torn": 0,
+               "records_lost": 0, "bytes_lost": 0}
+        torn = self.torn
+        for stream in sorted(self._volatile):
+            target = resolved.setdefault(stream, IntervalSet())
+            for ordinal, start, end in self._volatile[stream]:
+                nbytes = end - start
+                if torn is None:
+                    res["records_lost"] += 1
+                    res["bytes_lost"] += nbytes
+                    continue
+                u = _unit(self.seed, _SALT_FATE, ordinal)
+                if u < torn.persist_prob:
+                    target.add(start, end)
+                    res["records_persisted"] += 1
+                elif u < torn.persist_prob + torn.torn_prob:
+                    keep = int(nbytes
+                               * _unit(self.seed, _SALT_FRACTION, ordinal))
+                    target.add(start, start + keep)
+                    res["records_torn"] += 1
+                    res["bytes_lost"] += nbytes - keep
+                else:
+                    res["records_lost"] += 1
+                    res["bytes_lost"] += nbytes
+        return resolved, res
+
+    # -- invariants ---------------------------------------------------------
+
+    def verify_acked(self,
+                     resolved: Optional[dict[int, IntervalSet]] = None
+                     ) -> list[str]:
+        """Check ``acked ⊆ persisted`` (or ⊆ ``resolved`` post-crash).
+
+        Returns one violation string per hole — empty means the "no
+        acknowledged-durable bytes lost" invariant holds.
+        """
+        violations: list[str] = []
+        universe = self.persisted if resolved is None else resolved
+        for stream in sorted(self.acked):
+            acked = self.acked[stream]
+            have = universe.get(stream)
+            for start, end in acked.runs():
+                if have is None or not have.covers(start, end):
+                    missing = (end - start if have is None
+                               else (end - start)
+                               - sum(e - s for s, e
+                                     in have.intersect(start, end)))
+                    violations.append(
+                        f"stream {stream}: acknowledged-durable bytes "
+                        f"lost ({missing} of [{start}, {end}))")
+        return violations
+
+    def summary(self) -> dict:
+        """Deterministic counters for stress/experiment reports."""
+        return {
+            "streams": len(set(self.persisted) | set(self._volatile)),
+            "persisted_bytes": sum(iv.total()
+                                   for iv in self.persisted.values()),
+            "acked_bytes": sum(iv.total() for iv in self.acked.values()),
+            "volatile_records": self.volatile_records,
+            "volatile_bytes": sum(end - start
+                                  for recs in self._volatile.values()
+                                  for _o, start, end in recs),
+            "barriers": self.barriers,
+            "seeded_files": self.seeded_files,
+        }

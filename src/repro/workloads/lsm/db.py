@@ -35,6 +35,7 @@ from repro.runtimes.base import (
 )
 from repro.workloads.lsm.memtable import Memtable
 from repro.workloads.lsm.sstable import SSTable
+from repro.workloads.lsm.wal import WalLog
 
 __all__ = ["DbConfig", "FlushedSSTable", "LsmDb", "ThreadCtx"]
 
@@ -55,6 +56,10 @@ class DbConfig:
     op_cpu_us: float = 2.0           # per-op application CPU
     wal_path: str = "/db/WAL"
     seed: int = 7
+    # Group commit: fsync the WAL every N puts (0 = never during the
+    # run; close() still commits).  Crash/recovery scenarios set this
+    # so there is a committed prefix for the invariants to bite on.
+    wal_sync_ops: int = 0
 
 
 class FlushedSSTable(SSTable):
@@ -127,6 +132,8 @@ class LsmDb:
         self._imm: Optional[Memtable] = None
         self._seq = 0
         self._wal_handle: Optional[Handle] = None
+        self.wal = WalLog()
+        self._puts_since_sync = 0
         self._compacting = False
         self._flushing = False
         self.stats = {"gets": 0, "puts": 0, "scans": 0, "flushes": 0,
@@ -252,10 +259,21 @@ class LsmDb:
         yield self.kernel.sim.timeout(self.config.op_cpu_us)
         self.stats["puts"] += 1
         self._seq += 1
+        seq = self._seq
         wal = yield from self._wal()
-        yield from self.runtime.write_seq(wal,
-                                          self.config.value_size + 12)
-        self.memtable.put(key, self._seq)
+        offset = wal.pos
+        nbytes = self.config.value_size + 12
+        yield from self.runtime.write_seq(wal, nbytes)
+        self.wal.append(seq, key, offset, nbytes)
+        if self.config.wal_sync_ops > 0:
+            self._puts_since_sync += 1
+            if self._puts_since_sync >= self.config.wal_sync_ops:
+                # Group commit: barrier the WAL, acknowledging every
+                # record written so far as durable.
+                self._puts_since_sync = 0
+                yield from self.runtime.fsync(wal)
+                self.wal.commit(wal.pos)
+        self.memtable.put(key, seq)
         if self.memtable.full and not self._flushing:
             self._rotate_memtable()
         return True
@@ -351,8 +369,17 @@ class LsmDb:
 
     # -- teardown ----------------------------------------------------------------
 
+    def manifest(self) -> list[SSTable]:
+        """The installed tables — the durable MANIFEST a real LSM
+        persists.  Installation points (post-fsync for L0 flushes, the
+        metadata swap for compactions) are synchronous, so the manifest
+        is consistent at any crash instant: every listed table was
+        fully written and fsync'd before it appeared here."""
+        return list(self.l0) + list(self.l1)
+
     def close(self) -> Generator:
         if self._wal_handle is not None:
             yield from self.runtime.fsync(self._wal_handle)
+            self.wal.commit(self._wal_handle.pos)
             yield from self.runtime.close(self._wal_handle)
             self._wal_handle = None

@@ -1,0 +1,288 @@
+"""Crash recovery for the LSM store: fsck-style scan + WAL replay.
+
+Runs as an ordinary workload on a *fresh* kernel rebuilt from a
+:class:`~repro.sim.crash.CrashSnapshot` (see
+:func:`~repro.sim.crash.restore_into`).  Three passes:
+
+1. **Metadata / integrity scan** — walk every file the crashed store
+   left behind in a fixed plan order (WAL first, then manifest tables
+   index-before-data, then orphans), reading each and charging
+   per-block verification CPU.  Damage is a snapshot query
+   (:meth:`FileRemnant.invalid_blocks`): any damaged block in a
+   *manifest* table is an invariant violation, because installation
+   points are post-fsync — a listed table's bytes were all
+   acknowledged durable.  Orphans (``.sst`` files on disk but in no
+   manifest) are mid-flush remnants; they are scanned, counted and
+   unlinked, damage expected.
+
+2. **WAL replay** — the longest surviving record prefix
+   (:meth:`WalLog.replayable`).  Invariants: the replayed prefix must
+   reach ``committed_seq`` and include every committed record — the
+   "recovered DB ≡ committed prefix" half of the audit contract.
+
+3. **Rebuild** — replayed keys become a fresh, fsync'd L0 table
+   (re-applying records whose keys already reached an L0 flush is
+   idempotent, exactly like real WAL replay).  A final containment
+   check samples the keyspace against surviving tables + the rebuilt
+   one.
+
+When the runtime is CROSS-LIB, the scan is *primed*: a
+:class:`~repro.crosslib.repair.RepairPrefetcher` queuing thread walks
+the same plan a bounded window ahead and enqueues ranges to the
+concurrent worker pool, so the scanner's blocking reads mostly hit the
+page cache.  On OS-only runtimes the scan runs cold (stock readahead
+only).  The ``recovery`` experiment measures the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from repro.runtimes.base import HINT_SEQUENTIAL, IORuntime
+from repro.sim.crash import CrashSnapshot
+from repro.workloads.lsm.db import DbConfig, FlushedSSTable
+from repro.workloads.lsm.sstable import SSTable
+from repro.workloads.lsm.wal import WalLog
+
+__all__ = ["LsmRecovery", "RecoveryReport"]
+
+
+@dataclass
+class RecoveryReport:
+    """What the recovery pass found and did."""
+
+    started_us: float = 0.0
+    finished_us: float = 0.0
+    tables_checked: int = 0
+    orphans_found: int = 0
+    orphans_removed: int = 0
+    blocks_scanned: int = 0
+    damaged_blocks: int = 0
+    damaged_manifest_blocks: int = 0
+    quarantined_tables: int = 0
+    wal_records: int = 0
+    wal_committed_seq: int = 0
+    replayed_records: int = 0
+    replayed_seq: int = 0
+    rebuilt_keys: int = 0
+    rebuilt_path: Optional[str] = None
+    primed_items: int = 0
+    primed_blocks: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def duration_us(self) -> float:
+        return self.finished_us - self.started_us
+
+    def describe(self) -> str:
+        status = "OK" if self.ok else f"{len(self.violations)} VIOLATIONS"
+        return (f"recovery {status}: {self.tables_checked} tables scanned "
+                f"({self.blocks_scanned} blocks, {self.damaged_blocks} "
+                f"damaged), {self.orphans_removed} orphans removed, "
+                f"replayed {self.replayed_records}/{self.wal_records} WAL "
+                f"records (committed seq {self.wal_committed_seq}), "
+                f"rebuilt {self.rebuilt_keys} keys, "
+                f"{self.duration_us / 1e3:.1f}ms")
+
+
+class LsmRecovery:
+    """One recovery pass over a restored post-crash namespace."""
+
+    def __init__(self, kernel, runtime: IORuntime,
+                 snapshot: CrashSnapshot, manifest: list[SSTable],
+                 wal: WalLog, config: DbConfig, *,
+                 prefix: str = "/db",
+                 lookahead_files: int = 3,
+                 scan_chunk_bytes: Optional[int] = None,
+                 verify_cpu_us_per_block: float = 0.5,
+                 keyspace_sample: int = 64):
+        self.kernel = kernel
+        self.runtime = runtime
+        self.snapshot = snapshot
+        self.manifest = list(manifest)
+        self.wal = wal
+        self.config = config
+        self.prefix = prefix
+        self.block_size = kernel.config.block_size
+        self.lookahead_files = lookahead_files
+        self.scan_chunk_bytes = scan_chunk_bytes or 16 * self.block_size
+        self.verify_cpu_us_per_block = verify_cpu_us_per_block
+        self.keyspace_sample = keyspace_sample
+        self.report = RecoveryReport()
+        self.recovered_tables: list[SSTable] = []
+        self._plan = None
+        self._prefetcher = None
+
+    # -- plan ------------------------------------------------------------------
+
+    def _build_plan(self):
+        """Fixed scan order shared with the priming queue thread."""
+        from repro.crosslib.repair import RepairPlan
+
+        plan = RepairPlan()
+        bs = self.block_size
+        wal_path = self.config.wal_path
+        wal_remnant = self.snapshot.files.get(wal_path)
+        if wal_remnant is not None and wal_remnant.size > 0:
+            plan.add(wal_path, [(0, wal_remnant.nblocks)], label="wal")
+        manifest_paths = {sst.path for sst in self.manifest}
+        for sst in sorted(self.manifest, key=lambda s: s.path):
+            # Priority buffers: index (metadata) runs ahead of data runs.
+            plan.add(sst.path,
+                     [(0, sst.index_blocks),
+                      (sst.index_blocks, sst.num_data_blocks)],
+                     label=f"L{sst.level}")
+        for path in sorted(self.snapshot.files):
+            if path in manifest_paths or path == wal_path:
+                continue
+            if not path.startswith(self.prefix + "/"):
+                continue
+            remnant = self.snapshot.files[path]
+            nblocks = (remnant.size + bs - 1) // bs
+            plan.add(path, [(0, nblocks)], label="orphan")
+        return plan
+
+    def _can_prime(self) -> bool:
+        return hasattr(self.runtime, "prime") \
+            and hasattr(self.runtime, "workers")
+
+    # -- passes ----------------------------------------------------------------
+
+    def _scan_item(self, item) -> Generator:
+        """Read every planned run of one file, charging verify CPU."""
+        remnant = self.snapshot.files.get(item.path)
+        size = remnant.size if remnant is not None else 0
+        if size <= 0:
+            return
+        handle = yield from self.runtime.open(item.path, HINT_SEQUENTIAL)
+        bs = self.block_size
+        for start, count in item.runs:
+            pos = start * bs
+            end = min((start + count) * bs, size)
+            while pos < end:
+                n = min(self.scan_chunk_bytes, end - pos)
+                yield from self.runtime.pread(handle, pos, n)
+                nblocks = (n + bs - 1) // bs
+                self.report.blocks_scanned += nblocks
+                if self.verify_cpu_us_per_block > 0.0:
+                    yield self.kernel.sim.timeout(
+                        nblocks * self.verify_cpu_us_per_block)
+                pos += n
+        yield from self.runtime.close(handle)
+
+    def _replay_wal(self) -> None:
+        """Pure bookkeeping — the WAL bytes were read in the scan pass."""
+        report = self.report
+        wal_path = self.config.wal_path
+        replayed = self.wal.replayable(
+            lambda off, n: self.snapshot.covered(wal_path, off, n))
+        report.wal_records = len(self.wal.records)
+        report.wal_committed_seq = self.wal.committed_seq
+        report.replayed_records = len(replayed)
+        report.replayed_seq = replayed[-1].seq if replayed else 0
+        if report.replayed_seq < self.wal.committed_seq:
+            report.violations.append(
+                f"WAL replay stops at seq {report.replayed_seq} but "
+                f"seq {self.wal.committed_seq} was committed "
+                f"(acknowledged-durable WAL bytes lost)")
+        replayed_seqs = {rec.seq for rec in replayed}
+        for rec in self.wal.committed_records():
+            if rec.seq not in replayed_seqs:
+                report.violations.append(
+                    f"committed WAL record seq={rec.seq} key={rec.key} "
+                    f"not replayable")
+        self._replayed = replayed
+
+    def _rebuild(self) -> Generator:
+        """Write replayed keys back out as a fresh, fsync'd L0 table."""
+        report = self.report
+        keys = sorted({rec.key for rec in self._replayed})
+        report.rebuilt_keys = len(keys)
+        if not keys:
+            return
+        sst = FlushedSSTable(path=f"{self.prefix}/R0-recovered.sst",
+                             keys=keys,
+                             value_size=self.config.value_size,
+                             block_size=self.block_size)
+        self.kernel.create_file(sst.path, 0)
+        handle = yield from self.runtime.open(sst.path, HINT_SEQUENTIAL)
+        pos = 0
+        unit = self.config.write_buffer_io
+        while pos < sst.file_bytes:
+            n = min(unit, sst.file_bytes - pos)
+            yield from self.runtime.write_seq(handle, n)
+            pos += n
+        yield from self.runtime.fsync(handle)
+        yield from self.runtime.close(handle)
+        report.rebuilt_path = sst.path
+        self.recovered_tables.append(sst)
+
+    def _check_containment(self) -> None:
+        """Sample the keyspace: every key must live *somewhere* healthy."""
+        report = self.report
+        tables = self.recovered_tables
+        num_keys = self.config.num_keys
+        if not num_keys:
+            return
+        stride = max(1, num_keys // max(1, self.keyspace_sample))
+        for key in range(0, num_keys, stride):
+            if not any(t.contains(key) for t in tables):
+                report.violations.append(
+                    f"key {key} unrecoverable: in no surviving or "
+                    f"rebuilt table")
+
+    # -- driver ----------------------------------------------------------------
+
+    def run(self) -> Generator:
+        """The whole pass; returns the :class:`RecoveryReport`."""
+        report = self.report
+        report.started_us = self.kernel.sim.now
+        plan = self._plan = self._build_plan()
+        if self._can_prime():
+            from repro.crosslib.repair import RepairPrefetcher
+            self._prefetcher = RepairPrefetcher(
+                self.runtime, plan, lookahead_files=self.lookahead_files)
+        manifest_paths = {sst.path for sst in self.manifest}
+        healthy: list[SSTable] = []
+        by_path = {sst.path: sst for sst in self.manifest}
+        orphans: list[str] = []
+        for i, item in enumerate(plan.items):
+            yield from self._scan_item(item)
+            if self._prefetcher is not None:
+                self._prefetcher.note_scanned(i)
+            remnant = self.snapshot.files.get(item.path)
+            bad = remnant.invalid_blocks() if remnant is not None else 0
+            report.damaged_blocks += bad
+            if item.path in manifest_paths:
+                report.tables_checked += 1
+                sst = by_path[item.path]
+                if bad:
+                    report.damaged_manifest_blocks += bad
+                    report.quarantined_tables += 1
+                    report.violations.append(
+                        f"manifest table {item.path} (L{sst.level}) has "
+                        f"{bad} damaged blocks despite post-fsync install")
+                else:
+                    healthy.append(sst)
+            elif item.label == "orphan":
+                report.orphans_found += 1
+                orphans.append(item.path)
+        # Orphans are un-installed flush remnants: quarantine (drop).
+        for path in orphans:
+            self.kernel.vfs.unlink(path)
+            report.orphans_removed += 1
+        self.recovered_tables = healthy
+        self._replay_wal()
+        yield from self._rebuild()
+        self._check_containment()
+        if self._prefetcher is not None:
+            yield from self._prefetcher.drain()
+            report.primed_items = self._prefetcher.primed_items
+            report.primed_blocks = self._prefetcher.primed_blocks
+        report.finished_us = self.kernel.sim.now
+        return report

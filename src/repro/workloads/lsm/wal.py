@@ -1,0 +1,77 @@
+"""Write-ahead-log record tracking for the LSM store.
+
+The simulator models I/O time, not file contents, so the WAL "records"
+live here as metadata: for every put, the byte range its record
+occupies in the WAL file, its sequence number, and its key.  Commit
+points (``fsync`` + :meth:`WalLog.commit`) advance ``committed_seq`` —
+the durable prefix the recovery invariant is phrased over: after a
+crash, every put with ``seq <= committed_seq`` must be recoverable.
+
+Replay is a coverage question: :meth:`WalLog.replayable` walks records
+in append order and returns the longest prefix whose bytes all survived
+the crash (per the :class:`~repro.sim.crash.CrashSnapshot`).  Because
+records are appended in seq order and a commit barriers everything
+written before it, a surviving prefix shorter than the committed prefix
+means acknowledged-durable bytes were lost — an invariant violation
+the recovery pass reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["WalLog", "WalRecord"]
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One put's record: ``[offset, offset+nbytes)`` in the WAL file."""
+
+    seq: int
+    key: int
+    offset: int
+    nbytes: int
+
+
+class WalLog:
+    """Append-order record log + commit-point bookkeeping."""
+
+    def __init__(self) -> None:
+        self.records: list[WalRecord] = []
+        self.committed_seq = 0
+        self.synced_offset = 0
+        self.commits = 0
+
+    def append(self, seq: int, key: int, offset: int,
+               nbytes: int) -> None:
+        self.records.append(WalRecord(seq, key, offset, nbytes))
+
+    def commit(self, offset: int) -> None:
+        """A flush barrier covered the WAL up to byte ``offset``."""
+        self.commits += 1
+        if offset > self.synced_offset:
+            self.synced_offset = offset
+        for rec in reversed(self.records):
+            if rec.offset + rec.nbytes <= offset:
+                if rec.seq > self.committed_seq:
+                    self.committed_seq = rec.seq
+                break
+
+    def committed_records(self) -> list[WalRecord]:
+        return [r for r in self.records if r.seq <= self.committed_seq]
+
+    def replayable(self, covered: Callable[[int, int], bool]
+                   ) -> list[WalRecord]:
+        """Longest append-order prefix whose bytes all survived.
+
+        ``covered(offset, nbytes)`` answers whether a byte range of the
+        WAL file is intact post-crash; replay stops at the first torn
+        or lost record, exactly like a checksummed WAL reader.
+        """
+        prefix: list[WalRecord] = []
+        for rec in self.records:
+            if not covered(rec.offset, rec.nbytes):
+                break
+            prefix.append(rec)
+        return prefix

@@ -10,6 +10,22 @@ KB = 1 << 10
 MB = 1 << 20
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--stress", action="store_true", default=False,
+        help="also run tests marked 'stress' (long randomized sweeps, "
+             "e.g. the crash-point fuzz harness at full width)")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--stress"):
+        return
+    skip = pytest.mark.skip(reason="long sweep; enable with --stress")
+    for item in items:
+        if "stress" in item.keywords:
+            item.add_marker(skip)
+
+
 @pytest.fixture
 def kernel():
     """A small machine with Cross-OS enabled (64 MB RAM)."""

@@ -1,0 +1,86 @@
+"""The CI coverage gate (tools/check_coverage.py) — stdlib-only, so it
+is testable here without pytest-cov installed."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+TOOL = os.path.join(REPO, "tools", "check_coverage.py")
+
+spec = importlib.util.spec_from_file_location("check_coverage", TOOL)
+check_coverage = importlib.util.module_from_spec(spec)
+sys.modules.setdefault("check_coverage", check_coverage)
+spec.loader.exec_module(check_coverage)
+
+
+def _report(tmp_path, percent, files=None):
+    path = tmp_path / "coverage.json"
+    path.write_text(json.dumps({
+        "totals": {"percent_covered": percent},
+        "files": files or {},
+    }))
+    return str(path)
+
+
+def _baseline(tmp_path, minimum):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"min_percent": minimum}))
+    return str(path)
+
+
+def test_passes_at_or_above_floor(tmp_path, capsys):
+    rc = check_coverage.main(["--report", _report(tmp_path, 72.5),
+                              "--baseline", _baseline(tmp_path, 70.0)])
+    assert rc == 0
+    assert "ok" in capsys.readouterr().out
+
+
+def test_fails_below_floor(tmp_path, capsys):
+    rc = check_coverage.main(["--report", _report(tmp_path, 64.9),
+                              "--baseline", _baseline(tmp_path, 70.0)])
+    assert rc == 1
+    assert "fell" in capsys.readouterr().err
+
+
+def test_update_ratchets_floor_down_rounded(tmp_path):
+    baseline = _baseline(tmp_path, 10.0)
+    rc = check_coverage.main(["--report", _report(tmp_path, 71.99),
+                              "--baseline", baseline, "--update"])
+    assert rc == 0
+    assert json.loads(open(baseline).read()) == {"min_percent": 71.9}
+
+
+def test_rejects_malformed_report(tmp_path):
+    path = tmp_path / "coverage.json"
+    path.write_text(json.dumps({"not": "coverage"}))
+    rc = check_coverage.main(["--report", str(path),
+                              "--baseline", _baseline(tmp_path, 50.0)])
+    assert rc == 2
+
+
+def test_worst_files_ranked_and_trivial_skipped(tmp_path, capsys):
+    files = {
+        "src/a.py": {"summary": {"percent_covered": 20.0,
+                                 "num_statements": 100}},
+        "src/b.py": {"summary": {"percent_covered": 90.0,
+                                 "num_statements": 100}},
+        "src/tiny.py": {"summary": {"percent_covered": 0.0,
+                                    "num_statements": 3}},
+    }
+    rc = check_coverage.main(["--report",
+                              _report(tmp_path, 80.0, files),
+                              "--baseline", _baseline(tmp_path, 50.0)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "src/a.py" in out
+    assert "src/tiny.py" not in out
+
+
+def test_committed_baseline_is_wellformed():
+    with open(os.path.join(REPO, "COVERAGE_baseline.json")) as fh:
+        doc = json.load(fh)
+    assert 0.0 < float(doc["min_percent"]) <= 100.0

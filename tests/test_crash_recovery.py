@@ -1,0 +1,172 @@
+"""Crash-point fuzzing: crash the LSM write workload at arbitrary
+ordinals, recover on a fresh audited kernel, and hold the recovery
+invariants (recovered DB ≡ committed WAL prefix, no acknowledged-
+durable bytes lost).
+
+Hypothesis drives the crash ordinal; on a failure it shrinks to the
+minimal failing ordinal automatically (the same deterministic shrink
+``repro recover`` reports via ``find_minimal_failure``).  The wide
+randomized sweep is marked ``stress`` and runs with ``pytest
+--stress``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+
+import pytest
+
+from repro.harness.crashfuzz import (
+    FuzzConfig,
+    build_scenario,
+    crash_time_for,
+    find_minimal_failure,
+    probe_put_times,
+    recover,
+    sweep,
+)
+from repro.harness.experiments.recovery import run_recovery
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+KB = 1 << 10
+
+# Small on purpose: each example runs a damage sim + a recovery sim.
+FUZZ = FuzzConfig(puts=60, num_keys=1024, value_size=512,
+                  sst_bytes=64 * KB, memtable_bytes=16 * KB,
+                  l0_compaction_trigger=2, write_buffer_io=16 * KB,
+                  wal_sync_ops=5, memory_mb=48)
+
+
+@functools.lru_cache(maxsize=8)
+def _probe(seed: int) -> tuple[float, ...]:
+    return tuple(probe_put_times(seed, FUZZ))
+
+
+# -- the fuzz property --------------------------------------------------------
+
+
+@given(seed=st.integers(min_value=0, max_value=3),
+       ordinal=st.integers(min_value=0, max_value=FUZZ.puts))
+@settings(deadline=None, max_examples=12)
+def test_crash_anywhere_recovers_committed_prefix(seed, ordinal):
+    scenario = build_scenario(seed, ordinal, FUZZ,
+                              put_times=_probe(seed))
+    report = recover(scenario)
+    assert report.ok, report.violations
+    # Recovered DB ≡ committed prefix: every committed put replayed...
+    assert report.replayed_seq >= scenario.wal.committed_seq
+    assert report.replayed_records >= len(scenario.wal.committed_records())
+    # ...and nothing acknowledged-durable was damaged.
+    assert report.damaged_manifest_blocks == 0
+    assert report.quarantined_tables == 0
+
+
+def test_crash_before_any_put():
+    scenario = build_scenario(1, 0, FUZZ, put_times=_probe(1))
+    report = recover(scenario)
+    assert report.ok, report.violations
+    assert report.replayed_records == 0
+    assert report.rebuilt_keys == 0
+
+
+def test_crash_after_last_put():
+    scenario = build_scenario(1, FUZZ.puts, FUZZ, put_times=_probe(1))
+    report = recover(scenario)
+    assert report.ok, report.violations
+    # close() committed the whole WAL before the crash point.
+    assert report.replayed_records == FUZZ.puts
+
+
+# -- determinism --------------------------------------------------------------
+
+
+def test_probe_is_deterministic():
+    assert probe_put_times(2, FUZZ) == probe_put_times(2, FUZZ)
+
+
+def test_scenario_and_recovery_bit_deterministic():
+    a = build_scenario(2, 30, FUZZ, put_times=_probe(2))
+    b = build_scenario(2, 30, FUZZ, put_times=_probe(2))
+    assert a.crash_time_us == b.crash_time_us
+    assert a.snapshot.resolution == b.snapshot.resolution
+    assert a.snapshot.describe() == b.snapshot.describe()
+    assert [f.persisted.runs() for f in a.snapshot.files.values()] \
+        == [f.persisted.runs() for f in b.snapshot.files.values()]
+    ra = recover(a)
+    rb = recover(b)
+    assert dataclasses.asdict(ra) == dataclasses.asdict(rb)
+
+
+def test_cold_and_primed_recover_same_state():
+    scenario = build_scenario(3, 45, FUZZ, put_times=_probe(3))
+    cold = recover(scenario, "OSonly")
+    primed = recover(scenario, "CrossP[+predict+opt]")
+    for field in ("replayed_records", "replayed_seq", "rebuilt_keys",
+                  "damaged_blocks", "orphans_removed", "violations"):
+        assert getattr(cold, field) == getattr(primed, field)
+    assert primed.primed_blocks > 0
+    assert cold.primed_blocks == 0
+
+
+def test_check_task_parallel_matches_serial():
+    """``repro check --jobs N`` must be byte-identical to serial, with
+    durable presets composed via ``--faults``."""
+    from repro.cli import _check_task
+    from repro.harness.parallel import run_parallel
+
+    items = [("stress", (3, "crash")), ("stress", (4, "torn")),
+             ("stress", (5, "wbdrop"))]
+    serial = run_parallel(_check_task, items, jobs=1)
+    fanned = run_parallel(_check_task, items, jobs=2)
+    assert serial == fanned
+    assert all(not failed for _line, failed, _w in serial)
+
+
+def test_recovery_experiment_deterministic():
+    kwargs = dict(nseeds=1, puts=120, num_keys=4096, memory_mb=48)
+    results_a, report_a = run_recovery(**kwargs)
+    results_b, report_b = run_recovery(**kwargs)
+    assert report_a == report_b
+    assert results_a == results_b
+
+
+# -- harness plumbing ---------------------------------------------------------
+
+
+def test_crash_time_for_midpoints():
+    times = [10.0, 20.0, 40.0]
+    assert crash_time_for(times, 0) == 5.0
+    assert crash_time_for(times, 1) == 15.0
+    assert crash_time_for(times, 2) == 30.0
+    assert crash_time_for(times, 3) == 41.0
+    with pytest.raises(ValueError):
+        crash_time_for([], 1)
+
+
+def test_find_minimal_failure_none_when_clean():
+    assert find_minimal_failure(1, range(5, 30, 10), FUZZ) is None
+
+
+def test_recover_cli_smoke(capsys):
+    from repro.cli import main
+
+    argv = ["recover", "--seeds", "5", "--points", "2", "--puts", "60"]
+    assert main(argv) == 0
+    out_a = capsys.readouterr().out
+    assert main(argv) == 0
+    out_b = capsys.readouterr().out
+    assert out_a == out_b
+    assert "all crash-recovery invariants held" in out_a
+
+
+# -- the long sweep -----------------------------------------------------------
+
+
+@pytest.mark.stress
+def test_wide_crash_sweep():
+    for seed in range(6):
+        for ordinal, report in sweep(seed, points=10, cfg=FUZZ):
+            assert report.ok, (seed, ordinal, report.violations)

@@ -1,0 +1,228 @@
+"""Durable-damage fault models: interval ledger, torn/wbdrop/crash
+presets, crash snapshots, and audit-green stress for every preset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.os.kernel import Kernel
+from repro.runtimes.factory import build_runtime
+from repro.sim.audit import run_stress
+from repro.sim.crash import FileRemnant, restore_into, take_snapshot
+from repro.sim.faults import (
+    PRESETS,
+    CrashSpec,
+    TornWriteSpec,
+    crash_time_us,
+    make_preset,
+)
+from repro.storage.durable import DurableState, IntervalSet
+
+KB = 1 << 10
+MB = 1 << 20
+
+
+# -- IntervalSet --------------------------------------------------------------
+
+
+def test_interval_add_and_merge():
+    s = IntervalSet()
+    s.add(0, 10)
+    s.add(20, 30)
+    assert s.runs() == [(0, 10), (20, 30)]
+    s.add(10, 20)            # bridges the gap
+    assert s.runs() == [(0, 30)]
+    assert s.total() == 30
+
+
+def test_interval_covers_and_prefix():
+    s = IntervalSet()
+    s.add(0, 100)
+    s.add(200, 300)
+    assert s.covers(0, 100)
+    assert s.covers(250, 260)
+    assert not s.covers(50, 150)
+    assert s.covered_prefix(0, 150) == 100
+    assert s.covered_prefix(150, 250) == 0
+    assert s.covered_prefix(200, 400) == 100
+
+
+def test_interval_gaps_and_intersect():
+    s = IntervalSet()
+    s.add(10, 20)
+    s.add(40, 50)
+    assert s.gaps(0, 60) == [(0, 10), (20, 40), (50, 60)]
+    assert s.intersect(15, 45) == [(15, 20), (40, 45)]
+    empty = IntervalSet()
+    assert empty.gaps(0, 5) == [(0, 5)]
+    assert empty.intersect(0, 5) == []
+
+
+def test_file_remnant_invalid_blocks():
+    persisted = IntervalSet()
+    persisted.add(0, 4096)          # block 0 fine
+    persisted.add(4096, 5000)       # block 1 torn
+    remnant = FileRemnant(path="/f", size=4 * 4096, block_size=4096,
+                          persisted=persisted)
+    assert remnant.block_valid(0)
+    assert not remnant.block_valid(1)
+    assert remnant.invalid_blocks() == 3
+    assert remnant.covered(0, 4096)
+    assert not remnant.covered(0, 8192)
+    assert remnant.covered_prefix(0, 8192) == 5000
+
+
+# -- DurableState -------------------------------------------------------------
+
+
+def test_flush_barrier_persists_and_acks():
+    d = DurableState(seed=1)
+    d.note_write(1, 0, 100)
+    d.note_write(1, 100, 100)
+    assert d.volatile_records == 2
+    d.flush_stream(1)
+    assert d.persisted[1].covers(0, 200)
+    assert d.acked[1].covers(0, 200)
+    assert d.verify_acked() == []
+
+
+def test_unflushed_volatile_lost_without_torn_spec():
+    d = DurableState(seed=1)
+    d.seed_file(1, 1000)
+    d.note_write(1, 1000, 500)     # never flushed
+    resolved, res = d.resolve_crash()
+    assert resolved[1].covers(0, 1000)       # seeded bytes survive
+    assert not resolved[1].covers(1000, 1500)
+    assert res["records_lost"] == 1
+    assert d.verify_acked(resolved) == []    # nothing was acked
+
+
+def test_resolve_crash_is_deterministic():
+    def make():
+        d = DurableState(seed=9, torn=TornWriteSpec())
+        for i in range(50):
+            d.note_write(1, i * 100, 100)
+        return d
+
+    a = make().resolve_crash()
+    b = make().resolve_crash()
+    assert a[1] == b[1]
+    assert a[0][1].runs() == b[0][1].runs()
+
+
+def test_verify_acked_reports_lost_acked_bytes():
+    d = DurableState(seed=1)
+    d.note_write(1, 0, 100)
+    d.flush_stream(1)
+    d.persisted[1] = IntervalSet()           # simulate ledger damage
+    problems = d.verify_acked()
+    assert problems and "stream 1" in problems[0]
+
+
+# -- presets ------------------------------------------------------------------
+
+
+def test_new_presets_registered():
+    for name in ("torn", "wbdrop", "crash"):
+        assert name in PRESETS
+        spec = make_preset(name, seed=3)
+        assert spec.enabled
+        assert spec.durable
+
+
+def test_existing_presets_have_no_durable_models():
+    for name in ("storm", "flaky", "degraded", "stall", "fabric",
+                 "chaos"):
+        spec = make_preset(name, seed=3)
+        assert not spec.durable
+
+
+def test_crash_preset_composition():
+    spec = make_preset("crash", seed=3)
+    assert spec.torn is not None
+    assert spec.wbdrop is not None
+    assert spec.crash is not None
+    assert "torn" in spec.describe()
+
+
+def test_crash_time_deterministic_and_bounded():
+    spec = make_preset("crash", seed=7)
+    t1 = crash_time_us(spec)
+    t2 = crash_time_us(spec)
+    assert t1 == t2
+    assert t1 >= CrashSpec().min_crash_us
+
+
+# -- kernel wiring ------------------------------------------------------------
+
+
+def test_kernel_attaches_ledger_only_for_durable_specs():
+    k1 = Kernel(memory_bytes=32 * MB, faults=make_preset("crash", seed=2))
+    assert k1.durable is not None
+    assert k1.device.durable is k1.durable
+    k2 = Kernel(memory_bytes=32 * MB, faults=make_preset("storm", seed=2))
+    assert k2.durable is None
+    k3 = Kernel(memory_bytes=32 * MB)
+    assert k3.durable is None
+
+
+def test_fsync_acks_written_bytes_across_crash():
+    kernel = Kernel(memory_bytes=32 * MB,
+                    faults=make_preset("crash", seed=5))
+    runtime = build_runtime("OSonly", kernel)
+    kernel.create_file("/x", 0)
+
+    def writer():
+        handle = yield from runtime.open("/x", "seq")
+        yield from runtime.write_seq(handle, 64 * KB)
+        yield from runtime.fsync(handle)
+        yield from runtime.write_seq(handle, 64 * KB)  # left volatile
+
+    kernel.sim.process(writer(), name="w")
+    kernel.sim.run()
+    snapshot = take_snapshot(kernel)          # must not raise
+    remnant = snapshot.files["/x"]
+    assert remnant.covered(0, 64 * KB)        # fsync'd prefix survived
+    assert remnant.size == 128 * KB
+
+
+def test_take_snapshot_requires_ledger():
+    kernel = Kernel(memory_bytes=32 * MB)
+    with pytest.raises(ValueError):
+        take_snapshot(kernel)
+
+
+def test_restore_rebuilds_namespace_cold():
+    kernel = Kernel(memory_bytes=32 * MB,
+                    faults=make_preset("crash", seed=5))
+    kernel.create_file("/a", 8 * KB)
+    kernel.create_file("/b", 16 * KB)
+    snapshot = take_snapshot(kernel)
+    fresh = Kernel(memory_bytes=32 * MB)
+    restore_into(fresh, snapshot)
+    assert fresh.vfs.lookup("/a").size == 8 * KB
+    assert fresh.vfs.lookup("/b").size == 16 * KB
+
+
+# -- stress: every fault class audit-green ------------------------------------
+
+
+@pytest.mark.parametrize("preset", [p for p in PRESETS if p != "none"])
+def test_stress_audit_green_per_preset(preset):
+    spec = make_preset(preset, seed=5)
+    summary = run_stress(5, faults=spec, steps=20)
+    assert summary["seed"] == 5
+    if preset in ("torn", "wbdrop", "crash"):
+        if "crash" in summary:
+            assert summary["crash"]["time_us"] > 0.0
+            assert "durable" in summary
+        else:
+            assert "durable" in summary
+
+
+@pytest.mark.parametrize("preset", ["torn", "wbdrop", "crash"])
+def test_stress_durable_presets_deterministic(preset):
+    spec = make_preset(preset, seed=6)
+    a = run_stress(6, faults=make_preset(preset, seed=6), steps=20)
+    b = run_stress(6, faults=spec, steps=20)
+    assert a == b

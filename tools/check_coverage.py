@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""Coverage threshold gate (run in CI, stdlib only).
+
+Reads the JSON report pytest-cov writes (``--cov-report=json:FILE``)
+and gates the total line-coverage percentage against the committed
+baseline ``COVERAGE_baseline.json``::
+
+    {"min_percent": 55.0}
+
+The gate is a floor, not a snapshot: PRs fail only when coverage drops
+below the committed minimum, and the minimum is ratcheted explicitly
+with ``--update`` (which rounds the measured total *down* to one
+decimal, leaving headroom for line-count noise).
+
+The checker itself has no third-party dependencies, so it runs in any
+environment — only *producing* the report needs pytest-cov (CI
+installs it; the container image does not ship it).
+
+Usage::
+
+    python tools/check_coverage.py --report coverage.json
+    python tools/check_coverage.py --report coverage.json --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(REPO, "COVERAGE_baseline.json")
+
+
+def load_percent(report_path: str) -> tuple[float, dict]:
+    """Total percent covered + per-file summaries from a pytest-cov
+    JSON report."""
+    with open(report_path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    totals = doc.get("totals")
+    if not isinstance(totals, dict) or "percent_covered" not in totals:
+        raise ValueError(
+            f"{report_path}: not a coverage JSON report "
+            f"(missing totals.percent_covered)")
+    return float(totals["percent_covered"]), doc.get("files", {})
+
+
+def worst_files(files: dict, limit: int = 5) -> list[tuple[str, float]]:
+    """The least-covered source files — the PR report's call to action."""
+    ranked = []
+    for path, entry in files.items():
+        summary = entry.get("summary", {})
+        pct = summary.get("percent_covered")
+        statements = summary.get("num_statements", 0)
+        if pct is None or statements < 10:     # skip trivial files
+            continue
+        ranked.append((path, float(pct)))
+    ranked.sort(key=lambda item: (item[1], item[0]))
+    return ranked[:limit]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--report", default="coverage.json",
+                        metavar="FILE",
+                        help="coverage JSON report to check "
+                             "(default coverage.json)")
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE,
+                        metavar="FILE",
+                        help="committed threshold file "
+                             "(default COVERAGE_baseline.json)")
+    parser.add_argument("--update", action="store_true",
+                        help="ratchet: write the measured total (rounded "
+                             "down to 0.1) into the baseline file")
+    args = parser.parse_args(argv)
+
+    try:
+        percent, files = load_percent(args.report)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"check_coverage: {exc}", file=sys.stderr)
+        return 2
+
+    if args.update:
+        floor = int(percent * 10) / 10.0
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump({"min_percent": floor}, fh, indent=2)
+            fh.write("\n")
+        print(f"check_coverage: baseline updated to {floor:.1f}% "
+              f"(measured {percent:.2f}%)")
+        return 0
+
+    try:
+        with open(args.baseline, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        minimum = float(baseline["min_percent"])
+    except (OSError, KeyError, TypeError, ValueError,
+            json.JSONDecodeError) as exc:
+        print(f"check_coverage: bad baseline {args.baseline}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    print(f"check_coverage: total {percent:.2f}% "
+          f"(baseline floor {minimum:.1f}%)")
+    for path, pct in worst_files(files):
+        print(f"  least covered: {path}: {pct:.1f}%")
+    if percent < minimum:
+        print(f"check_coverage: FAIL — coverage {percent:.2f}% fell "
+              f"below the committed floor {minimum:.1f}%; add tests or "
+              f"(deliberately) lower COVERAGE_baseline.json",
+              file=sys.stderr)
+        return 1
+    print("check_coverage: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
