@@ -318,6 +318,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     from repro.harness import bench as benchmod
 
+    if args.profile:
+        if len(args.names) != 1:
+            print("--profile takes exactly one bench name",
+                  file=sys.stderr)
+            return 2
+        name = args.names[0]
+        if name not in benchmod.BENCHES:
+            print(f"unknown bench {name!r}; choose from "
+                  f"{', '.join(benchmod.BENCHES)}", file=sys.stderr)
+            return 2
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = benchmod.BENCHES[name](args.scale)
+        profiler.disable()
+        events = result.get("events", 0)
+        print(f"{name}: {result['wall_s']:.3f}s wall, "
+              f"{events:,} events "
+              f"({events / result['wall_s']:,.0f} events/s)")
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(20)
+        return 0
+
     try:
         doc = benchmod.run_suite(args.names or None, scale=args.scale,
                                  repeat=args.repeat, jobs=args.jobs)
@@ -615,6 +640,10 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="FRAC",
                       help="allowed events/sec drop vs baseline "
                            "(default 0.3 = 30%%)")
+    p_bn.add_argument("--profile", action="store_true",
+                      help="run one named bench under cProfile and "
+                           "print the top 20 functions by cumulative "
+                           "time")
     p_bn.set_defaults(fn=_cmd_bench)
 
     p_rc = sub.add_parser(

@@ -13,7 +13,7 @@ lock ordering global and deadlock-free.
 
 from __future__ import annotations
 
-from typing import Generator, Iterable
+from typing import Generator, Iterable, Optional
 
 from repro.os.bitmap import BlockBitmap
 from repro.sim.engine import Simulator
@@ -87,12 +87,55 @@ class RangeTree:
     def write_locked(self, start: int, count: int) -> "_LockedRange":
         return _LockedRange(self, start, count, write=True)
 
+    def note_cached_fast(self, start: int, count: int
+                         ) -> Optional[Generator]:
+        """Mark [start, start+count) cached without suspending when the
+        covering node's lock is free.
+
+        Returns ``None`` when the update completed inline (the dominant
+        case: one node, uncontended — no generator object, no send round
+        trip per pread), else a generator the caller must ``yield from``
+        to wait out the contention.  Identical lock and event behavior
+        to :meth:`note_cached`.
+        """
+        if count <= 0:
+            return None
+        nb = self.node_blocks
+        first = start // nb
+        if first != (start + count - 1) // nb:
+            return self.note_cached(start, count)
+        node = self.node(first)
+        lock = node.lock
+        ev = lock.acquire_write()
+        if ev is not None:
+            return self._note_cached_contended(node, ev, start, count)
+        ns = node.start
+        lo = start if start > ns else ns
+        hi = start + count
+        node_end = ns + node.span
+        if hi > node_end:
+            hi = node_end
+        node.cached.set_range(lo - ns, hi - lo)
+        lock.release_write()
+        return None
+
+    def _note_cached_contended(self, node: RangeNode, ev,
+                               start: int, count: int) -> Generator:
+        """Finish a single-node note_cached whose lock was contended
+        (``ev`` is the already-enqueued grant event)."""
+        yield ev
+        ns = node.start
+        lo = start if start > ns else ns
+        hi = start + count
+        node_end = ns + node.span
+        if hi > node_end:
+            hi = node_end
+        node.cached.set_range(lo - ns, hi - lo)
+        node.lock.release_write()
+
     def note_cached(self, start: int, count: int) -> Generator:
         """Lock the covering nodes, mark [start, start+count) cached,
-        release.  The post-read bitmap update runs once per pread, so the
-        dominant case — one node, uncontended — does the whole round trip
-        with no generator suspensions and no helper objects.
-        """
+        release.  Prefer :meth:`note_cached_fast` on hot paths."""
         if count <= 0:
             return
         first = start // self.node_blocks

@@ -186,7 +186,9 @@ class CrossLibRuntime(IORuntime):
         # user bitmap so nobody prefetches them again.  (The bitmap
         # update itself is sub-0.1 µs; the lock round-trip is the cost
         # that matters and the fast path makes it free when uncontended.)
-        yield from state.tree.note_cached(b0, count)
+        pending = state.tree.note_cached_fast(b0, count)
+        if pending is not None:
+            yield from pending
         if span is not None:
             span.end(bytes=result.nbytes, hits=result.hit_pages,
                      misses=result.miss_pages)
@@ -205,7 +207,9 @@ class CrossLibRuntime(IORuntime):
         written = yield from self.vfs.write(handle.file, offset, nbytes)
         count = max(1, (written + bs - 1) // bs)
         state.tree.resize(state.inode.nblocks)
-        yield from state.tree.note_cached(b0, count)
+        pending = state.tree.note_cached_fast(b0, count)
+        if pending is not None:
+            yield from pending
         return written
 
     # -- prefetch decisions -------------------------------------------------------------

@@ -15,6 +15,17 @@ from :attr:`Simulator.events_processed`):
   gate in CI tracks this one hardest.
 * ``fig2_quick`` — the Fig. 2 db_bench motivation preset: LSM reads,
   a different mix of cache hits and prefetch traffic.
+* ``chaos_quick`` — the resilience sweep at a small preset: the same
+  microbenchmark mix with the ``storm`` fault engine attached, so the
+  fault-injection hooks and retry paths stay on the perf radar.
+* ``qos_quick`` — the multi-tenant fairness experiment at a small
+  preset: QoS accounting, token buckets, and the degrade clamp.
+
+Every bench reports ``sim_time_us`` (total simulated microseconds
+across the kernels it ran) alongside ``events``, so events/µs-of-sim
+drift is visible independently of wall clock; the document schema is
+``bench_sim_core/v2`` (v1 lacked ``sim_time_us`` on the experiment
+benches and is still accepted by the baseline reader).
 
 Results are written as ``BENCH_sim_core.json``; the committed copy at
 the repo root holds the **baseline** (captured before the PR-3 fast
@@ -104,17 +115,29 @@ def _bench_engine_locks(scale: int = 1) -> dict:
 # -- experiment-preset benchmarks ----------------------------------------------
 
 
-def _sum_events(results) -> int:
-    """Total engine events across every kernel in an experiment's
-    result tree (handles both flat {approach: metrics} and nested
-    {cell: {approach: metrics}} shapes)."""
-    total = 0
+def _sum_extra(results, key: str) -> float:
+    """Total a per-kernel ``metrics.extra`` telemetry value across an
+    experiment's result tree (handles flat {approach: metrics}, nested
+    {cell: {approach: metrics}}, and mixed shapes like the fairness
+    result document)."""
+    total = 0.0
     if hasattr(results, "extra"):
-        return int(results.extra.get("sim_events", 0))
+        return float(results.extra.get(key, 0))
     if isinstance(results, dict):
         for value in results.values():
-            total += _sum_events(value)
+            total += _sum_extra(value, key)
     return total
+
+
+def _sum_events(results) -> int:
+    """Total engine events across every kernel in a result tree."""
+    return int(_sum_extra(results, "sim_events"))
+
+
+def _experiment_result(t0: float, results) -> dict:
+    return {"wall_s": time.perf_counter() - t0,
+            "events": _sum_events(results),
+            "sim_time_us": _sum_extra(results, "sim_time_us")}
 
 
 def _bench_fig5_quick(scale: int = 1) -> dict:
@@ -123,8 +146,7 @@ def _bench_fig5_quick(scale: int = 1) -> dict:
     results, _report = run_fig5_microbench(
         nthreads=4, memory_bytes=48 * MB,
         cells=("shared-seq", "shared-rand"))
-    wall = time.perf_counter() - t0
-    return {"wall_s": wall, "events": _sum_events(results)}
+    return _experiment_result(t0, results)
 
 
 def _bench_fig2_quick(scale: int = 1) -> dict:
@@ -132,8 +154,23 @@ def _bench_fig2_quick(scale: int = 1) -> dict:
     t0 = time.perf_counter()
     results, _report = run_fig2_motivation(
         nthreads=4, ops_per_thread=50, num_keys=20_000)
-    wall = time.perf_counter() - t0
-    return {"wall_s": wall, "events": _sum_events(results)}
+    return _experiment_result(t0, results)
+
+
+def _bench_chaos_quick(scale: int = 1) -> dict:
+    from repro.harness.experiments.resilience import run_resilience
+    t0 = time.perf_counter()
+    results, _report = run_resilience(
+        intensities=(0.0, 1.0), preset="storm", nthreads=4,
+        memory_bytes=24 * MB)
+    return _experiment_result(t0, results)
+
+
+def _bench_qos_quick(scale: int = 1) -> dict:
+    from repro.harness.experiments.fairness import run_fairness
+    t0 = time.perf_counter()
+    results, _report = run_fairness(memory_bytes=24 * MB)
+    return _experiment_result(t0, results)
 
 
 BENCHES: dict[str, Callable[[int], dict]] = {
@@ -141,6 +178,8 @@ BENCHES: dict[str, Callable[[int], dict]] = {
     "engine_locks": _bench_engine_locks,
     "fig5_quick": _bench_fig5_quick,
     "fig2_quick": _bench_fig2_quick,
+    "chaos_quick": _bench_chaos_quick,
+    "qos_quick": _bench_qos_quick,
 }
 
 
@@ -186,7 +225,7 @@ def run_suite(names: Optional[list[str]] = None, *, scale: int = 1,
         benches = {name: run_bench(name, scale=scale, repeat=repeat)
                    for name in chosen}
     return {
-        "schema": "bench_sim_core/v1",
+        "schema": "bench_sim_core/v2",
         "scale": scale,
         "repeat": repeat,
         "benches": benches,
@@ -198,6 +237,24 @@ def _bench_task(args: tuple) -> dict:
     return run_bench(name, scale=scale, repeat=repeat)
 
 
+_KNOWN_SCHEMAS = ("bench_sim_core/v1", "bench_sim_core/v2")
+
+
+def _baseline_benches(baseline: dict) -> dict:
+    """Extract ``{name: result}`` from a baseline document.
+
+    Accepts both schema v1 (no ``sim_time_us`` on the experiment
+    benches) and v2, and both document shapes (a bare suite or a
+    committed BENCH_sim_core.json with ``baseline``/``current``
+    sections — the ``current`` section is the comparison target).
+    """
+    doc = baseline.get("current") or baseline
+    schema = doc.get("schema")
+    if schema is not None and schema not in _KNOWN_SCHEMAS:
+        raise ValueError(f"unknown bench schema: {schema}")
+    return doc.get("benches", {})
+
+
 def compare_to_baseline(current: dict, baseline: dict, *,
                         max_regression: float = 0.3) -> list[str]:
     """Regression check: events/sec must not drop more than the budget.
@@ -205,9 +262,10 @@ def compare_to_baseline(current: dict, baseline: dict, *,
     ``baseline`` is a committed BENCH_sim_core.json document; the
     comparison runs against its ``current`` section (the numbers the
     last optimization PR achieved), falling back to top-level benches.
-    Returns a list of human-readable failures (empty = pass).
+    Both v1 and v2 baselines are accepted.  Returns a list of
+    human-readable failures (empty = pass).
     """
-    base_benches = (baseline.get("current") or baseline).get("benches", {})
+    base_benches = _baseline_benches(baseline)
     failures: list[str] = []
     for name, result in current.get("benches", {}).items():
         base = base_benches.get(name)
@@ -228,10 +286,11 @@ def compare_to_baseline(current: dict, baseline: dict, *,
 
 def format_suite(doc: dict) -> str:
     lines = [f"{'bench':<16} {'wall s':>9} {'events':>12} "
-             f"{'events/s':>12}"]
+             f"{'events/s':>12} {'sim s':>9}"]
     for name, result in doc.get("benches", {}).items():
         lines.append(
             f"{name:<16} {result['wall_s']:>9.3f} "
             f"{result.get('events', 0):>12,} "
-            f"{result.get('events_per_sec', 0.0):>12,.0f}")
+            f"{result.get('events_per_sec', 0.0):>12,.0f} "
+            f"{result.get('sim_time_us', 0.0) / 1e6:>9.3f}")
     return "\n".join(lines)

@@ -250,6 +250,7 @@ def run_one(machine: MachineConfig, approach: str,
     metrics.approach = approach
     # Engine throughput telemetry for the perf suite (repro bench).
     metrics.extra["sim_events"] = kernel.sim.events_processed
+    metrics.extra["sim_time_us"] = kernel.sim.now
     if spec is not None:
         label = getattr(workload, "__name__", "workload")
         summary = finish_trace(spec, kernel, f"{label}-{approach}",

@@ -223,8 +223,8 @@ class CrossOS:
         if ev is not None:
             yield ev
         yield sim.timeout(cfg.bitmap_op)
-        inflight = vfs._inflight[inode.id]
-        planned = vfs._planned[inode.id]
+        inflight = inode.inflight
+        planned = inode.planned
         missing: list[tuple[int, int]] = []
         if count > 0:
             missing = state.bitmap.missing_runs(b0, count)

@@ -5,11 +5,12 @@ from __future__ import annotations
 import itertools
 from typing import Optional
 
+from repro.os.bitmap import BlockBitmap
 from repro.os.memory import MemoryManager
 from repro.os.pagecache import PageCache
 from repro.sim.engine import Simulator
 from repro.sim.stats import StatsRegistry
-from repro.sim.sync import RwLock
+from repro.sim.sync import Condition, RwLock
 
 __all__ = ["Inode"]
 
@@ -43,6 +44,12 @@ class Inode:
                                mem, registry)
         self.rwlock = RwLock(sim, name=f"inode[{self.id}]",
                              stats=registry.lock_stats("inode"))
+        # Fill-path state, held on the inode so the read hot path does
+        # not pay a per-read dict lookup keyed on inode id.  The VFS
+        # mirrors these in id-keyed dicts for auditing and teardown.
+        self.inflight = BlockBitmap(self.blocks_of(size))
+        self.planned = BlockBitmap(self.blocks_of(size))
+        self.fill_cond = Condition(sim, f"fill[{self.id}]")
         # Per-inode telemetry Cross-OS exports (§4.4): demand hits/misses.
         self.hit_pages = 0
         self.miss_pages = 0

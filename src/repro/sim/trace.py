@@ -7,11 +7,15 @@ be inspected after the fact ("when did the prefetch for block X land
 relative to the demand read?").  Tracing is opt-in and costs nothing
 when disabled.
 
+Storage is a ring of **preallocated append-only segments**: fixed-size
+slot arrays allocated on demand the first time the write cursor enters
+them and reused in place forever after.  A record is a single slot store
+plus cursor arithmetic — no per-event allocation beyond the event
+itself, no deque node churn, and no separately maintained time index.
 Events are recorded in nondecreasing time order (simulated time never
-goes backward), which :meth:`Tracer.between` exploits: a kept-sorted
-time index makes range queries O(log n + matches) instead of rebuilding
-the full time list per call, and the ring drop path is O(1) via a deque
-(``list.pop(0)`` used to make every record O(n) once full).
+goes backward), so :meth:`Tracer.between` binary-searches the ring
+directly on the stored events' times: O(log n + matches) per query with
+zero bookkeeping on the record path.
 
 Usage::
 
@@ -25,13 +29,16 @@ Usage::
 
 from __future__ import annotations
 
-import bisect
-from collections import Counter, deque
+from collections import Counter
 from dataclasses import dataclass
-from itertools import islice
-from typing import Any, Deque, Iterator, Optional
+from typing import Any, Iterator, Optional
 
 __all__ = ["TraceEvent", "Tracer"]
+
+# Slots per ring segment.  Segments are allocated lazily, so a tracer
+# with a large capacity that records few events stays small; the hot
+# append path touches one preallocated list the cache already holds.
+_SEG_SLOTS = 4096
 
 
 @dataclass(frozen=True)
@@ -54,24 +61,26 @@ class TraceEvent:
 
 
 class Tracer:
-    """Bounded in-memory event recorder (ring buffer)."""
+    """Bounded in-memory event recorder (segmented ring buffer)."""
 
     def __init__(self, capacity: int = 100_000, enabled: bool = True):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive: {capacity}")
         self.capacity = capacity
         self.enabled = enabled
-        self._events: Deque[TraceEvent] = deque()
-        # Sorted time index mirroring _events; drops trim it lazily
-        # (_stale counts dead leading entries) so record() stays O(1)
-        # amortized and between() stays a pure bisect.
-        self._times: list[float] = []
-        self._stale = 0
+        # Ring geometry: slot s lives in segment s // _SEG_SLOTS at
+        # offset s % _SEG_SLOTS.  Segments are preallocated [None]*N
+        # lists created the first time the cursor reaches them and
+        # reused in place once the ring wraps.
+        self._segs: list[Optional[list]] = \
+            [None] * ((capacity + _SEG_SLOTS - 1) // _SEG_SLOTS)
+        self._head = 0          # slot index of the oldest retained event
+        self._size = 0          # retained events
         self._dropped = 0
         self._kind_counts: Counter = Counter()
 
     def __len__(self) -> int:
-        return len(self._events)
+        return self._size
 
     @property
     def dropped(self) -> int:
@@ -80,45 +89,80 @@ class Tracer:
     @property
     def recorded(self) -> int:
         """Total events ever recorded (retained + dropped)."""
-        return len(self._events) + self._dropped
+        return self._size + self._dropped
 
     def record(self, time: float, kind: str, **attrs: Any) -> None:
         if not self.enabled:
             return
         self._kind_counts[kind] += 1
-        if len(self._events) >= self.capacity:
-            self._events.popleft()
+        capacity = self.capacity
+        size = self._size
+        head = self._head
+        if size < capacity:
+            slot = head + size
+            if slot >= capacity:
+                slot -= capacity
+            self._size = size + 1
+        else:
+            # Ring full: the oldest event's slot is recycled in place.
+            slot = head
+            head += 1
+            self._head = 0 if head == capacity else head
             self._dropped += 1
-            self._stale += 1
-            if self._stale >= self.capacity:
-                # Amortized compaction: at most one entry copied per drop.
-                del self._times[:self._stale]
-                self._stale = 0
-        self._events.append(
-            TraceEvent(time, kind, tuple(sorted(attrs.items()))))
-        self._times.append(time)
+        segs = self._segs
+        si = slot // _SEG_SLOTS
+        seg = segs[si]
+        if seg is None:
+            seg = segs[si] = [None] * _SEG_SLOTS
+        seg[slot - si * _SEG_SLOTS] = \
+            TraceEvent(time, kind, tuple(sorted(attrs.items())))
+
+    def _at(self, index: int) -> TraceEvent:
+        """The ``index``-th oldest retained event."""
+        slot = self._head + index
+        if slot >= self.capacity:
+            slot -= self.capacity
+        si = slot // _SEG_SLOTS
+        return self._segs[si][slot - si * _SEG_SLOTS]
 
     # -- queries ------------------------------------------------------------
 
     def events(self, kind: Optional[str] = None) -> Iterator[TraceEvent]:
-        for event in self._events:
+        at = self._at
+        for i in range(self._size):
+            event = at(i)
             if kind is None or event.kind == kind:
                 yield event
 
     def between(self, start: float, end: float,
                 kind: Optional[str] = None) -> Iterator[TraceEvent]:
-        times = self._times
-        lo = max(bisect.bisect_left(times, start), self._stale)
-        hi = bisect.bisect_right(times, end)
-        if hi <= lo:
-            return
-        for event in islice(self._events, lo - self._stale,
-                            hi - self._stale):
+        # Times are nondecreasing in ring order; bisect on the events
+        # themselves (no side index to maintain on the record path).
+        at = self._at
+        lo, hi = 0, self._size
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if at(mid).time < start:
+                lo = mid + 1
+            else:
+                hi = mid
+        first = lo
+        hi = self._size
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if at(mid).time <= end:
+                lo = mid + 1
+            else:
+                hi = mid
+        for i in range(first, lo):
+            event = at(i)
             if kind is None or event.kind == kind:
                 yield event
 
     def last(self, kind: Optional[str] = None) -> Optional[TraceEvent]:
-        for event in reversed(self._events):
+        at = self._at
+        for i in range(self._size - 1, -1, -1):
+            event = at(i)
             if kind is None or event.kind == kind:
                 return event
         return None
@@ -127,15 +171,15 @@ class Tracer:
         return self._kind_counts[kind]
 
     def summary(self) -> str:
-        lines = [f"{len(self._events)} events retained "
+        lines = [f"{self._size} events retained "
                  f"({self._dropped} dropped)"]
         for kind, count in self._kind_counts.most_common():
             lines.append(f"  {kind:<24} {count}")
         return "\n".join(lines)
 
     def clear(self) -> None:
-        self._events.clear()
-        self._times.clear()
-        self._stale = 0
+        # Keep the allocated segments for reuse; only reset the cursor.
+        self._head = 0
+        self._size = 0
         self._dropped = 0
         self._kind_counts.clear()

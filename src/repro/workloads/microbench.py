@@ -21,6 +21,7 @@ paper reports aggregate write throughput as reader count grows.
 from __future__ import annotations
 
 import random
+from array import array
 from dataclasses import dataclass
 from typing import Generator
 
@@ -39,6 +40,34 @@ KB = 1 << 10
 MB = 1 << 20
 
 MicrobenchResult = ApproachMetrics
+
+
+def _rand_offsets(base: int, part: int, seg: int, io_size: int,
+                  backward_fraction: float,
+                  rng: random.Random) -> array:
+    """The *rand* pattern's absolute offset stream, batch-generated.
+
+    Segments of the thread's partition are visited in uniformly random
+    order, each read contiguously, a fraction backward.  Built as one
+    ``array('q')`` up front — segment extension is a C-level
+    ``range`` copy instead of a per-segment Python list + reverse —
+    with the RNG consumed in exactly the order the issuing loop used to
+    (one ``shuffle``, then one ``random()`` per segment), so seeded
+    streams are bit-identical to the historical per-segment generation.
+    """
+    order = list(range(part // seg))
+    rng.shuffle(order)
+    last = (seg - 1) // io_size * io_size if seg > 0 else 0
+    offsets = array("q")
+    extend = offsets.extend
+    backward = rng.random
+    for s in order:
+        seg_base = base + s * seg
+        if backward() < backward_fraction:
+            extend(range(seg_base + last, seg_base - io_size, -io_size))
+        else:
+            extend(range(seg_base, seg_base + seg, io_size))
+    return offsets
 
 
 @dataclass
@@ -92,37 +121,31 @@ def run_microbench(kernel: Kernel, runtime: IORuntime,
         base = tid * part if config.sharing == "shared" else 0
         t0 = kernel.now
         total = hits = misses = 0
+        io_size = config.io_size
+        # Offsets are batch-generated up front (array('q') for the rand
+        # pattern, a bare range for seq), so the issuing loop is a flat
+        # single-level iteration with no per-segment bookkeeping.
         if config.pattern == "seq":
-            pos = base
-            while pos < base + part:
-                if latencies is not None:
-                    op_t0 = kernel.now
-                r = yield from runtime.pread(handle, pos, config.io_size)
-                if latencies is not None:
-                    latencies.append(kernel.now - op_t0)
+            offsets = range(base, base + part, io_size)
+        else:
+            offsets = _rand_offsets(base, part, config.segment_bytes,
+                                    io_size, config.backward_fraction,
+                                    rng)
+        if latencies is not None:
+            for off in offsets:
+                op_t0 = kernel.now
+                r = yield from runtime.pread(handle, off, io_size)
+                latencies.append(kernel.now - op_t0)
                 total += r.nbytes
                 hits += r.hit_pages
                 misses += r.miss_pages
-                pos += config.io_size
         else:
-            seg = config.segment_bytes
-            order = list(range(part // seg))
-            rng.shuffle(order)
-            for s in order:
-                seg_base = base + s * seg
-                offsets = list(range(0, seg, config.io_size))
-                if rng.random() < config.backward_fraction:
-                    offsets.reverse()
-                for off in offsets:
-                    if latencies is not None:
-                        op_t0 = kernel.now
-                    r = yield from runtime.pread(handle, seg_base + off,
-                                                 config.io_size)
-                    if latencies is not None:
-                        latencies.append(kernel.now - op_t0)
-                    total += r.nbytes
-                    hits += r.hit_pages
-                    misses += r.miss_pages
+            pread = runtime.pread
+            for off in offsets:
+                r = yield from pread(handle, off, io_size)
+                total += r.nbytes
+                hits += r.hit_pages
+                misses += r.miss_pages
         yield from runtime.close(handle)
         stats.append((total, hits, misses, kernel.now - t0))
 
@@ -175,29 +198,31 @@ def run_shared_rw(kernel: Kernel, runtime: IORuntime,
         moved = hits = misses = 0
         # Random non-overlapping 128 KB ranges inside the partition,
         # accessed contiguously (the paper's non-overlapping updates).
-        span = 8 * config.io_size
+        # The per-op offsets are batch-generated: the issued stream is
+        # the first ops_per_thread offsets of the shuffled slot spans,
+        # exactly what the nested counting loop used to produce.
+        io_size = config.io_size
+        span = 8 * io_size
         slots = list(range(part // span))
         rng.shuffle(slots)
-        ops = 0
+        offsets = array("q")
         for slot in slots:
-            if ops >= config.ops_per_thread:
+            if len(offsets) >= config.ops_per_thread:
                 break
             pos = base + slot * span
-            for i in range(span // config.io_size):
-                off = pos + i * config.io_size
-                if is_writer:
-                    n = yield from runtime.pwrite(handle, off,
-                                                  config.io_size)
-                    moved += n
-                else:
-                    r = yield from runtime.pread(handle, off,
-                                                 config.io_size)
-                    moved += r.nbytes
-                    hits += r.hit_pages
-                    misses += r.miss_pages
-                ops += 1
-                if ops >= config.ops_per_thread:
-                    break
+            offsets.extend(range(pos, pos + span, io_size))
+        del offsets[config.ops_per_thread:]
+        if is_writer:
+            pwrite = runtime.pwrite
+            for off in offsets:
+                moved += yield from pwrite(handle, off, io_size)
+        else:
+            pread = runtime.pread
+            for off in offsets:
+                r = yield from pread(handle, off, io_size)
+                moved += r.nbytes
+                hits += r.hit_pages
+                misses += r.miss_pages
         yield from runtime.close(handle)
         done.append(dict(writer=is_writer, moved=moved, hits=hits,
                          misses=misses, dt=kernel.now - t0))

@@ -1,0 +1,69 @@
+"""Bench harness: suite schema, uniform telemetry, baseline compat."""
+
+import pytest
+
+from repro.harness import bench as benchmod
+
+
+def test_suite_schema_v2_and_uniform_sim_time():
+    doc = benchmod.run_suite(["engine_timeout"])
+    assert doc["schema"] == "bench_sim_core/v2"
+    result = doc["benches"]["engine_timeout"]
+    assert result["events"] > 0
+    assert result["sim_time_us"] > 0
+    assert result["events_per_sec"] > 0
+
+
+def test_all_benches_registered():
+    assert set(benchmod.BENCHES) == {
+        "engine_timeout", "engine_locks", "fig5_quick", "fig2_quick",
+        "chaos_quick", "qos_quick",
+    }
+
+
+def _suite(schema, eps):
+    return {
+        "schema": schema,
+        "benches": {"engine_timeout": {"wall_s": 1.0, "events": 1000,
+                                       "events_per_sec": eps}},
+    }
+
+
+def test_compare_accepts_v1_baseline():
+    current = _suite("bench_sim_core/v2", 1000.0)
+    v1 = _suite("bench_sim_core/v1", 900.0)
+    del v1["benches"]["engine_timeout"]["events_per_sec"]
+    v1["benches"]["engine_timeout"]["events_per_sec"] = 900.0
+    assert benchmod.compare_to_baseline(current, v1) == []
+
+
+def test_compare_accepts_v2_baseline_with_current_section():
+    current = _suite("bench_sim_core/v2", 500.0)
+    baseline_doc = {"baseline": _suite("bench_sim_core/v1", 2000.0),
+                    "current": _suite("bench_sim_core/v2", 1000.0)}
+    failures = benchmod.compare_to_baseline(current, baseline_doc,
+                                            max_regression=0.3)
+    assert len(failures) == 1
+    assert "engine_timeout" in failures[0]
+
+
+def test_compare_rejects_unknown_schema():
+    current = _suite("bench_sim_core/v2", 1000.0)
+    with pytest.raises(ValueError):
+        benchmod.compare_to_baseline(current,
+                                     _suite("bench_sim_core/v99", 1.0))
+
+
+def test_compare_accepts_schemaless_baseline():
+    # Pre-v1 documents (bare {benches: ...}) still work.
+    current = _suite("bench_sim_core/v2", 1000.0)
+    legacy = {"benches": _suite(None, 900.0)["benches"]}
+    assert benchmod.compare_to_baseline(current, legacy) == []
+
+
+def test_format_suite_has_sim_time_column():
+    doc = _suite("bench_sim_core/v2", 1000.0)
+    doc["benches"]["engine_timeout"]["sim_time_us"] = 2_500_000.0
+    text = benchmod.format_suite(doc)
+    assert "sim s" in text.splitlines()[0]
+    assert "2.500" in text

@@ -1,0 +1,204 @@
+"""Timeout-pool recycling edge cases.
+
+The engine recycles :class:`Timeout` objects whose last reference dies
+at dispatch (refcount probe via ``sys.getrefcount``).  These tests pin
+the hazardous corners: an event a combinator still holds must never be
+recycled out from under it, the pool must respect its cap, reissued
+(pooled) timeouts must preserve deterministic wakeup order, and the
+same-instant bucket path — where a pooled candidate carries one extra
+bucket-slot reference — must recycle too.
+"""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.engine import _TIMEOUT_POOL_CAP, Timeout
+
+
+def test_anyof_survivor_not_recycled():
+    """A timeout the AnyOf (and test) still references when it fires
+    must keep its identity: recycling it would rewrite its value and
+    delay mid-flight."""
+    sim = Simulator()
+    seen = {}
+
+    def proc():
+        short = sim.timeout(1.0, value="short")
+        long = sim.timeout(5.0, value="long")
+        first = yield sim.any_of([short, long])
+        seen["winner_is_short"] = first is short
+        # Hammer the pool while `long` is still pending: if `long` had
+        # been wrongly pooled, one of these reissues would corrupt it.
+        for _ in range(50):
+            yield sim.timeout(0.01)
+        yield long
+        seen["long_value"] = long._value
+        seen["long_delay"] = long.delay
+
+    sim.process(proc())
+    sim.run()
+    assert seen["winner_is_short"]
+    assert seen["long_value"] == "long"
+    assert seen["long_delay"] == 5.0
+
+
+def test_anyof_loser_not_pooled_while_held():
+    """The losing timeout of an AnyOf is still referenced by the test
+    frame when it fires, so it must not enter the pool."""
+    sim = Simulator()
+    short = sim.timeout(1.0)
+    long = sim.timeout(2.0)
+    sim.any_of([short, long])
+    sim.run()
+    assert long._processed
+    assert long not in sim._timeout_pool
+
+
+def test_pool_respects_cap():
+    """More simultaneously-live timeouts than the cap: the pool absorbs
+    exactly ``_TIMEOUT_POOL_CAP`` of them and drops the rest."""
+    sim = Simulator()
+    n = _TIMEOUT_POOL_CAP + 100
+
+    def proc(tid):
+        yield sim.timeout(1.0 + tid)
+
+    for tid in range(n):
+        sim.process(proc(tid))
+    sim.run()
+    assert len(sim._timeout_pool) == _TIMEOUT_POOL_CAP
+
+
+def test_pool_reuse_recycles_objects():
+    """Sequential timeouts in one process cycle through the pool.
+
+    The process resumes (and creates the next timeout) *before* the
+    dispatched timeout's refcount probe pools it, so reuse alternates
+    between exactly two live objects rather than reusing one — the
+    steady-state allocation rate is still zero.
+    """
+    sim = Simulator()
+    ids = []
+
+    def proc():
+        for _ in range(6):
+            t = sim.timeout(1.0)
+            ids.append(id(t))
+            yield t
+            del t  # drop the local so the dispatch-time refcount probe fires
+
+    sim.process(proc())
+    sim.run()
+    assert len(set(ids)) == 2
+    assert ids[0::2] == [ids[0]] * 3
+    assert ids[1::2] == [ids[1]] * 3
+
+
+def test_reissued_seq_ordering_deterministic():
+    """Wakeup order among same-instant timeouts is creation order,
+    whether the timeouts are fresh allocations or pool reissues."""
+
+    def phase(sim, order):
+        def proc(name):
+            yield sim.timeout(3.0)
+            order.append(name)
+
+        for name in ("a", "b", "c", "d"):
+            sim.process(proc(name))
+
+    def warm(sim):
+        def churn():
+            for _ in range(20):
+                yield sim.timeout(0.5)
+
+        sim.process(churn())
+        sim.run()
+
+    fresh_sim, warm_sim = Simulator(), Simulator()
+    warm(warm_sim)
+    assert warm_sim._timeout_pool  # the reissue path is actually hit
+    fresh_order, warm_order = [], []
+    phase(fresh_sim, fresh_order)
+    phase(warm_sim, warm_order)
+    fresh_sim.run()
+    warm_sim.run()
+    assert fresh_order == ["a", "b", "c", "d"]
+    assert warm_order == fresh_order
+
+
+def test_zero_delay_bucket_timeout_recycled():
+    """A zero-delay timeout issued during dispatch lands in the
+    same-instant bucket; the bucket drain must still recycle it (its
+    refcount carries the extra bucket-slot reference)."""
+    sim = Simulator()
+    zids = []
+
+    def proc():
+        yield sim.timeout(1.0)
+        t = sim.timeout(0.0)
+        zids.append(id(t))
+        yield t
+        del t
+        # Move to a later instant so the bucket drain finishes (and
+        # pools the zero-delay timeout) with the process still alive.
+        yield sim.timeout(1.0)
+
+    sim.process(proc())
+    sim.run()
+    assert sim.now == 2.0
+    # The zero-delay timeout went through the bucket and into the pool.
+    assert zids[0] in {id(t) for t in sim._timeout_pool}
+
+
+def test_bucket_fifo_order_same_instant():
+    """Same-instant zero-delay wakeups dispatch in issue order, even
+    interleaved across processes and with pooled reissues."""
+    sim = Simulator()
+    order = []
+
+    def proc(name, hops):
+        yield sim.timeout(1.0)
+        for hop in range(hops):
+            order.append((name, hop))
+            yield sim.timeout(0.0)
+        order.append((name, "end"))
+
+    sim.process(proc("x", 2))
+    sim.process(proc("y", 2))
+    sim.run()
+    assert order == [("x", 0), ("y", 0), ("x", 1), ("y", 1),
+                     ("x", "end"), ("y", "end")]
+    assert sim.now == 1.0
+
+
+def test_pool_reissue_rejects_negative_delay():
+    """The pooled fast path validates delay like the constructor."""
+    sim = Simulator()
+
+    def churn():
+        yield sim.timeout(1.0)
+
+    sim.process(churn())
+    sim.run()
+    assert sim._timeout_pool
+    from repro.sim import SimulationError
+    with pytest.raises(SimulationError):
+        sim.timeout(-0.5)
+
+
+def test_recycled_timeout_type_stays_exact():
+    """Only exact Timeout instances recycle: a subclass must never
+    enter the pool (the probe is ``type(event) is Timeout``)."""
+
+    class Marked(Timeout):
+        __slots__ = ()
+
+    sim = Simulator()
+
+    def proc():
+        yield Marked(sim, 1.0)
+        yield sim.timeout(1.0)
+
+    sim.process(proc())
+    sim.run()
+    assert all(type(t) is Timeout for t in sim._timeout_pool)
