@@ -37,6 +37,13 @@ Commands
     (recovered DB ≡ committed WAL prefix, no acknowledged-durable
     bytes lost).  On a violation the smallest failing crash ordinal is
     reported.  Non-zero exit on any violation.
+``scale``
+    Cluster-scale sweep: simulate a fleet of hosts sharing remote-NVMe
+    backends under open-loop (arrival-driven) load and report how the
+    CrossPrefetch-vs-OSonly throughput gap and p99 latency move with
+    host count × tenant count.  ``--audit`` attaches the fleet-wide
+    invariant auditor; ``--jobs N`` fans sweep points across worker
+    processes with output identical to a serial run.
 
 Multi-tenant QoS: ``--tenants name[:weight[:slo_us]],...`` on
 ``experiment``/``workload``/``chaos`` attaches a per-tenant QoS manager
@@ -56,6 +63,8 @@ Examples::
     python -m repro experiment recovery --seed 1
     python -m repro trace fig2 --quick --out traces
     python -m repro experiment fairness --seed 1
+    python -m repro scale --hosts 1 --hosts 4 --tenant-counts 2 \
+        --audit --jobs 4 --fingerprints
     python -m repro workload --kind microbench --pattern rand \
         --approach OSonly --approach "CrossP[+predict+opt]" \
         --tenants "A:2,B:1" --faults storm --fault-region 0
@@ -107,6 +116,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "resilience": exp.run_resilience,
     "fairness": exp.run_fairness,
     "recovery": exp.run_recovery,
+    "scale": exp.run_scale,
 }
 
 
@@ -203,6 +213,8 @@ QUICK_ARGS: dict[str, dict] = {
                        memory_bytes=24 * MB, oversubscription=1.5),
     "fairness": dict(memory_bytes=24 * MB, oversubscription=1.5),
     "recovery": dict(nseeds=1, puts=220, num_keys=8192, memory_mb=64),
+    "scale": dict(hosts=(1, 2), tenant_counts=(2,), rate_per_s=1200.0,
+                  horizon_us=80_000.0, file_mb=4),
 }
 
 
@@ -516,6 +528,55 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scale(args: argparse.Namespace) -> int:
+    """Cluster-scale sweep: host count x tenant count over shared
+    backends, open-loop load, optional fleet-wide invariant audit."""
+    from repro.sim.audit import AuditError
+
+    hosts = tuple(args.hosts) if args.hosts else (1, 2, 4)
+    tenant_counts = (tuple(args.tenant_counts) if args.tenant_counts
+                     else (1, 4))
+    approaches = (tuple(args.approach) if args.approach
+                  else ("OSonly", "CrossP[+predict+opt]"))
+    unknown = [a for a in approaches if a not in APPROACHES]
+    if unknown:
+        print(f"unknown approach(es): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    kwargs: dict = dict(
+        hosts=hosts, tenant_counts=tenant_counts,
+        backends=args.backends, approaches=approaches,
+        seed=args.seed, rate_per_s=args.rate,
+        horizon_us=args.horizon_ms * 1e3, file_mb=args.file_mb,
+        memory_mb=args.memory_mb, arrivals=args.arrivals,
+        audit=args.audit, jobs=args.jobs, out=args.out)
+    if args.quick:
+        quick = dict(QUICK_ARGS["scale"])
+        if args.hosts:
+            quick.pop("hosts", None)
+        if args.tenant_counts:
+            quick.pop("tenant_counts", None)
+        kwargs.update(quick)
+    print(f"seed: {args.seed}")
+    try:
+        results, report = exp.run_scale(**kwargs)
+    except AuditError as exc:
+        print(f"AUDIT FAIL in fleet run: {exc}", file=sys.stderr)
+        return 1
+    print(report)
+    if args.audit:
+        print("fleet invariant audit passed for every sweep point")
+    if args.fingerprints:
+        print("\nper-run determinism fingerprints (sha256):")
+        for key in sorted(results):
+            for approach, metrics in results[key].items():
+                print(f"  {key} {approach}: "
+                      f"{metrics.extra.get('fingerprint', '?')}")
+    if args.out:
+        print(f"results written to {args.out}")
+    return 0
+
+
 DURABLE_PRESETS = ("torn", "wbdrop", "crash")
 
 
@@ -669,6 +730,54 @@ def build_parser() -> argparse.ArgumentParser:
                       help="recovery approach (default "
                            "CrossP[+predict+opt])")
     p_rc.set_defaults(fn=_cmd_recover)
+
+    p_sc = sub.add_parser(
+        "scale",
+        help="cluster sweep: hosts x tenants over shared backends")
+    p_sc.add_argument("--hosts", type=int, action="append", metavar="N",
+                      help="repeatable host count (default 1 2 4)")
+    p_sc.add_argument("--tenant-counts", type=int, action="append",
+                      metavar="N",
+                      help="repeatable tenant count per host "
+                           "(default 1 4)")
+    p_sc.add_argument("--backends", type=int, default=1, metavar="N",
+                      help="shared remote-NVMe backends (default 1; "
+                           "hosts round-robin onto them)")
+    p_sc.add_argument("--rate", type=float, default=2000.0, metavar="R",
+                      help="open-loop arrival rate per (host, tenant) "
+                           "stream, requests/s (default 2000)")
+    p_sc.add_argument("--horizon-ms", type=float, default=400.0,
+                      metavar="MS",
+                      help="simulated traffic horizon (default 400 ms)")
+    p_sc.add_argument("--file-mb", type=int, default=8, metavar="MB",
+                      help="dataset per (host, tenant) stream "
+                           "(default 8 MB)")
+    p_sc.add_argument("--memory-mb", type=int, default=None,
+                      metavar="MB",
+                      help="per-host memory (default: machine preset)")
+    p_sc.add_argument("--arrivals", default="poisson",
+                      choices=["poisson", "burst"],
+                      help="arrival process (default poisson)")
+    p_sc.add_argument("--approach", action="append",
+                      help="repeatable; defaults to OSonly + "
+                           "CrossP[+predict+opt]")
+    p_sc.add_argument("--audit", action="store_true",
+                      help="attach the fleet-wide invariant auditor to "
+                           "every sweep point")
+    p_sc.add_argument("--jobs", type=int, default=1, metavar="N",
+                      help="fan sweep points out across N worker "
+                           "processes (merged output identical to "
+                           "serial)")
+    p_sc.add_argument("--out", default=None, metavar="FILE",
+                      help="persist the merged matrix as JSON via the "
+                           "results store")
+    p_sc.add_argument("--fingerprints", action="store_true",
+                      help="print each run's sha256 determinism "
+                           "fingerprint (equal seeds must match)")
+    p_sc.add_argument("--quick", action="store_true",
+                      help="scaled-down knobs (CI smoke)")
+    _add_seed_arg(p_sc)
+    p_sc.set_defaults(fn=_cmd_scale)
 
     p_tr = sub.add_parser(
         "trace", help="run an experiment with span tracing on")

@@ -1,0 +1,44 @@
+"""Cluster-scale serving simulation: a fleet of hosts in one engine.
+
+The paper evaluates CrossPrefetch on one machine; this package grows
+the reproduction toward the ROADMAP's production-scale story.  It
+models **N hosts** — each a full page-cache + CROSS-OS + CROSS-LIB
+stack (:mod:`repro.cluster.host`) — inside **one** deterministic
+discrete-event engine, sharing :class:`~repro.storage.remote.RemoteNVMeDevice`
+backends so hosts genuinely contend for backend queue depth and fabric
+bandwidth (:mod:`repro.cluster.fleet`).  Load is **open-loop**: an
+arrival-process traffic generator (:mod:`repro.cluster.traffic`) issues
+requests at times drawn from a seeded arrival stream whether or not
+earlier requests have completed — the regime where queueing delay and
+tail latency actually show up, unlike the closed-loop benchmark threads
+the paper experiments use.
+
+See ``docs/cluster.md`` for the model and the ``scale`` experiment.
+"""
+
+from repro.cluster.host import Host, HostSpec, ID_NAMESPACE
+from repro.cluster.traffic import (
+    BurstArrivals,
+    DiurnalSchedule,
+    PoissonArrivals,
+    RequestMix,
+    TrafficSpec,
+    arrival_stream,
+    traffic_seed,
+)
+from repro.cluster.fleet import FleetConfig, run_fleet
+
+__all__ = [
+    "BurstArrivals",
+    "DiurnalSchedule",
+    "FleetConfig",
+    "Host",
+    "HostSpec",
+    "ID_NAMESPACE",
+    "PoissonArrivals",
+    "RequestMix",
+    "TrafficSpec",
+    "arrival_stream",
+    "run_fleet",
+    "traffic_seed",
+]

@@ -1,0 +1,213 @@
+"""One simulated serving host: kernel + runtime + request accounting.
+
+This is the reusable wiring that used to live inline in
+``repro.harness.runner``: build a kernel for a machine preset, build
+the Table-2 runtime for an approach on it, tear both down in order.
+:meth:`Host.single` is the standalone case every paper experiment runs
+(own simulator, own device) — ``repro.harness.runner.make_kernel`` and
+``run_one`` route through :func:`build_host_kernel` so the single-host
+event sequence stays byte-identical.  :meth:`Host.in_fleet` is the
+cluster case: the host joins a *shared* simulator and a *shared*
+backend device, with its own registry and a disjoint inode-id
+namespace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.crosslib.config import CrossLibConfig
+from repro.os.inode import Inode
+from repro.os.kernel import Kernel
+from repro.runtimes.base import IORuntime
+from repro.runtimes.factory import build_runtime, needs_cross
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard: the
+    # harness package imports this module (runner routes through
+    # build_host_kernel), so the reverse import stays type-only.
+    from repro.harness.configs import MachineConfig
+
+__all__ = ["Host", "HostSpec", "ID_NAMESPACE", "build_host_kernel"]
+
+# Each host allocates inode ids (= device stream ids) from a disjoint
+# namespace so two hosts' files never alias on a shared backend: the
+# scheduler's sequential-stream detector, the region map, the QoS
+# stream→tenant table, and the durable ledger are all keyed by stream
+# id.  2^20 streams per host is far beyond any experiment.
+ID_NAMESPACE = 1 << 20
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """Static description of one fleet host."""
+
+    host_id: int = 0
+    approach: str = "OSonly"
+    memory_bytes: Optional[int] = None
+    crosslib_config: Optional[CrossLibConfig] = None
+
+    @property
+    def name(self) -> str:
+        return f"host{self.host_id}"
+
+
+def build_host_kernel(machine: MachineConfig, approach: str,
+                      memory_bytes: Optional[int] = None, *,
+                      tracer=None,
+                      emit_lock_holds: bool = False,
+                      audit: bool = False,
+                      faults=None,
+                      qos=None,
+                      sim: Optional[Simulator] = None,
+                      registry: Optional[StatsRegistry] = None,
+                      device_factory=None,
+                      inode_id_start: int = 1) -> Kernel:
+    """The kernel/device wiring shared by the single-host harness and
+    the fleet.
+
+    With the last four arguments at their defaults this constructs
+    exactly what ``repro.harness.runner.make_kernel`` always built —
+    same arguments, same order — so existing runs are byte-identical.
+    """
+    return Kernel(
+        memory_bytes=memory_bytes or machine.scaled_memory_bytes,
+        config=machine.kernel_config,
+        device_factory=device_factory or machine.device_factory(),
+        cross_enabled=needs_cross(approach),
+        tracer=tracer,
+        emit_lock_holds=emit_lock_holds,
+        audit=audit,
+        faults=faults,
+        qos=qos,
+        sim=sim,
+        registry=registry,
+        inode_id_start=inode_id_start,
+    )
+
+
+class Host:
+    """One serving host: a kernel, its runtime, and request counters.
+
+    The open-loop traffic driver (:mod:`repro.cluster.fleet`) feeds
+    :meth:`note_request` with one sample per completed request;
+    arrival-to-completion latency is the open-loop number that captures
+    queueing delay, which closed-loop benchmark threads structurally
+    cannot observe.
+    """
+
+    def __init__(self, spec: HostSpec, kernel: Kernel,
+                 runtime: IORuntime):
+        self.spec = spec
+        self.kernel = kernel
+        self.runtime = runtime
+        # Open-loop request accounting, filled by the traffic driver.
+        self.requests = 0
+        self.request_bytes = 0
+        self.hit_pages = 0
+        self.miss_pages = 0
+        self.latencies_us: list = []
+        self._torn_down = False
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def single(cls, machine: MachineConfig, approach: str,
+               memory_bytes: Optional[int] = None, *,
+               tracer=None, emit_lock_holds: bool = False,
+               audit: bool = False, faults=None, qos=None,
+               crosslib_config: Optional[CrossLibConfig] = None
+               ) -> "Host":
+        """The standalone machine every paper experiment runs."""
+        spec = HostSpec(0, approach, memory_bytes, crosslib_config)
+        kernel = build_host_kernel(
+            machine, approach, memory_bytes, tracer=tracer,
+            emit_lock_holds=emit_lock_holds, audit=audit,
+            faults=faults, qos=qos)
+        runtime = build_runtime(approach, kernel, crosslib_config)
+        return cls(spec, kernel, runtime)
+
+    @classmethod
+    def in_fleet(cls, spec: HostSpec, machine: MachineConfig, *,
+                 sim: Simulator, backend) -> "Host":
+        """Join a shared engine and a shared backend device.
+
+        The host gets its own :class:`StatsRegistry` (per-host syscall
+        and Cross-OS counters) and a disjoint inode-id namespace.  Any
+        QoS manager or fault engine must already be attached to
+        ``backend`` — CROSS-LIB snapshots ``device.qos`` when the
+        runtime is built.  The fleet owns the shared auditor
+        (``sim.auditor``), so ``kernel.auditor`` stays None and
+        :meth:`teardown` never drains or finalizes the shared engine.
+        """
+        kernel = build_host_kernel(
+            machine, spec.approach, spec.memory_bytes,
+            sim=sim, registry=StatsRegistry(),
+            device_factory=lambda _sim, _registry: backend,
+            inode_id_start=1 + spec.host_id * ID_NAMESPACE)
+        runtime = build_runtime(spec.approach, kernel,
+                                spec.crosslib_config)
+        return cls(spec, kernel, runtime)
+
+    # -- conveniences ------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def sim(self) -> Simulator:
+        return self.kernel.sim
+
+    def create_file(self, path: str, size: int, *,
+                    tenant: Optional[str] = None) -> Inode:
+        """Create a file, tagging its stream with ``tenant`` on
+        whichever QoS manager applies (the kernel's own in the single
+        case, the shared backend's in a fleet)."""
+        inode = self.kernel.create_file(path, size, tenant=tenant)
+        if self.kernel.qos is None:
+            qos = self.kernel.device.qos
+            if qos is not None:
+                qos.register_stream(inode.id, tenant)
+        return inode
+
+    def note_request(self, nbytes: int, latency_us: float, *,
+                     hit_pages: int = 0, miss_pages: int = 0) -> None:
+        """Record one completed open-loop request."""
+        self.requests += 1
+        self.request_bytes += nbytes
+        self.hit_pages += hit_pages
+        self.miss_pages += miss_pages
+        self.latencies_us.append(latency_us)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def teardown(self) -> None:
+        """Stop runtime threads, then shut the kernel down (idempotent).
+
+        In a fleet the shutdown only *enqueues* flusher/worker
+        interrupts on the shared engine; the fleet drains them with one
+        final ``sim.run()`` after every host is torn down.
+        """
+        if self._torn_down:
+            return
+        self._torn_down = True
+        self.runtime.teardown()
+        self.kernel.shutdown()
+
+    def summary(self) -> dict:
+        """Per-host counters for reports and determinism fingerprints."""
+        registry = self.kernel.registry
+        return {
+            "host": self.name,
+            "approach": self.spec.approach,
+            "requests": self.requests,
+            "request_bytes": self.request_bytes,
+            "hit_pages": self.hit_pages,
+            "miss_pages": self.miss_pages,
+            "latency_sum_us": round(sum(self.latencies_us), 3),
+            "prefetch_blocks": registry.get("cross.prefetch_blocks"),
+            "syscalls": registry.get("syscalls.read"),
+        }

@@ -1,0 +1,187 @@
+"""Open-loop traffic generation: seeded arrival processes + request mixes.
+
+The paper's experiments (and every harness workload before this module)
+are *closed-loop*: a fixed number of benchmark threads issue the next
+request only after the previous one completes, so offered load
+self-throttles exactly when the system slows down — the regime where
+trace-replay studies show benchmarks mislead about tails.  This module
+is the *open-loop* counterpart: arrival instants are drawn up front
+from a seeded process, requests are issued at those instants whether or
+not earlier ones have finished, and latency measured from arrival to
+completion includes queueing delay.
+
+Everything is a pure function of ``(spec, seed)``:
+
+* :class:`PoissonArrivals` — exponential gaps at ``rate_per_s``,
+  optionally modulated by a :class:`DiurnalSchedule` ramp;
+* :class:`BurstArrivals` — deterministic bursts of ``burst``
+  same-instant arrivals every ``period_us`` (the calendar queue
+  dispatches a burst as one batched instant);
+* :class:`RequestMix` — weighted draw over the three request shapes the
+  existing workloads exercise: ``point`` (one random-offset read, the
+  RocksDB-style shape), ``scan`` (a sequential run, the utility /
+  fig5-seq shape), ``hot`` (a read inside a small hot set, the Zipf-ish
+  shape);
+* :func:`traffic_seed` — stable per-(host, tenant) sub-seed derivation
+  so fleet layout changes never reshuffle another stream's draws.
+
+Draw request parameters *in the arrival generator* (deterministic
+order), never inside request processes (completion order would leak
+into the RNG stream) — the rule the determinism tests pin.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+__all__ = ["BurstArrivals", "DiurnalSchedule", "PoissonArrivals",
+           "RequestMix", "TrafficSpec", "arrival_stream", "traffic_seed"]
+
+KB = 1 << 10
+
+
+def traffic_seed(seed: int, host_id: int, tenant_idx: int) -> int:
+    """A stable sub-seed for one (host, tenant) traffic stream.
+
+    Plain prime-weighted arithmetic — not ``hash()``, which is
+    salt-randomized across interpreter runs.
+    """
+    return (seed * 1_000_003 + host_id * 7_919
+            + tenant_idx * 104_729) & 0x7FFF_FFFF
+
+
+@dataclass(frozen=True)
+class DiurnalSchedule:
+    """Piecewise-constant rate multipliers cycling over ``period_us``.
+
+    ``multipliers=(0.5, 2.0)`` with a 1 s period models a load ramp:
+    half rate for the first 500 ms of every cycle, double for the
+    second.  Applied multiplicatively to the arrival rate at each draw.
+    """
+
+    multipliers: Tuple[float, ...] = (1.0,)
+    period_us: float = 1_000_000.0
+
+    def __post_init__(self):
+        if not self.multipliers:
+            raise ValueError("need at least one multiplier")
+        if any(m <= 0 for m in self.multipliers):
+            raise ValueError(f"multipliers must be positive: "
+                             f"{self.multipliers}")
+        if self.period_us <= 0:
+            raise ValueError(f"period_us must be positive: "
+                             f"{self.period_us}")
+
+    def multiplier(self, t_us: float) -> float:
+        phase = (t_us % self.period_us) / self.period_us
+        idx = min(int(phase * len(self.multipliers)),
+                  len(self.multipliers) - 1)
+        return self.multipliers[idx]
+
+
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Exponential inter-arrival gaps at ``rate_per_s`` requests/s."""
+
+    rate_per_s: float
+    schedule: Optional[DiurnalSchedule] = None
+
+    def stream(self, rng: random.Random,
+               horizon_us: float) -> List[float]:
+        if self.rate_per_s <= 0:
+            return []
+        out: List[float] = []
+        t = 0.0
+        base_gap = 1e6 / self.rate_per_s
+        while True:
+            mult = self.schedule.multiplier(t) \
+                if self.schedule is not None else 1.0
+            t += rng.expovariate(1.0) * base_gap / mult
+            if t >= horizon_us:
+                return out
+            out.append(t)
+
+
+@dataclass(frozen=True)
+class BurstArrivals:
+    """``burst`` same-instant arrivals every ``period_us`` — the
+    deterministic worst case for queueing (no randomness at all)."""
+
+    period_us: float
+    burst: int = 1
+
+    def stream(self, rng: random.Random,
+               horizon_us: float) -> List[float]:
+        if self.period_us <= 0 or self.burst <= 0:
+            return []
+        out: List[float] = []
+        t = self.period_us
+        while t < horizon_us:
+            out.extend([t] * self.burst)
+            t += self.period_us
+        return out
+
+
+@dataclass(frozen=True)
+class RequestMix:
+    """Weighted draw over the three request shapes."""
+
+    point: float = 0.6
+    scan: float = 0.2
+    hot: float = 0.2
+
+    def __post_init__(self):
+        if min(self.point, self.scan, self.hot) < 0 or \
+                self.point + self.scan + self.hot <= 0:
+            raise ValueError(f"bad mix: point={self.point}, "
+                             f"scan={self.scan}, hot={self.hot}")
+
+    def draw(self, rng: random.Random) -> str:
+        r = rng.random() * (self.point + self.scan + self.hot)
+        if r < self.point:
+            return "point"
+        if r < self.point + self.scan:
+            return "scan"
+        return "hot"
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """One tenant-stream's open-loop load, fully seed-deterministic.
+
+    ``rate_per_s`` is the offered request rate over ``horizon_us`` of
+    simulated time; each request reads ``io_bytes`` (a ``scan`` issues
+    ``scan_ios`` of them back to back; a ``hot`` request lands in the
+    first ``hot_frac`` of the file).
+    """
+
+    rate_per_s: float = 2_000.0
+    horizon_us: float = 400_000.0
+    io_bytes: int = 16 * KB
+    scan_ios: int = 8
+    hot_frac: float = 0.125
+    arrivals: str = "poisson"          # "poisson" | "burst"
+    burst: int = 16
+    burst_period_us: float = 10_000.0
+    diurnal: Tuple[float, ...] = ()    # () = flat rate
+    diurnal_period_us: float = 100_000.0
+    mix: RequestMix = field(default_factory=RequestMix)
+
+    def arrival_process(self):
+        if self.arrivals == "poisson":
+            schedule = DiurnalSchedule(self.diurnal,
+                                       self.diurnal_period_us) \
+                if self.diurnal else None
+            return PoissonArrivals(self.rate_per_s, schedule)
+        if self.arrivals == "burst":
+            return BurstArrivals(self.burst_period_us, self.burst)
+        raise ValueError(f"unknown arrival process {self.arrivals!r}; "
+                         f"choose poisson or burst")
+
+
+def arrival_stream(spec: TrafficSpec,
+                   rng: random.Random) -> List[float]:
+    """The arrival instants (µs, ascending) for one tenant stream."""
+    return spec.arrival_process().stream(rng, spec.horizon_us)

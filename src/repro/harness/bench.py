@@ -20,6 +20,10 @@ from :attr:`Simulator.events_processed`):
   fault-injection hooks and retry paths stay on the perf radar.
 * ``qos_quick`` — the multi-tenant fairness experiment at a small
   preset: QoS accounting, token buckets, and the degrade clamp.
+* ``cluster_quick`` — the fleet path at a small preset (2 hosts × 2
+  tenants, one shared backend, open-loop arrivals): many kernels
+  interleaving on one shared engine, so the ``repro scale`` sweep
+  stays under the regression gate too.
 
 Every bench reports ``sim_time_us`` (total simulated microseconds
 across the kernels it ran) alongside ``events``, so events/µs-of-sim
@@ -173,6 +177,18 @@ def _bench_qos_quick(scale: int = 1) -> dict:
     return _experiment_result(t0, results)
 
 
+def _bench_cluster_quick(scale: int = 1) -> dict:
+    """The fleet path: shared-engine multi-host run with open-loop
+    traffic — many kernels interleaving on one heap, shared-backend
+    contention, per-host registries (the ``repro scale`` hot path)."""
+    from repro.harness.experiments.scale import run_scale
+    t0 = time.perf_counter()
+    results, _report = run_scale(
+        hosts=(2,), tenant_counts=(2,), seed=0, rate_per_s=1500.0,
+        horizon_us=120_000.0, file_mb=4)
+    return _experiment_result(t0, results)
+
+
 BENCHES: dict[str, Callable[[int], dict]] = {
     "engine_timeout": _bench_engine_timeout,
     "engine_locks": _bench_engine_locks,
@@ -180,6 +196,7 @@ BENCHES: dict[str, Callable[[int], dict]] = {
     "fig2_quick": _bench_fig2_quick,
     "chaos_quick": _bench_chaos_quick,
     "qos_quick": _bench_qos_quick,
+    "cluster_quick": _bench_cluster_quick,
 }
 
 

@@ -30,6 +30,7 @@ from repro.harness.experiments.apps import (
 from repro.harness.experiments.resilience import run_resilience
 from repro.harness.experiments.fairness import run_fairness
 from repro.harness.experiments.recovery import run_recovery
+from repro.harness.experiments.scale import run_scale
 
 __all__ = [
     "run_fairness",
@@ -47,6 +48,7 @@ __all__ = [
     "run_fig9b_snappy",
     "run_recovery",
     "run_resilience",
+    "run_scale",
     "run_tab4_mmap",
     "run_tab5_breakdown",
 ]

@@ -9,6 +9,8 @@ checking whether a change to the simulator moved any experiment's shape.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Mapping, Union
 
@@ -56,7 +58,13 @@ def _flatten(results: ResultsLike) -> dict[str, ApproachMetrics]:
 
 def save_results(results: ResultsLike, path: Union[str, Path],
                  experiment: str = "") -> Path:
-    """Write results as JSON; returns the path written."""
+    """Write results as JSON; returns the path written.
+
+    The write is atomic (temp file in the target directory, then
+    ``os.replace``), so concurrent writers from the ``run_parallel``
+    fork pool can all save to the same path and a reader never sees a
+    torn or interleaved document — last completed writer wins.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = {
@@ -64,7 +72,18 @@ def save_results(results: ResultsLike, path: Union[str, Path],
         "cells": {key: _metrics_to_dict(metrics)
                   for key, metrics in _flatten(results).items()},
     }
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    fd, tmp = tempfile.mkstemp(dir=path.parent,
+                               prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(json.dumps(payload, indent=2, sort_keys=True))
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
     return path
 
 

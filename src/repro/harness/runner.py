@@ -19,13 +19,13 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Optional
 
+from repro.cluster.host import Host, build_host_kernel
 from repro.crosslib.config import CrossLibConfig
 from repro.harness.configs import MachineConfig
 from repro.harness.metrics import ApproachMetrics
 from repro.harness.parallel import ParallelTaskError, run_parallel
 from repro.os.kernel import Kernel
 from repro.runtimes.base import IORuntime
-from repro.runtimes.factory import build_runtime, needs_cross
 from repro.sim.observe import export_chrome_trace
 from repro.sim.trace import Tracer
 
@@ -218,11 +218,8 @@ def make_kernel(machine: MachineConfig, approach: str,
                 tracer: Optional[Tracer] = None,
                 emit_lock_holds: bool = False) -> Kernel:
     """A cold kernel configured for ``machine`` and ``approach``."""
-    return Kernel(
-        memory_bytes=memory_bytes or machine.scaled_memory_bytes,
-        config=machine.kernel_config,
-        device_factory=machine.device_factory(),
-        cross_enabled=needs_cross(approach),
+    return build_host_kernel(
+        machine, approach, memory_bytes,
         tracer=tracer,
         emit_lock_holds=emit_lock_holds,
         audit=_audit_active,
@@ -238,15 +235,18 @@ def run_one(machine: MachineConfig, approach: str,
             ) -> ApproachMetrics:
     spec = _active_spec
     tracer = Tracer(capacity=spec.capacity) if spec is not None else None
-    kernel = make_kernel(machine, approach, memory_bytes, tracer=tracer,
-                         emit_lock_holds=spec.emit_holds
-                         if spec is not None else False)
-    runtime = build_runtime(approach, kernel, crosslib_config)
+    host = Host.single(machine, approach, memory_bytes, tracer=tracer,
+                       emit_lock_holds=spec.emit_holds
+                       if spec is not None else False,
+                       audit=_audit_active,
+                       faults=_active_faults,
+                       qos=_active_qos,
+                       crosslib_config=crosslib_config)
+    kernel, runtime = host.kernel, host.runtime
     try:
         metrics = workload(kernel, runtime)
     finally:
-        runtime.teardown()
-        kernel.shutdown()
+        host.teardown()
     metrics.approach = approach
     # Engine throughput telemetry for the perf suite (repro bench).
     metrics.extra["sim_events"] = kernel.sim.events_processed

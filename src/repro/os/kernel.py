@@ -5,6 +5,14 @@ memory manager, the VFS, and (optionally) Cross-OS, mirroring the
 evaluation machine in §5.1.  Experiments construct one kernel per run so
 every run starts with a cold cache, like the paper's ``drop_caches``
 before each experiment.
+
+A kernel normally owns its :class:`~repro.sim.engine.Simulator` and
+:class:`~repro.sim.stats.StatsRegistry`; the cluster subsystem
+(``repro.cluster``) instead passes a *shared* simulator so many kernels
+— one per simulated host — interleave in a single deterministic event
+order and contend for shared backend devices.  The single-host default
+(``sim=None``) constructs exactly what it always did, in the same
+order, so every existing experiment's event sequence is byte-identical.
 """
 
 from __future__ import annotations
@@ -50,10 +58,19 @@ class Kernel:
                  emit_lock_holds: bool = False,
                  audit: bool = False,
                  faults: Optional[FaultSpec] = None,
-                 qos: Optional[QosSpec] = None):
+                 qos: Optional[QosSpec] = None,
+                 sim: Optional[Simulator] = None,
+                 registry: Optional[StatsRegistry] = None,
+                 inode_id_start: int = 1):
         self.config = config or KernelConfig()
-        self.sim = Simulator()
-        self.registry = StatsRegistry()
+        # ``sim``/``registry`` are None for a standalone machine (the
+        # single-host case every paper experiment runs); a fleet passes
+        # its shared engine plus a per-host registry, and a disjoint
+        # ``inode_id_start`` namespace so stream ids never collide on a
+        # shared backend device.
+        self.sim = sim if sim is not None else Simulator()
+        self.registry = registry if registry is not None \
+            else StatsRegistry()
         self.tracer = tracer
         # The invariant auditor must exist before any lock is built so
         # every primitive registers with it; ``shutdown`` runs its final
@@ -103,7 +120,7 @@ class Kernel:
                                   registry=self.registry)
             self.device.set_qos(self.qos)
         self.vfs = VFS(self.sim, self.device, self.mem, self.config,
-                       self.registry)
+                       self.registry, inode_id_start=inode_id_start)
         self.vfs.tracer = tracer
         self.cross: Optional[CrossOS] = CrossOS(self.vfs) \
             if cross_enabled else None

@@ -101,7 +101,8 @@ class VFS:
 
     def __init__(self, sim: Simulator, device: StorageDevice,
                  mem: MemoryManager, config: KernelConfig,
-                 registry: StatsRegistry):
+                 registry: StatsRegistry, *,
+                 inode_id_start: int = 1):
         self.sim = sim
         self.device = device
         self.mem = mem
@@ -128,7 +129,10 @@ class VFS:
         # Optional event tracer (set by the Kernel when tracing is on).
         self.tracer = None
         # Per-kernel id streams keep identically-seeded runs identical.
-        self._inode_ids = itertools.count(1)
+        # A fleet host starts its stream at a disjoint base so inode
+        # ids (= device stream ids) never collide across hosts sharing
+        # one backend device.
+        self._inode_ids = itertools.count(inode_id_start)
         self._fd_ids = itertools.count(3)  # 0-2 are stdio, naturally
         # Read-path counters, hoisted: three registry.count() dict
         # lookups per read add up to ~5% of an experiment's wall time.
