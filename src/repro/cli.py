@@ -81,8 +81,10 @@ from repro.harness import experiments as exp
 from repro.harness import runner
 from repro.harness.metrics import ApproachMetrics
 from repro.harness.report import format_table
+from repro.crosslib.adaptive import AdaptiveSpec
 from repro.harness.runner import (
     TraceSpec,
+    adapting,
     auditing,
     faulting,
     tenancy,
@@ -117,6 +119,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "fairness": exp.run_fairness,
     "recovery": exp.run_recovery,
     "scale": exp.run_scale,
+    "adaptive": exp.run_adaptive,
 }
 
 
@@ -128,6 +131,13 @@ def _fault_spec(args: argparse.Namespace) -> Optional[FaultSpec]:
     return make_preset(preset, seed=getattr(args, "seed", 0),
                        intensity=getattr(args, "fault_intensity", 1.0),
                        region=getattr(args, "fault_region", None))
+
+
+def _adaptive_spec(args: argparse.Namespace) -> Optional[AdaptiveSpec]:
+    """Build the adaptive-policy spec for ``--adaptive`` (None if off)."""
+    if not getattr(args, "adaptive", False):
+        return None
+    return AdaptiveSpec(seed=getattr(args, "seed", 0))
 
 
 def _qos_spec(args: argparse.Namespace) -> Optional[QosSpec]:
@@ -156,6 +166,13 @@ def _add_fault_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--fault-region", type=int, default=None, metavar="N",
                    help="scope per-request faults to streams placed in "
                         "device region N (default: device-wide)")
+
+
+def _add_adaptive_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--adaptive", action="store_true",
+                   help="attach the learned pattern-adaptive prefetch "
+                        "policy (per-stream classifier + perceptron "
+                        "admission; see docs/prefetching.md)")
 
 
 def _add_tenant_args(p: argparse.ArgumentParser) -> None:
@@ -215,6 +232,8 @@ QUICK_ARGS: dict[str, dict] = {
     "recovery": dict(nseeds=1, puts=220, num_keys=8192, memory_mb=64),
     "scale": dict(hosts=(1, 2), tenant_counts=(2,), rate_per_s=1200.0,
                   horizon_us=80_000.0, file_mb=4),
+    "adaptive": dict(memory_bytes=32 * MB, oversubscription=2.0,
+                     hot_ops=240),
 }
 
 
@@ -248,7 +267,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         kwargs["seed"] = args.seed
     print(f"seed: {args.seed}")
     with tracing(spec), auditing(bool(getattr(args, "audit", False))), \
-            faulting(_fault_spec(args)), tenancy(_qos_spec(args)):
+            faulting(_fault_spec(args)), tenancy(_qos_spec(args)), \
+            adapting(_adaptive_spec(args)):
         _results, report = fn(**kwargs)
     print(report)
     if spec is not None and spec.results:
@@ -424,7 +444,8 @@ def _run_workload(kind: str, approach: str, *, nthreads: int,
                     if spec is not None else False,
                     audit=runner.audit_enabled(),
                     faults=runner.active_fault_spec(),
-                    qos=runner.active_qos_spec())
+                    qos=runner.active_qos_spec(),
+                    adaptive=runner.active_adaptive_spec())
     runtime = build_runtime(approach, kernel)
 
     def _finish(metrics: ApproachMetrics) -> ApproachMetrics:
@@ -477,7 +498,8 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     results = {}
     print(f"seed: {args.seed}")
     with tracing(spec), auditing(bool(getattr(args, "audit", False))), \
-            faulting(_fault_spec(args)), tenancy(_qos_spec(args)):
+            faulting(_fault_spec(args)), tenancy(_qos_spec(args)), \
+            adapting(_adaptive_spec(args)):
         for approach in approaches:
             if approach not in APPROACHES:
                 print(f"unknown approach {approach!r}", file=sys.stderr)
@@ -517,7 +539,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         kwargs["approaches"] = tuple(args.approach)
     print(f"seed: {args.seed}")
     try:
-        with auditing(bool(args.audit)), tenancy(_qos_spec(args)):
+        with auditing(bool(args.audit)), tenancy(_qos_spec(args)), \
+                adapting(_adaptive_spec(args)):
             _results, report = exp.run_resilience(**kwargs)
     except AuditError as exc:
         print(f"AUDIT FAIL under chaos: {exc}", file=sys.stderr)
@@ -654,6 +677,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_seed_arg(p_exp)
     _add_fault_args(p_exp)
     _add_tenant_args(p_exp)
+    _add_adaptive_arg(p_exp)
     p_exp.set_defaults(fn=_cmd_experiment)
 
     p_chk = sub.add_parser(
@@ -816,6 +840,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "CrossP[+predict+opt]")
     _add_seed_arg(p_ch)
     _add_tenant_args(p_ch)
+    _add_adaptive_arg(p_ch)
     p_ch.set_defaults(fn=_cmd_chaos)
 
     p_wl = sub.add_parser("workload", help="run one workload ad hoc")
@@ -838,6 +863,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_seed_arg(p_wl)
     _add_fault_args(p_wl)
     _add_tenant_args(p_wl)
+    _add_adaptive_arg(p_wl)
     p_wl.set_defaults(fn=_cmd_workload)
     return parser
 

@@ -61,6 +61,7 @@ def build_host_kernel(machine: MachineConfig, approach: str,
                       audit: bool = False,
                       faults=None,
                       qos=None,
+                      adaptive=None,
                       sim: Optional[Simulator] = None,
                       registry: Optional[StatsRegistry] = None,
                       device_factory=None,
@@ -82,6 +83,7 @@ def build_host_kernel(machine: MachineConfig, approach: str,
         audit=audit,
         faults=faults,
         qos=qos,
+        adaptive=adaptive,
         sim=sim,
         registry=registry,
         inode_id_start=inode_id_start,
@@ -118,6 +120,7 @@ class Host:
                memory_bytes: Optional[int] = None, *,
                tracer=None, emit_lock_holds: bool = False,
                audit: bool = False, faults=None, qos=None,
+               adaptive=None,
                crosslib_config: Optional[CrossLibConfig] = None
                ) -> "Host":
         """The standalone machine every paper experiment runs."""
@@ -125,7 +128,7 @@ class Host:
         kernel = build_host_kernel(
             machine, approach, memory_bytes, tracer=tracer,
             emit_lock_holds=emit_lock_holds, audit=audit,
-            faults=faults, qos=qos)
+            faults=faults, qos=qos, adaptive=adaptive)
         runtime = build_runtime(approach, kernel, crosslib_config)
         return cls(spec, kernel, runtime)
 

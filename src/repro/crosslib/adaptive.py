@@ -1,0 +1,578 @@
+"""Learned, pattern-adaptive prefetch policy (beyond the paper).
+
+The paper's predictor (§4.6) is a per-FD saturating counter with fixed
+thresholds: every stream gets the same ``base << counter`` window
+growth, the same relaxed-limit scaling, the same eviction order.  This
+module adds the policy layer ROADMAP calls for on top of it:
+
+* an online **access-pattern classifier** — each open-file stream is
+  labelled ``sequential`` / ``temporal`` (re-use) / ``random`` from a
+  sliding window of recent block positions (the pingora-slice
+  classification shape: mostly-ascending deltas ⇒ sequential, mostly
+  repeats ⇒ temporal re-use, else random);
+* per-class **aggressiveness switching** — sequential streams get their
+  predictor windows boosted and keep the relaxed ``readahead_info``
+  cap; temporal and random streams get their windows, their OS
+  readahead (``ReadaheadState.adaptive_cap``) and their per-call
+  Cross-OS request cap clamped, because large windows on those streams
+  are pure cache pollution;
+* a lightweight **perceptron admission signal** (LearnedCache-style):
+  one small online-learned weight vector per kernel gates prefetch
+  *issue* per stream from features the stack already produces — the
+  pattern class, the §4.6 counter, the stream's demand hit-rate EMA,
+  and decayed fault/retry pressure fed in from the device and fault
+  engine — and biases :class:`~repro.crosslib.membudget.MemoryBudget`
+  victim selection toward random-pattern streams;
+* **fault/QoS coupling** — device retries, prefetch-deadline expiries
+  and per-class fault decisions land in the feature vector
+  (:meth:`AdaptivePolicy.note_retry` / :meth:`note_fault` /
+  :meth:`note_fault_class`), and with a QoS manager attached its SLO
+  violations *move* tenant weights (``TenantState.slo_boost``) instead
+  of only being counted.
+
+Opt-in contract (the tracer/auditor/faults/qos pattern): the policy
+attaches via ``Kernel(adaptive=AdaptiveSpec())`` / ``--adaptive`` and
+every consumer consults it through an ``is not None`` guard, so a run
+without it executes byte-identically (fig5's pinned 197,235-event
+fingerprint holds).
+
+Determinism: the policy is pure bookkeeping — it adds no simulation
+events and draws no randomness after construction (the perceptron's
+initial weights are a SplitMix64 function of ``AdaptiveSpec.seed``).
+Every decision is a deterministic function of the observation stream,
+so enabled runs are bit-reproducible per seed.  Everything here runs
+inside the single-threaded event loop; there is no locking to reason
+about.
+
+See ``docs/prefetching.md`` for the full policy story and
+``repro experiment adaptive`` for the mixed-workload win condition.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crosslib.predictor import PrefetchPlan
+
+__all__ = ["AdaptivePolicy", "AdaptiveSpec", "PATTERN_RANDOM",
+           "PATTERN_SEQUENTIAL", "PATTERN_TEMPORAL", "PATTERN_UNKNOWN",
+           "Perceptron", "StreamClassifier"]
+
+KB = 1 << 10
+
+PATTERN_UNKNOWN = "unknown"
+PATTERN_SEQUENTIAL = "sequential"
+PATTERN_TEMPORAL = "temporal"
+PATTERN_RANDOM = "random"
+
+# Feature vector layout (fixed; the weight vector matches it).
+_N_FEATURES = 7
+_F_BIAS = 0
+_F_SEQ = 1
+_F_TEMPORAL = 2
+_F_RANDOM = 3
+_F_COUNTER = 4      # §4.6 counter, normalized to [0, 1]
+_F_PRESSURE = 5     # decayed fault/retry pressure, squashed to [0, 1)
+_F_HITRATE = 6      # demand hit-rate EMA of the stream
+
+
+def _splitmix64(x: int) -> int:
+    """One SplitMix64 step (same generator the fault engine uses)."""
+    x = (x + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    z = x
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return z ^ (z >> 31)
+
+
+@dataclass(frozen=True)
+class AdaptiveSpec:
+    """Configuration of the adaptive policy layer.
+
+    The defaults follow the pingora-slice prefetch design for the
+    classifier (20-access window, ≥70% ascending ⇒ sequential, ≥50%
+    repeats ⇒ temporal) and keep the perceptron small and admissive
+    until evidence accumulates (``train_min`` observations per stream
+    before the gate may deny).
+    """
+
+    # -- classifier --------------------------------------------------------
+    window: int = 20                 # sliding window, accesses
+    sequential_threshold: float = 0.7
+    temporal_threshold: float = 0.5
+    stride_blocks: int = 32          # forward delta within this is seq-ish
+
+    # -- per-class aggressiveness ------------------------------------------
+    # Multiply sequential streams' predictor windows.  Default 1: under
+    # an oversubscribed cache, running further ahead just means the
+    # runway is evicted before the stream reaches it — the sequential
+    # reward is the *early* relaxed scaling (seq_streak_override), not
+    # a larger steady-state window.  Raise it when memory is plentiful.
+    seq_boost: int = 1
+    seq_streak_override: int = 8     # relaxed scaling after this streak
+    temporal_cap_blocks: int = 16    # clamp plans/readahead (64 KB)
+    random_cap_blocks: int = 4       # clamp plans/readahead (16 KB)
+
+    # -- perceptron --------------------------------------------------------
+    learning_rate: float = 0.25
+    train_min: int = 12              # stream observations before gating
+    seed: int = 0
+
+    # -- fault/retry pressure ----------------------------------------------
+    pressure_halflife_us: float = 4_000.0
+    retry_weight: float = 0.5
+    fault_weight: float = 1.0
+
+    # -- QoS SLO coupling --------------------------------------------------
+    slo_boost_step: float = 1.5      # multiplicative weight bump
+    slo_boost_max: float = 4.0
+    slo_clean_reads: int = 64        # violation-free reads per decay step
+    slo_boost_decay: float = 0.75
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+
+class StreamClassifier:
+    """Sliding-window pattern classifier for one open-file stream.
+
+    Keeps the last ``spec.window`` block positions; on each access it
+    computes the fraction of *ascending* steps (forward delta in
+    ``(0, stride_blocks]``) and the fraction of *repeats* (a block start
+    seen earlier in the window) over the window's transitions, then
+    labels the stream:
+
+    * ascending fraction ≥ ``sequential_threshold``  ⇒ ``sequential``
+    * repeat fraction ≥ ``temporal_threshold``       ⇒ ``temporal``
+    * otherwise                                      ⇒ ``random``
+
+    The published ``pattern`` only switches after the same raw label
+    wins twice in a row (hysteresis), so one stray access cannot flap
+    the aggressiveness class.  Below half a window of history the
+    stream stays ``unknown`` and no policy applies.
+    """
+
+    __slots__ = ("spec", "pattern", "observations", "_starts",
+                 "_ascending", "_repeats", "_raw_prev", "transitions")
+
+    def __init__(self, spec: AdaptiveSpec):
+        self.spec = spec
+        self.pattern = PATTERN_UNKNOWN
+        self.observations = 0
+        self._starts: deque[int] = deque(maxlen=spec.window)
+        self._ascending: deque[bool] = deque(maxlen=spec.window - 1)
+        self._repeats: deque[bool] = deque(maxlen=spec.window - 1)
+        self._raw_prev = PATTERN_UNKNOWN
+        self.transitions = 0
+
+    def observe(self, start: int, count: int) -> str:
+        """Feed one access; returns the (possibly unchanged) pattern."""
+        spec = self.spec
+        self.observations += 1
+        if self._starts:
+            prev = self._starts[-1]
+            delta = start - prev
+            self._ascending.append(0 < delta <= spec.stride_blocks
+                                   or delta == 0 and count > 0
+                                   and start != prev)
+            self._repeats.append(start in self._starts)
+        self._starts.append(start)
+        n = len(self._ascending)
+        if n < max(2, spec.window // 2):
+            return self.pattern
+        ascending = sum(self._ascending) / n
+        repeats = sum(self._repeats) / n
+        if ascending >= spec.sequential_threshold:
+            raw = PATTERN_SEQUENTIAL
+        elif repeats >= spec.temporal_threshold:
+            raw = PATTERN_TEMPORAL
+        else:
+            raw = PATTERN_RANDOM
+        if raw != self.pattern and raw == self._raw_prev:
+            self.pattern = raw
+            self.transitions += 1
+        self._raw_prev = raw
+        return self.pattern
+
+
+class Perceptron:
+    """Tiny online perceptron over the fixed feature layout above.
+
+    Admission rule: issue the prefetch iff ``w · x ≥ 0``.  Training is
+    the classic mistake-driven update — when the observed label (the
+    following demand read mostly *hit* ⇒ 1, mostly *missed* ⇒ 0)
+    disagrees with the prediction, ``w += lr · (label − predicted) · x``
+    — so a stream whose admitted prefetches never turn into hits talks
+    the gate into denying, and a denied stream that hits anyway (warm
+    cache) is re-admitted at zero cost (the bitmap elides re-requests).
+
+    Weights start near zero (a deterministic SplitMix64 function of the
+    spec seed) with a positive bias, so a fresh kernel admits
+    everything until evidence says otherwise.  Updates are a pure
+    function of the observation stream: same seed + same trace ⇒ same
+    weights, bit for bit.
+    """
+
+    __slots__ = ("lr", "weights", "updates", "mistakes")
+
+    def __init__(self, spec: AdaptiveSpec):
+        self.lr = spec.learning_rate
+        state = (spec.seed << 1) ^ 0xADA9
+        weights = []
+        for _ in range(_N_FEATURES):
+            state = _splitmix64(state)
+            weights.append(((state >> 11) / float(1 << 53) - 0.5) * 0.01)
+        weights[_F_BIAS] += 0.1   # admissive until trained
+        self.weights = weights
+        self.updates = 0
+        self.mistakes = 0
+
+    def predict(self, features: list[float]) -> bool:
+        w = self.weights
+        score = 0.0
+        for i in range(_N_FEATURES):
+            score += w[i] * features[i]
+        return score >= 0.0
+
+    def train(self, features: list[float], predicted: bool,
+              label: bool) -> None:
+        self.updates += 1
+        if predicted == label:
+            return
+        self.mistakes += 1
+        step = self.lr if label else -self.lr
+        w = self.weights
+        for i in range(_N_FEATURES):
+            w[i] += step * features[i]
+
+
+class _StreamState:
+    """Per-stream policy state inside an :class:`AdaptivePolicy`."""
+
+    __slots__ = ("classifier", "counter_norm", "hit_ema", "pressure",
+                 "pressure_stamp", "retries", "faults", "fault_classes",
+                 "issued", "denied", "boosted", "clamped",
+                 "last_features", "last_admit")
+
+    def __init__(self, spec: AdaptiveSpec):
+        self.classifier = StreamClassifier(spec)
+        self.counter_norm = 0.0
+        self.hit_ema = 1.0           # optimistic: cold streams admit
+        self.pressure = 0.0
+        self.pressure_stamp = 0.0
+        self.retries = 0
+        self.faults = 0
+        self.fault_classes: dict[str, int] = {}
+        self.issued = 0
+        self.denied = 0
+        self.boosted = 0
+        self.clamped = 0
+        # Feature snapshot of the most recent gate decision, consumed
+        # by the next demand-read outcome as the training example.
+        self.last_features: Optional[list[float]] = None
+        self.last_admit = True
+
+
+class AdaptivePolicy:
+    """Kernel-attached policy manager (one per kernel, like QosManager).
+
+    Public entry points, all consulted behind ``is not None`` guards:
+
+    * :meth:`observe` — CROSS-LIB feeds every ``pread`` observation
+      (block start/count plus the §4.6 counter state);
+    * :meth:`gate_plan` — shape + admit one predictor plan (CROSS-LIB);
+    * :meth:`window_cap` — per-stream OS readahead clamp (VFS →
+      ``ReadaheadState.adaptive_cap``);
+    * :meth:`request_cap` — per-stream ``readahead_info`` cap clamp
+      (Cross-OS admission);
+    * :meth:`relax_streak` — per-stream relaxed-scaling streak override
+      (sequential streams earn the §4.7 relaxed windows sooner);
+    * :meth:`note_outcome` — demand-read hit/miss feedback (trains the
+      perceptron);
+    * :meth:`note_retry` / :meth:`note_fault` / :meth:`note_fault_class`
+      — fault-path feeds from the device and fault engine;
+    * :meth:`victim_bias` — membudget eviction preference;
+    * :meth:`snapshot` — per-stream counters for reports.
+    """
+
+    def __init__(self, sim, spec: AdaptiveSpec, registry=None):
+        self.sim = sim
+        self.spec = spec
+        self.registry = registry
+        self.device = None
+        self.perceptron = Perceptron(spec)
+        self._streams: dict[int, _StreamState] = {}
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach_device(self, device) -> None:
+        """Called by ``StorageDevice.set_adaptive``."""
+        self.device = device
+
+    def _state(self, stream: int) -> _StreamState:
+        state = self._streams.get(stream)
+        if state is None:
+            state = _StreamState(self.spec)
+            self._streams[stream] = state
+        return state
+
+    def _count(self, name: str, n: int = 1) -> None:
+        if self.registry is not None:
+            self.registry.count(name, n)
+
+    # -- observation (CROSS-LIB pread path) --------------------------------
+
+    def observe(self, stream: int, start: int, count: int,
+                counter: int, counter_max: int) -> str:
+        """Feed one demand access; returns the stream's pattern."""
+        state = self._state(stream)
+        pattern = state.classifier.observe(start, count)
+        if counter_max > 0:
+            state.counter_norm = counter / counter_max
+        return pattern
+
+    def pattern_of(self, stream: int) -> str:
+        state = self._streams.get(stream)
+        return PATTERN_UNKNOWN if state is None \
+            else state.classifier.pattern
+
+    # -- plan shaping + admission (CROSS-LIB) ------------------------------
+
+    def gate_plan(self, stream: int, plan: PrefetchPlan,
+                  nblocks: int) -> Optional[PrefetchPlan]:
+        """Per-class sizing, then the perceptron issue gate.
+
+        Sequential streams get ``seq_boost``× windows (re-clamped to
+        the file); temporal and random streams are clamped to their
+        per-class caps.  The perceptron then decides whether the plan
+        is worth issuing at all — but only once the stream has
+        ``train_min`` observations, so cold streams behave exactly like
+        the static policy.
+        """
+        spec = self.spec
+        state = self._state(stream)
+        pattern = state.classifier.pattern
+        if pattern == PATTERN_SEQUENTIAL:
+            if spec.seq_boost > 1 and not plan.backward:
+                boosted = min(plan.count * spec.seq_boost,
+                              max(0, nblocks - plan.start))
+                if boosted > plan.count:
+                    plan = PrefetchPlan(plan.start, boosted,
+                                        plan.backward)
+                    state.boosted += 1
+                    self._count("adaptive.boosted_plans")
+            # Sequential streams bypass the perceptron: the classifier
+            # already proved prefetch will be consumed, and early
+            # cold-cache misses must not train the gate into denying
+            # the one stream prefetch helps most (the deny->miss->deny
+            # spiral).  The perceptron arbitrates ambiguous streams.
+            state.last_features = None
+            state.last_admit = True
+            state.issued += 1
+            self._count("adaptive.issued_plans")
+            return plan
+        if pattern == PATTERN_TEMPORAL:
+            if plan.count > spec.temporal_cap_blocks:
+                plan = PrefetchPlan(plan.start, spec.temporal_cap_blocks,
+                                    plan.backward)
+                state.clamped += 1
+                self._count("adaptive.clamped_plans")
+        elif pattern == PATTERN_RANDOM:
+            if plan.count > spec.random_cap_blocks:
+                plan = PrefetchPlan(plan.start, spec.random_cap_blocks,
+                                    plan.backward)
+                state.clamped += 1
+                self._count("adaptive.clamped_plans")
+        features = self._features(state, pattern)
+        state.last_features = features
+        if state.classifier.observations < spec.train_min:
+            state.last_admit = True
+            state.issued += 1
+            return plan
+        admit = self.perceptron.predict(features)
+        state.last_admit = admit
+        if not admit:
+            state.denied += 1
+            self._count("adaptive.denied_plans")
+            return None
+        state.issued += 1
+        self._count("adaptive.issued_plans")
+        return plan
+
+    def _features(self, state: _StreamState,
+                  pattern: str) -> list[float]:
+        x = [0.0] * _N_FEATURES
+        x[_F_BIAS] = 1.0
+        if pattern == PATTERN_SEQUENTIAL:
+            x[_F_SEQ] = 1.0
+        elif pattern == PATTERN_TEMPORAL:
+            x[_F_TEMPORAL] = 1.0
+        elif pattern == PATTERN_RANDOM:
+            x[_F_RANDOM] = 1.0
+        x[_F_COUNTER] = state.counter_norm
+        p = self._pressure(state, self.sim.now)
+        x[_F_PRESSURE] = p / (1.0 + p)
+        x[_F_HITRATE] = state.hit_ema
+        return x
+
+    # -- per-stream clamps (VFS readahead + Cross-OS) ----------------------
+
+    def window_cap(self, stream: int, now: float) -> Optional[int]:
+        """OS readahead clamp (blocks) for the stream; None = stock."""
+        state = self._streams.get(stream)
+        if state is None:
+            return None
+        pattern = state.classifier.pattern
+        if pattern == PATTERN_TEMPORAL:
+            return self.spec.temporal_cap_blocks
+        if pattern == PATTERN_RANDOM:
+            return self.spec.random_cap_blocks
+        return None
+
+    def request_cap(self, stream: int, cap_bytes: int,
+                    block_size: int, now: float) -> int:
+        """Clamp one ``readahead_info`` submission cap per pattern."""
+        state = self._streams.get(stream)
+        if state is None:
+            return cap_bytes
+        pattern = state.classifier.pattern
+        if pattern == PATTERN_TEMPORAL:
+            clamp = self.spec.temporal_cap_blocks * block_size
+        elif pattern == PATTERN_RANDOM:
+            clamp = self.spec.random_cap_blocks * block_size
+        else:
+            return cap_bytes
+        if clamp < cap_bytes:
+            self._count("adaptive.capped_requests")
+            return clamp
+        return cap_bytes
+
+    def relax_streak(self, stream: int,
+                     streak_threshold: int) -> int:
+        """Streak needed before relaxed window scaling engages.
+
+        A classified-sequential stream has already proved itself over a
+        full classifier window; make the §4.7 relaxed scaling kick in
+        after ``seq_streak_override`` accesses instead of the static
+        threshold (24)."""
+        state = self._streams.get(stream)
+        if state is not None and \
+                state.classifier.pattern == PATTERN_SEQUENTIAL:
+            return min(streak_threshold, self.spec.seq_streak_override)
+        return streak_threshold
+
+    # -- learning feedback -------------------------------------------------
+
+    def note_outcome(self, stream: int, hit_pages: int,
+                     miss_pages: int) -> None:
+        """One demand read completed: update the hit EMA and train."""
+        state = self._streams.get(stream)
+        if state is None:
+            return
+        total = hit_pages + miss_pages
+        if total <= 0:
+            return
+        rate = hit_pages / total
+        state.hit_ema = 0.9 * state.hit_ema + 0.1 * rate
+        features = state.last_features
+        if features is not None:
+            self.perceptron.train(features, state.last_admit,
+                                  rate >= 0.5)
+            state.last_features = None
+
+    # -- fault/retry pressure (device + fault engine feeds) ----------------
+
+    def _pressure(self, state: _StreamState, now: float) -> float:
+        dt = now - state.pressure_stamp
+        if dt > 0.0 and state.pressure > 0.0:
+            state.pressure *= 0.5 ** (dt / self.spec.pressure_halflife_us)
+            state.pressure_stamp = now
+        return state.pressure
+
+    def _add_pressure(self, state: _StreamState, now: float,
+                      weight: float) -> None:
+        self._pressure(state, now)
+        state.pressure += weight
+        state.pressure_stamp = now
+
+    def note_retry(self, stream: int, now: float) -> None:
+        """One device retry attempt on the stream (backoff ladder)."""
+        state = self._state(stream)
+        state.retries += 1
+        self._add_pressure(state, now, self.spec.retry_weight)
+        self._count("adaptive.retries")
+
+    def note_fault(self, stream: int, now: float,
+                   weight: float = 1.0) -> None:
+        """A failed attempt or an expired prefetch deadline."""
+        state = self._state(stream)
+        state.faults += 1
+        self._add_pressure(state, now, self.spec.fault_weight * weight)
+        self._count("adaptive.faults")
+
+    def note_fault_class(self, stream: int, cls: str,
+                         now: float) -> None:
+        """Fault-class attribution from ``FaultEngine.decide``."""
+        state = self._state(stream)
+        state.fault_classes[cls] = state.fault_classes.get(cls, 0) + 1
+        self._count(f"adaptive.fault.{cls}")
+
+    def admit_bulk(self, stream: int) -> bool:
+        """Gate opportunistic bulk-loading (§4.6 aggressive mode).
+
+        Bulk-loading a *random*-pattern stream's file caches pages its
+        scattered reads will mostly never touch — pure pollution plus
+        device bandwidth stolen from streams prefetch actually helps.
+        Temporal streams keep bulk (it is how their hot set gets
+        resident), and unknown/cold streams behave like the static
+        policy until the classifier has evidence.
+        """
+        state = self._state(stream)
+        if state.classifier.pattern != PATTERN_RANDOM:
+            return True
+        if state.classifier.observations < self.spec.train_min:
+            return True
+        self._count("adaptive.denied_bulk")
+        return False
+
+    # -- eviction bias (membudget) -----------------------------------------
+
+    def victim_bias(self, stream: int, now: float) -> int:
+        """1 if the stream's pages are cheap to reclaim (random
+        pattern: its reads would mostly miss anyway), else 0."""
+        state = self._streams.get(stream)
+        if state is not None and \
+                state.classifier.pattern == PATTERN_RANDOM:
+            return 1
+        return 0
+
+    # -- reporting ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Per-stream state + perceptron weights for reports."""
+        now = self.sim.now
+        streams = {}
+        for stream, st in self._streams.items():
+            streams[stream] = {
+                "pattern": st.classifier.pattern,
+                "observations": st.classifier.observations,
+                "transitions": st.classifier.transitions,
+                "issued": st.issued,
+                "denied": st.denied,
+                "boosted": st.boosted,
+                "clamped": st.clamped,
+                "hit_ema": round(st.hit_ema, 4),
+                "pressure": round(self._pressure(st, now), 4),
+                "retries": st.retries,
+                "faults": st.faults,
+                "fault_classes": dict(st.fault_classes),
+            }
+        return {
+            "streams": streams,
+            "weights": [round(w, 5) for w in self.perceptron.weights],
+            "updates": self.perceptron.updates,
+            "mistakes": self.perceptron.mistakes,
+        }

@@ -15,6 +15,26 @@ observe/plan interface as the default n-bit counter, selectable through
 A hybrid mode layers it under the counter predictor: sequential runs use
 the counter's windows, and on pattern breaks the Markov table gets a
 chance to predict the jump target.
+
+Both predictors expose the same surface the adaptive policy layer
+shapes (:mod:`repro.crosslib.adaptive`, ``docs/prefetching.md``):
+every plan they emit still flows through ``AdaptivePolicy.gate_plan``
+when the learned layer is attached, so per-class clamps and the
+perceptron admission gate apply regardless of ``predictor_kind``.
+
+Invariants:
+
+* transition counts only grow, and only by observed region follow-ups
+  — a prediction never mutates the table;
+* a successor is planned only when the current region has at least
+  ``markov_min_samples`` observed follow-ups and the top successor
+  holds at least the ``markov_confidence`` fraction of them;
+* planned windows never cross a region boundary or the end of file.
+
+Determinism/threading: pure table arithmetic — no simulation events,
+no randomness, no locks.  Identical observation streams yield
+identical transition tables and plans; iteration happens over
+insertion-ordered dicts, so tie-breaks are deterministic too.
 """
 
 from __future__ import annotations

@@ -23,7 +23,11 @@ is the reclamation pass (a simulation process — re-entry is guarded by
 With a QoS manager attached (``kernel.qos``) victim selection prefers
 files of *degraded* tenants: a throttled/paused tenant is not filling
 its cache anyway, so its pages are the cheapest to re-lease to healthy
-tenants.  Ties (and every run without QoS) fall back to the stock
+tenants.  With the adaptive policy attached (``Kernel(adaptive=)``)
+the next tiebreak prefers *random-pattern* streams — their reads would
+mostly miss regardless, so their pages protect nothing
+(:meth:`repro.crosslib.adaptive.AdaptivePolicy.victim_bias`).  Ties
+(and every run without either subsystem) fall back to the stock
 oldest-``last_access`` order, so healthy runs pick identical victims.
 
 Auditor invariants touched here: eviction goes through
@@ -145,14 +149,20 @@ class MemoryBudget:
         return freed
 
     def _victim_key(self, state: UserFileState,
-                    now: float) -> tuple[int, float]:
+                    now: float) -> tuple[int, int, float]:
         """Victim preference: degraded tenants' files first (their
-        prefetch is throttled anyway), then oldest access.  Without QoS
-        every level is 0 and the order is the stock LRU."""
-        qos = self.runtime.kernel.device.qos
+        prefetch is throttled anyway), then random-pattern streams (the
+        adaptive policy's bias: their reads would mostly miss anyway),
+        then oldest access.  Without QoS or the adaptive policy every
+        level/bias is 0 and the order is the stock LRU."""
+        device = self.runtime.kernel.device
+        qos = device.qos
         level = 0 if qos is None \
             else qos.level_of(state.inode.id, now)
-        return (level, -state.last_access)
+        adaptive = device.adaptive
+        bias = 0 if adaptive is None \
+            else adaptive.victim_bias(state.inode.id, now)
+        return (level, bias, -state.last_access)
 
     def _pick_inactive(self, now: float) -> Optional[UserFileState]:
         """Best inactive file with cached pages, if any."""

@@ -13,6 +13,35 @@ Once the counter saturates at either end the predictor enters a steady
 state and skips bookkeeping for a while (the paper's prediction-damping
 optimisation); this is a CPU-cost detail, so the model simply keeps the
 counter pinned until contrary evidence arrives.
+
+Beyond the counter, three refinements shape the window:
+
+* **stride & direction detection** — constant short strides (forward
+  or backward) count as sequential, and backward runs plan backward
+  windows;
+* **run-length clamping** — windows are clamped to the observed
+  typical run length ("fine-grained prediction"), so a workload of
+  short sequential bursts never over-fetches past where runs end;
+* **relaxed scaling** (§4.7) — after a sustained sequential streak
+  (``streak_threshold`` accesses, overridable per stream by the
+  adaptive layer via ``streak_override`` — see
+  :mod:`repro.crosslib.adaptive` and ``docs/prefetching.md``), relaxed
+  windows scale a further ``opt_window_scale``×.
+
+Invariants:
+
+* the counter stays in ``[0, counter_max]`` (saturating at both ends);
+* a plan is only produced at/above ``prefetch_threshold``
+  (PARTIALLY_RANDOM), and ``plan.count`` never exceeds the relaxed or
+  conservative window for the current counter, the run-length clamp,
+  or the end of the file;
+* ``streak`` resets to zero on any non-sequential observation, so
+  relaxed scaling always reflects the *current* run.
+
+Determinism/threading: pure per-FD state-machine arithmetic — no
+simulation events, no randomness, no locks; all mutation happens
+inline on the calling (simulated) thread's read path, so identical
+observation streams yield identical plans.
 """
 
 from __future__ import annotations
@@ -71,6 +100,10 @@ class PatternPredictor:
         self.avg_run_blocks = 0.0    # EMA of completed run lengths
         self.streak = 0              # consecutive sequential accesses
         self._prev_fwd_gap: Optional[int] = None  # for long-stride match
+        # Adaptive-policy override of config.streak_threshold (None =
+        # static threshold).  Set per read by the CROSS-LIB runtime
+        # when repro.crosslib.adaptive classifies the stream.
+        self.streak_override: Optional[int] = None
 
     @property
     def state(self) -> PatternState:
@@ -160,7 +193,9 @@ class PatternPredictor:
         if self.counter < cfg.prefetch_threshold:
             return 0
         window = cfg.base_prefetch_blocks << self.counter
-        if relaxed and self.streak >= cfg.streak_threshold \
+        streak_needed = cfg.streak_threshold \
+            if self.streak_override is None else self.streak_override
+        if relaxed and self.streak >= streak_needed \
                 and self.counter >= cfg.counter_max:
             window *= cfg.opt_window_scale
         avg = self.avg_run_blocks

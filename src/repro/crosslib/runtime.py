@@ -61,6 +61,10 @@ class CrossLibRuntime(IORuntime):
         # throttled); otherwise the device-global controller applies.
         self._degrade = kernel.device.degrade
         self._qos = kernel.device.qos
+        # Learned adaptive policy (None unless Kernel(adaptive=...)):
+        # pattern classification, plan shaping/admission, and hit/miss
+        # training feedback all hang off the pread path below.
+        self._adaptive = kernel.device.adaptive
 
     # -- helpers ----------------------------------------------------------------
 
@@ -150,8 +154,17 @@ class CrossLibRuntime(IORuntime):
         span = obs.begin("crosslib", "pread", inode=inode.id,
                          block=b0, count=count) if obs is not None else None
 
+        adaptive = self._adaptive
         if self._predict:
             ufd.predictor.observe(b0, count)
+            if adaptive is not None:
+                cfg = self.config
+                adaptive.observe(inode.id, b0, count,
+                                 ufd.predictor.counter, cfg.counter_max)
+                # Classified-sequential streams earn the relaxed window
+                # scaling sooner than the static streak threshold.
+                ufd.predictor.streak_override = adaptive.relax_streak(
+                    inode.id, cfg.streak_threshold)
             # §4.6: prefetch aggressiveness adapts to the budget — under
             # memory pressure the relaxed (beyond-128KB) window scaling
             # is withheld, not just the on/off switch.
@@ -171,6 +184,10 @@ class CrossLibRuntime(IORuntime):
                     # conservative windows until the controller recovers.
                     relaxed = False
             plan = ufd.predictor.plan(state.nblocks, relaxed)
+            if plan is not None and adaptive is not None:
+                # Per-class sizing (boost sequential, clamp temporal/
+                # random) + the perceptron issue gate.
+                plan = adaptive.gate_plan(inode.id, plan, state.nblocks)
             if plan is not None and self._plan_due(ufd, plan, b0, count):
                 yield from self._maybe_enqueue(state, plan)
         # Guard repeated in-line: _maybe_bulk_load's first two early
@@ -181,6 +198,11 @@ class CrossLibRuntime(IORuntime):
 
         result = yield from self.vfs.read(handle.file, offset, nbytes,
                                           parent=span)
+        if adaptive is not None:
+            # Demand hit/miss feedback: the training label for the most
+            # recent gate decision on this stream.
+            adaptive.note_outcome(inode.id, result.hit_pages,
+                                  result.miss_pages)
 
         # The blocks we just read are resident now: remember that in the
         # user bitmap so nobody prefetches them again.  (The bitmap
@@ -303,6 +325,9 @@ class CrossLibRuntime(IORuntime):
                 return
         elif self._degrade is not None \
                 and self._degrade.current_level(self.sim.now) >= 1:
+            return
+        if self._adaptive is not None \
+                and not self._adaptive.admit_bulk(state.inode.id):
             return
         if self.workers.backlog >= cfg.nr_workers:
             return

@@ -24,6 +24,10 @@ from :attr:`Simulator.events_processed`):
   tenants, one shared backend, open-loop arrivals): many kernels
   interleaving on one shared engine, so the ``repro scale`` sweep
   stays under the regression gate too.
+* ``adaptive_quick`` — the learned-policy path at the ``repro check``
+  quick preset: classifier + perceptron work on every ``pread``,
+  adaptive caps in the readahead/Cross-OS paths, bulk gating and
+  eviction bias (``docs/prefetching.md``), healthy and under storm.
 
 Every bench reports ``sim_time_us`` (total simulated microseconds
 across the kernels it ran) alongside ``events``, so events/µs-of-sim
@@ -189,6 +193,18 @@ def _bench_cluster_quick(scale: int = 1) -> dict:
     return _experiment_result(t0, results)
 
 
+def _bench_adaptive_quick(scale: int = 1) -> dict:
+    """The learned-policy path: classifier + perceptron on every
+    ``pread``, adaptive caps in readahead/Cross-OS, bulk gating and
+    victim bias, across the static-vs-adaptive sweep (the
+    ``repro experiment adaptive`` hot path)."""
+    from repro.harness.experiments.adaptive import run_adaptive
+    t0 = time.perf_counter()
+    results, _report = run_adaptive(
+        memory_bytes=32 * MB, oversubscription=2.0, hot_ops=240)
+    return _experiment_result(t0, results["rows"])
+
+
 BENCHES: dict[str, Callable[[int], dict]] = {
     "engine_timeout": _bench_engine_timeout,
     "engine_locks": _bench_engine_locks,
@@ -197,6 +213,7 @@ BENCHES: dict[str, Callable[[int], dict]] = {
     "chaos_quick": _bench_chaos_quick,
     "qos_quick": _bench_qos_quick,
     "cluster_quick": _bench_cluster_quick,
+    "adaptive_quick": _bench_adaptive_quick,
 }
 
 

@@ -27,12 +27,14 @@ from repro.harness.experiments.apps import (
     run_fig9a_ycsb,
     run_fig9b_snappy,
 )
+from repro.harness.experiments.adaptive import run_adaptive
 from repro.harness.experiments.resilience import run_resilience
 from repro.harness.experiments.fairness import run_fairness
 from repro.harness.experiments.recovery import run_recovery
 from repro.harness.experiments.scale import run_scale
 
 __all__ = [
+    "run_adaptive",
     "run_fairness",
     "run_fig10_prefetch_limit",
     "run_fig2_motivation",

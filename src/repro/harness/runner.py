@@ -29,11 +29,11 @@ from repro.runtimes.base import IORuntime
 from repro.sim.observe import export_chrome_trace
 from repro.sim.trace import Tracer
 
-__all__ = ["ParallelTaskError", "TraceSpec", "active_fault_spec",
-           "active_qos_spec", "active_trace_spec", "audit_enabled",
-           "auditing", "faulting", "finish_trace", "make_kernel",
-           "run_approaches", "run_one", "run_parallel", "tenancy",
-           "tracing"]
+__all__ = ["ParallelTaskError", "TraceSpec", "active_adaptive_spec",
+           "active_fault_spec", "active_qos_spec", "active_trace_spec",
+           "adapting", "audit_enabled", "auditing", "faulting",
+           "finish_trace", "make_kernel", "run_approaches", "run_one",
+           "run_parallel", "tenancy", "tracing"]
 
 WorkloadFn = Callable[[Kernel, IORuntime], ApproachMetrics]
 
@@ -126,6 +126,32 @@ def tenancy(spec) -> Iterator[None]:
         yield
     finally:
         _active_qos = previous
+
+
+_active_adaptive = None
+
+
+def active_adaptive_spec():
+    return _active_adaptive
+
+
+@contextmanager
+def adapting(spec) -> Iterator[None]:
+    """Run every kernel built inside the block with the learned
+    adaptive prefetch policy attached.
+
+    ``spec`` is a :class:`repro.crosslib.adaptive.AdaptiveSpec` (or
+    None for a no-op).  Mirrors :func:`faulting` / :func:`tenancy`: a
+    module-global lets the ``--adaptive`` flags wrap any experiment
+    function without changing its signature.
+    """
+    global _active_adaptive
+    previous = _active_adaptive
+    _active_adaptive = spec if spec is not None and spec.enabled else None
+    try:
+        yield
+    finally:
+        _active_adaptive = previous
 
 
 _audit_active = False
@@ -225,6 +251,7 @@ def make_kernel(machine: MachineConfig, approach: str,
         audit=_audit_active,
         faults=_active_faults,
         qos=_active_qos,
+        adaptive=_active_adaptive,
     )
 
 
@@ -241,6 +268,7 @@ def run_one(machine: MachineConfig, approach: str,
                        audit=_audit_active,
                        faults=_active_faults,
                        qos=_active_qos,
+                       adaptive=_active_adaptive,
                        crosslib_config=crosslib_config)
     kernel, runtime = host.kernel, host.runtime
     try:

@@ -209,6 +209,14 @@ class CrossOS:
                 elif level == 1 and cap > cfg.cross_degraded_request_bytes:
                     cap = cfg.cross_degraded_request_bytes
                     vfs.registry.count("cross.degraded_clamps")
+        adaptive = vfs.device.adaptive
+        if adaptive is not None:
+            # Learned policy layer: the per-call cap becomes per-stream
+            # — temporal/random-classified streams are clamped to their
+            # pattern-class budget while sequential streams keep the
+            # full relaxed cap (repro.crosslib.adaptive).
+            cap = adaptive.request_cap(inode.id, cap, cfg.block_size,
+                                       sim.now)
         nbytes = min(info.nbytes, max(0, inode.size - info.offset))
         if nbytes > cap:
             nbytes = cap

@@ -17,7 +17,7 @@ order, so every existing experiment's event sequence is byte-identical.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.os.config import KernelConfig
 from repro.os.crossos import CrossOS
@@ -33,6 +33,11 @@ from repro.sim.qos import QosManager, QosSpec
 from repro.sim.stats import StatsRegistry
 from repro.storage.device import StorageDevice
 from repro.storage.nvme import NVMeDevice
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard: the
+    # crosslib package imports this module (runtime needs Kernel), so
+    # the reverse import is type-only; the constructor defers it.
+    from repro.crosslib.adaptive import AdaptivePolicy, AdaptiveSpec
 
 __all__ = ["Kernel", "KernelConfig"]
 
@@ -59,6 +64,7 @@ class Kernel:
                  audit: bool = False,
                  faults: Optional[FaultSpec] = None,
                  qos: Optional[QosSpec] = None,
+                 adaptive: "Optional[AdaptiveSpec]" = None,
                  sim: Optional[Simulator] = None,
                  registry: Optional[StatsRegistry] = None,
                  inode_id_start: int = 1):
@@ -119,6 +125,21 @@ class Kernel:
             self.qos = QosManager(self.sim, qos, policy=policy,
                                   registry=self.registry)
             self.device.set_qos(self.qos)
+        # The learned adaptive prefetch policy attaches last of the
+        # optional subsystems: it links into the device (retry/fault
+        # feeds), the fault engine (fault-class attribution), and the
+        # QoS manager (SLO-driven weight boosts).  None attaches
+        # nothing — byte-identical run (the fig5 fingerprint contract).
+        self.adaptive: "Optional[AdaptivePolicy]" = None
+        if adaptive is not None and adaptive.enabled:
+            from repro.crosslib.adaptive import AdaptivePolicy
+            self.adaptive = AdaptivePolicy(self.sim, adaptive,
+                                           registry=self.registry)
+            self.device.set_adaptive(self.adaptive)
+            if self.fault_engine is not None:
+                self.fault_engine.adaptive = self.adaptive
+            if self.qos is not None:
+                self.qos.adaptive = self.adaptive
         self.vfs = VFS(self.sim, self.device, self.mem, self.config,
                        self.registry, inode_id_start=inode_id_start)
         self.vfs.tracer = tracer

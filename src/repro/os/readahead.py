@@ -14,6 +14,25 @@ This is the stock OS prefetcher the paper's baselines rely on (§2.1):
 
 The state lives per *open file description* (Linux's ``file->f_ra``),
 not per inode, so two FDs on one file age independently.
+
+Invariants:
+
+* the window never exceeds :attr:`ReadaheadState.max_window` — the
+  fadvise-scaled ``ra_pages`` cap, further clamped by whichever of the
+  two per-stream caps is set: ``degraded_cap`` (QoS, while the FD's
+  tenant is throttled) and ``adaptive_cap`` (the learned policy layer,
+  while the stream classifies temporal/random — see
+  :mod:`repro.crosslib.adaptive` and ``docs/prefetching.md``);
+* both caps clamp only — they can shrink the window, never grow it —
+  and both default to None, leaving the stock §3.1 behavior
+  byte-identical when neither subsystem is attached;
+* ``prev_end`` always advances to the end of the observed access, even
+  when readahead is disabled, so stream-position tracking survives
+  fadvise toggles.
+
+Determinism/threading: pure state-machine arithmetic — no simulation
+events, no randomness, no locks.  All mutation happens inline on the
+calling (simulated) thread's read path.
 """
 
 from __future__ import annotations
@@ -56,6 +75,10 @@ class ReadaheadState:
         # the QoS manager while the FD's tenant is throttled; None
         # leaves the stock window untouched.
         self.degraded_cap: Optional[int] = None
+        # Per-stream adaptive clamp (blocks).  Set by the VFS from the
+        # learned policy layer while the stream classifies as temporal
+        # or random (repro.crosslib.adaptive); None = stock window.
+        self.adaptive_cap: Optional[int] = None
 
     # -- hints ---------------------------------------------------------------
 
@@ -75,7 +98,9 @@ class ReadaheadState:
     def max_window(self) -> int:
         cap = self.ra_pages * 2 if self.sequential_hint else self.ra_pages
         if self.degraded_cap is not None and self.degraded_cap < cap:
-            return self.degraded_cap
+            cap = self.degraded_cap
+        if self.adaptive_cap is not None and self.adaptive_cap < cap:
+            cap = self.adaptive_cap
         return cap
 
     # -- the on-demand algorithm ----------------------------------------------

@@ -287,6 +287,11 @@ class VFS:
                 # while this FD's tenant is throttled (None otherwise).
                 ra.degraded_cap = self.device.qos.window_cap(
                     inode.id, self.sim.now)
+            if self.device.adaptive is not None and ra.enabled:
+                # Learned policy layer: clamp the window while the
+                # stream classifies temporal/random (None otherwise).
+                ra.adaptive_cap = self.device.adaptive.window_cap(
+                    inode.id, self.sim.now)
             if not ra.enabled:
                 # Stock readahead off (CROSS-LIB owns this FD, or
                 # FADV_RANDOM): the engine would only record the stream

@@ -529,6 +529,10 @@ class FaultEngine:
         self.spec = spec
         self.stats = FaultStats()
         self.device = None
+        # Learned adaptive policy (None unless the kernel links one):
+        # fault-class attribution feeds its per-stream features.  Pure
+        # bookkeeping; healthy/no-policy runs never call through it.
+        self.adaptive = None
         seed = spec.seed
         self._seed = seed
         self._n = 0
@@ -592,12 +596,18 @@ class FaultEngine:
         if fabric is not None and getattr(req, "path", 0) == 0:
             if self._partitions.current(now) is not None:
                 st.fabric_faults += 1
+                if self.adaptive is not None:
+                    self.adaptive.note_fault_class(req.stream,
+                                                   "fabric", now)
                 return (FabricError(
                     f"fabric partition (window {self._partitions.index})"),
                     self._fabric_latency, 1.0, 1.0)
             if fabric.drop_prob and \
                     _unit(self._seed, 11, n) < fabric.drop_prob:
                 st.fabric_faults += 1
+                if self.adaptive is not None:
+                    self.adaptive.note_fault_class(req.stream,
+                                                   "fabric", now)
                 return (FabricError("fabric packet drop"),
                         self._fabric_latency, 1.0, 1.0)
         wbdrop = spec.wbdrop
@@ -608,6 +618,9 @@ class FaultEngine:
             if wbdrop.drop_prob and \
                     _unit(self._seed, 23, n) < wbdrop.drop_prob:
                 st.wbdrop_faults += 1
+                if self.adaptive is not None:
+                    self.adaptive.note_fault_class(req.stream,
+                                                   "wbdrop", now)
                 return (DeviceError("writeback dropped before media",
                                     code="EIO"),
                         wbdrop.error_latency_us, 1.0, 1.0)
@@ -617,6 +630,9 @@ class FaultEngine:
                     else errors.write_fail_prob)
             if prob and _unit(self._seed, 13, n) < prob:
                 st.error_faults += 1
+                if self.adaptive is not None:
+                    self.adaptive.note_fault_class(req.stream,
+                                                   "error", now)
                 return (DeviceError(f"transient {req.kind} failure"),
                         errors.error_latency_us, 1.0, 1.0)
         mult = 1.0

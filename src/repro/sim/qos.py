@@ -21,7 +21,14 @@ degradation machinery tenant-scoped and adds explicit budgets:
   fault schedule);
 * fabric-faulted requests **re-route** once to a modeled secondary path
   (see ``StorageDevice._submit_resilient``) before entering the backoff
-  ladder.
+  ladder;
+* with the learned adaptive policy attached (``Kernel(adaptive=)``,
+  :mod:`repro.crosslib.adaptive`), **SLO violations move weights**: a
+  tenant missing its latency SLO earns a capped ``slo_boost``
+  multiplier on its fair-share weight (decayed again by violation-free
+  reads), so re-leasing favors the tenant that is actually hurting —
+  without the policy, violations are counted only, and the share
+  arithmetic is bit-identical to the static split.
 
 Everything here is consulted through ``device.qos`` / ``kernel.qos``
 ``is not None`` guards — with no manager attached, no code in this
@@ -195,7 +202,8 @@ class TenantState:
 
     __slots__ = ("spec", "bucket", "controller", "slots", "inflight",
                  "admitted_blocks", "trimmed_blocks", "reroutes",
-                 "slo_violations", "faults", "streams")
+                 "slo_violations", "faults", "streams", "slo_boost",
+                 "slo_clean")
 
     def __init__(self, spec: TenantSpec, bucket: TokenBucket,
                  controller: DegradeController, slots: int):
@@ -210,6 +218,11 @@ class TenantState:
         self.slo_violations = 0       # blocking reads past slo_us
         self.faults = 0               # fault events attributed here
         self.streams: set[int] = set()
+        # SLO-driven weight multiplier (adaptive policy only): stays at
+        # exactly 1.0 without it, so the fair-share arithmetic below is
+        # bit-identical to the static weight split.
+        self.slo_boost = 1.0
+        self.slo_clean = 0            # violation-free reads since bump
 
     @property
     def name(self) -> str:
@@ -224,6 +237,7 @@ class TenantState:
             "rate_bytes_per_us": self.bucket.rate,
             "tokens": self.bucket.tokens,
             "slots": self.slots,
+            "slo_boost": self.slo_boost,
             "inflight": self.inflight,
             "admitted_blocks": self.admitted_blocks,
             "trimmed_blocks": self.trimmed_blocks,
@@ -263,6 +277,10 @@ class QosManager:
         self.spec = spec
         self.registry = registry
         self.device = None
+        # Learned adaptive policy (set by the kernel when both are
+        # attached).  While present, SLO violations *move* tenant
+        # weights via slo_boost instead of only being counted.
+        self.adaptive = None
         self._policy = policy or DegradePolicy()
         self._stream_tenant: dict[int, TenantState] = {}
         self._rr = 0
@@ -375,7 +393,17 @@ class QosManager:
 
     def note_latency(self, stream: int, latency_us: float,
                      now: float) -> None:
-        """SLO accounting for one completed blocking read."""
+        """SLO accounting for one completed blocking read.
+
+        Without the adaptive policy, violations are counted only (the
+        pre-adaptive behavior, byte-identical).  With it, a violation
+        multiplies the tenant's ``slo_boost`` (capped) and re-leases
+        budgets immediately, so an SLO-missing tenant takes a larger
+        share of rate and prefetch slots; a run of violation-free reads
+        decays the boost back toward 1.0, re-leasing again on the way
+        down.  Both directions are pure functions of the completion
+        stream — deterministic per seed.
+        """
         state = self._stream_tenant.get(stream)
         if state is None or state.spec.slo_us is None:
             return
@@ -383,6 +411,24 @@ class QosManager:
             state.slo_violations += 1
             if self.registry is not None:
                 self.registry.count("qos.slo_violations")
+            adaptive = self.adaptive
+            if adaptive is not None:
+                spec = adaptive.spec
+                state.slo_clean = 0
+                boosted = min(spec.slo_boost_max,
+                              state.slo_boost * spec.slo_boost_step)
+                if boosted != state.slo_boost:
+                    state.slo_boost = boosted
+                    if self.registry is not None:
+                        self.registry.count("qos.slo_boosts")
+                    self._rebalance(now)
+        elif self.adaptive is not None and state.slo_boost > 1.0:
+            state.slo_clean += 1
+            if state.slo_clean >= self.adaptive.spec.slo_clean_reads:
+                state.slo_clean = 0
+                decayed = state.slo_boost                     * self.adaptive.spec.slo_boost_decay
+                state.slo_boost = decayed if decayed > 1.0 else 1.0
+                self._rebalance(now)
 
     # -- fair-share re-leasing ---------------------------------------------
 
@@ -399,14 +445,18 @@ class QosManager:
                   if t.controller.level < 2]
         if not active:          # everyone paused: keep base shares
             active = list(self.tenants.values())
-        total_w = sum(t.spec.weight for t in active)
+        # Effective weight = static weight x SLO boost.  The boost is
+        # exactly 1.0 unless the adaptive policy moved it, and
+        # weight * 1.0 == weight bit-for-bit, so non-adaptive runs
+        # reproduce the static split exactly.
+        total_w = sum(t.spec.weight * t.slo_boost for t in active)
         rate = self.spec.rate_bytes_per_us
         for t in self.tenants.values():
             if t not in active:
                 t.bucket.set_rate(0.0, now)
                 t.slots = 0
                 continue
-            share = t.spec.weight / total_w
+            share = t.spec.weight * t.slo_boost / total_w
             t.bucket.set_rate(rate * share, now)
             t.slots = max(1, round(self._total_slots * share))
 

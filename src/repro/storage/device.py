@@ -260,6 +260,10 @@ class StorageDevice:
         # default to region 0; region_of works with or without QoS so
         # the global-clamp comparison rows can still place files.
         self.qos = None
+        # Learned adaptive prefetch policy (None unless set_adaptive
+        # attaches one; see repro.crosslib.adaptive).  Pure bookkeeping
+        # target for retry/fault notifications.
+        self.adaptive = None
         self.region_map: dict[int, int] = {}
         # Persistence ledger for crash-consistency scenarios (None
         # unless the kernel attaches one; see set_durable).  Pure
@@ -311,6 +315,17 @@ class StorageDevice:
         """
         self.qos = manager
         manager.attach_device(self)
+
+    def set_adaptive(self, policy) -> None:
+        """Attach an :class:`~repro.crosslib.adaptive.AdaptivePolicy`.
+
+        The device then feeds it retry attempts, failed completions and
+        prefetch-deadline expiries so fault pressure reaches the
+        policy's perceptron features.  Without a policy none of that
+        code runs (healthy runs are byte-identical).
+        """
+        self.adaptive = policy
+        policy.attach_device(self)
 
     def set_durable(self, state) -> None:
         """Attach a :class:`~repro.storage.durable.DurableState` ledger
@@ -395,6 +410,8 @@ class StorageDevice:
                     st.retried_read_bytes += nbytes
                 else:
                     st.retried_write_bytes += nbytes
+                if self.adaptive is not None:
+                    self.adaptive.note_retry(stream, sim.now)
             req.done.add_callback(on_done)
             if priority == BLOCKING:
                 self._queue_blocking.append(req)
@@ -459,6 +476,9 @@ class StorageDevice:
                     self.degrade.note_fault(sim.now, weight=2.0)
                 if self.qos is not None:
                     self.qos.note_fault(stream, sim.now, weight=2.0)
+                if self.adaptive is not None:
+                    self.adaptive.note_fault(stream, sim.now,
+                                             weight=2.0)
                 outer.fail(DeviceTimeout(
                     f"prefetch {kind} offset={offset} nbytes={nbytes} "
                     f"missed {retry.prefetch_timeout_us:g}us deadline"))
@@ -691,6 +711,8 @@ class StorageDevice:
             self.degrade.note_fault(self.sim.now)
         if self.qos is not None:
             self.qos.note_fault(req.stream, self.sim.now)
+        if self.adaptive is not None:
+            self.adaptive.note_fault(req.stream, self.sim.now)
         if self.registry is not None:
             observer = self.registry.observer
             if observer is not None:

@@ -1,0 +1,369 @@
+"""Tests for the learned, pattern-adaptive prefetch policy layer.
+
+Covers, per ``docs/prefetching.md``:
+
+* classifier state transitions (sequential / temporal / random), the
+  two-in-a-row hysteresis, and the unknown cold-start band;
+* perceptron seed determinism and the mistake-driven update rule;
+* :class:`AdaptivePolicy` decisions — the sequential perceptron
+  bypass, per-class plan clamps and denials, readahead/request caps,
+  the relaxed-streak override, bulk-load admission and eviction bias;
+* the opt-in contract: with no policy attached, the fig5 microbench
+  reproduces its pinned event count and metrics fingerprint, byte for
+  byte;
+* enabled-path determinism and the ``repro experiment adaptive`` win
+  condition at the ``repro check`` quick preset;
+* QoS coupling: SLO violations multiply ``TenantState.slo_boost``
+  (capped, decaying) only while the policy is attached.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.crosslib.adaptive import (
+    PATTERN_RANDOM,
+    PATTERN_SEQUENTIAL,
+    PATTERN_TEMPORAL,
+    PATTERN_UNKNOWN,
+    AdaptivePolicy,
+    AdaptiveSpec,
+    Perceptron,
+    StreamClassifier,
+)
+from repro.crosslib.predictor import PrefetchPlan
+from repro.harness.experiments import run_adaptive
+from repro.harness.experiments.micro import run_fig5_microbench
+from repro.sim import Simulator
+from repro.sim.qos import QosManager, QosSpec
+
+MB = 1 << 20
+
+# Pinned disabled-path fingerprint (see docs/prefetching.md): the
+# fig5 quick cell must not move when the adaptive layer is merely
+# *present* in the tree but not attached.
+FIG5_EVENTS = 197_235
+FIG5_SHA256 = ("024d8bc3bac4ec94a4dc7f5981c346fc"
+               "c5f38149dcae037c3ca4a5842fa6e656")
+
+
+# -- classifier -------------------------------------------------------------
+
+
+def _feed(clf, starts, count=4):
+    for s in starts:
+        clf.observe(s, count)
+    return clf.pattern
+
+
+class TestStreamClassifier:
+    def test_unknown_below_half_window(self):
+        clf = StreamClassifier(AdaptiveSpec())
+        # window=20: needs 10 transitions (11 accesses) before labeling.
+        assert _feed(clf, range(10)) == PATTERN_UNKNOWN
+        assert _feed(clf, range(10, 30)) == PATTERN_SEQUENTIAL
+
+    def test_sequential_trace(self):
+        clf = StreamClassifier(AdaptiveSpec())
+        assert _feed(clf, range(0, 120, 4)) == PATTERN_SEQUENTIAL
+        assert clf.transitions == 1
+
+    def test_temporal_trace(self):
+        clf = StreamClassifier(AdaptiveSpec())
+        hot = [0, 500, 1000, 1500]
+        assert _feed(clf, hot * 10) == PATTERN_TEMPORAL
+
+    def test_random_trace(self):
+        clf = StreamClassifier(AdaptiveSpec())
+        assert _feed(clf, [i * 1000 for i in range(30)]) == PATTERN_RANDOM
+
+    def test_strided_ascent_counts_as_sequential(self):
+        # Forward deltas within stride_blocks (32) are sequential-ish:
+        # this is exactly the bait shape the adaptive experiment's
+        # prober uses, and why hysteresis matters.
+        clf = StreamClassifier(AdaptiveSpec())
+        assert _feed(clf, range(0, 30 * 8, 8), count=1) \
+            == PATTERN_SEQUENTIAL
+
+    def test_hysteresis_needs_two_raw_labels_in_a_row(self):
+        spec = AdaptiveSpec()
+        clf = StreamClassifier(spec)
+        _feed(clf, range(40))            # solidly sequential
+        # The ascending deque holds window-1 = 19 booleans, all True.
+        # Each far jump appends False; the raw label flips to random
+        # once the ascending fraction drops below 0.7 — after 6 jumps
+        # ((19-6)/19 ≈ 0.68).  The *published* pattern must survive
+        # that first raw flip and switch only on the second.
+        for i in range(6):
+            clf.observe(10_000 * (i + 2), 1)
+        assert clf.pattern == PATTERN_SEQUENTIAL
+        clf.observe(10_000 * 100, 1)
+        assert clf.pattern == PATTERN_RANDOM
+
+
+# -- perceptron -------------------------------------------------------------
+
+
+class TestPerceptron:
+    def test_same_seed_same_weights(self):
+        a = Perceptron(AdaptiveSpec(seed=7))
+        b = Perceptron(AdaptiveSpec(seed=7))
+        assert a.weights == b.weights
+
+    def test_different_seed_different_weights(self):
+        a = Perceptron(AdaptiveSpec(seed=0))
+        b = Perceptron(AdaptiveSpec(seed=1))
+        assert a.weights != b.weights
+
+    def test_fresh_perceptron_admits(self):
+        # The positive bias dominates the near-zero random weights, so
+        # a cold kernel issues every plan the static policy would.
+        p = Perceptron(AdaptiveSpec())
+        for pat in range(1, 4):
+            x = [0.0] * 7
+            x[0] = 1.0
+            x[pat] = 1.0
+            x[6] = 1.0
+            assert p.predict(x)
+
+    def test_train_is_mistake_driven(self):
+        p = Perceptron(AdaptiveSpec())
+        x = [1.0, 0.0, 0.0, 1.0, 0.5, 0.0, 1.0]
+        before = list(p.weights)
+        p.train(x, predicted=True, label=True)      # agreement: no-op
+        assert p.weights == before and p.mistakes == 0
+        p.train(x, predicted=True, label=False)     # mistake: step down
+        assert p.mistakes == 1
+        lr = AdaptiveSpec().learning_rate
+        assert p.weights == pytest.approx(
+            [w - lr * xi for w, xi in zip(before, x)])
+
+    def test_training_is_deterministic(self):
+        trace = [([1.0, 0, 0, 1, 0.3, 0.1, 0.2], True, False),
+                 ([1.0, 1, 0, 0, 0.9, 0.0, 1.0], True, True),
+                 ([1.0, 0, 1, 0, 0.5, 0.2, 0.4], False, True)]
+        a, b = Perceptron(AdaptiveSpec(seed=3)), \
+            Perceptron(AdaptiveSpec(seed=3))
+        for x, pred, label in trace:
+            a.train(x, pred, label)
+            b.train(x, pred, label)
+        assert a.weights == b.weights
+        assert a.mistakes == b.mistakes == 2
+
+
+# -- policy decisions -------------------------------------------------------
+
+
+def _policy(spec=None):
+    return AdaptivePolicy(Simulator(), spec or AdaptiveSpec())
+
+
+def _drive(pol, stream, starts, count=4, counter=3):
+    for s in starts:
+        pol.observe(stream, s, count, counter, 6)
+
+
+class TestAdaptivePolicy:
+    def test_sequential_bypasses_the_perceptron(self):
+        pol = _policy()
+        _drive(pol, 1, range(40))
+        pol.perceptron.weights = [-10.0] * 7    # gate would deny
+        plan = pol.gate_plan(1, PrefetchPlan(40, 8, False), 1000)
+        assert plan is not None and plan.count == 8
+        # No training example is recorded: cold-cache sequential misses
+        # must not teach the gate to deny (the deny->miss->deny spiral).
+        before = list(pol.perceptron.weights)
+        pol.note_outcome(1, hit_pages=0, miss_pages=8)
+        assert pol.perceptron.weights == before
+
+    def test_random_plans_are_clamped_then_denied(self):
+        pol = _policy()
+        _drive(pol, 1, [i * 1000 for i in range(30)], count=1)
+        assert pol.pattern_of(1) == PATTERN_RANDOM
+        plan = pol.gate_plan(1, PrefetchPlan(0, 32, False), 10_000)
+        assert plan.count == AdaptiveSpec().random_cap_blocks
+        pol.perceptron.weights = [-10.0] * 7
+        assert pol.gate_plan(1, PrefetchPlan(0, 32, False), 10_000) \
+            is None
+
+    def test_temporal_plans_are_clamped(self):
+        pol = _policy()
+        _drive(pol, 1, [0, 500, 1000, 1500] * 10)
+        assert pol.pattern_of(1) == PATTERN_TEMPORAL
+        plan = pol.gate_plan(1, PrefetchPlan(0, 64, False), 10_000)
+        assert plan.count == AdaptiveSpec().temporal_cap_blocks
+
+    def test_cold_streams_are_never_denied(self):
+        # Below train_min observations the gate admits regardless of
+        # the weights — cold streams behave like the static policy.
+        pol = _policy(AdaptiveSpec(train_min=100))
+        _drive(pol, 1, [i * 1000 for i in range(30)], count=1)
+        pol.perceptron.weights = [-10.0] * 7
+        assert pol.gate_plan(1, PrefetchPlan(0, 32, False), 10_000) \
+            is not None
+
+    def test_window_and_request_caps_per_pattern(self):
+        pol = _policy()
+        _drive(pol, 1, range(40))                              # seq
+        _drive(pol, 2, [0, 500, 1000, 1500] * 10)              # temporal
+        _drive(pol, 3, [i * 1000 for i in range(30)], count=1)  # random
+        now = 0.0
+        assert pol.window_cap(1, now) is None
+        assert pol.window_cap(2, now) == 16
+        assert pol.window_cap(3, now) == 4
+        assert pol.window_cap(99, now) is None                 # unseen
+        block = 4096
+        assert pol.request_cap(1, 10 * MB, block, now) == 10 * MB
+        assert pol.request_cap(2, 10 * MB, block, now) == 16 * block
+        assert pol.request_cap(3, 10 * MB, block, now) == 4 * block
+
+    def test_relax_streak_override_for_sequential(self):
+        pol = _policy()
+        _drive(pol, 1, range(40))
+        _drive(pol, 2, [i * 1000 for i in range(30)], count=1)
+        assert pol.relax_streak(1, 24) == 8
+        assert pol.relax_streak(2, 24) == 24
+        assert pol.relax_streak(99, 24) == 24
+
+    def test_bulk_admission_denied_only_for_random(self):
+        pol = _policy()
+        _drive(pol, 1, range(40))                              # seq
+        _drive(pol, 2, [0, 500, 1000, 1500] * 10)              # temporal
+        _drive(pol, 3, [i * 1000 for i in range(30)], count=1)  # random
+        assert pol.admit_bulk(1)
+        assert pol.admit_bulk(2)       # bulk is how hot sets get resident
+        assert not pol.admit_bulk(3)
+        assert pol.admit_bulk(99)      # unknown/cold: static behavior
+
+    def test_victim_bias_prefers_random_streams(self):
+        pol = _policy()
+        _drive(pol, 1, range(40))
+        _drive(pol, 3, [i * 1000 for i in range(30)], count=1)
+        assert pol.victim_bias(1, 0.0) == 0
+        assert pol.victim_bias(3, 0.0) == 1
+        assert pol.victim_bias(99, 0.0) == 0
+
+    def test_outcomes_train_the_gate(self):
+        pol = _policy()
+        _drive(pol, 1, [i * 1000 for i in range(30)], count=1)
+        plan = pol.gate_plan(1, PrefetchPlan(0, 32, False), 10_000)
+        assert plan is not None
+        before = list(pol.perceptron.weights)
+        pol.note_outcome(1, hit_pages=0, miss_pages=8)   # admitted, missed
+        assert pol.perceptron.mistakes == 1
+        assert pol.perceptron.weights != before
+
+    def test_fault_pressure_decays(self):
+        sim = Simulator()
+        spec = AdaptiveSpec()
+        pol = AdaptivePolicy(sim, spec)
+        pol.note_retry(1, now=0.0)
+        pol.note_fault(1, now=0.0)
+        state = pol._streams[1]
+        assert pol._pressure(state, 0.0) == pytest.approx(
+            spec.retry_weight + spec.fault_weight)
+        assert pol._pressure(state, spec.pressure_halflife_us) \
+            == pytest.approx((spec.retry_weight + spec.fault_weight) / 2)
+
+    def test_snapshot_reports_per_stream_state(self):
+        pol = _policy()
+        _drive(pol, 1, range(40))
+        pol.gate_plan(1, PrefetchPlan(40, 8, False), 1000)
+        pol.note_fault_class(1, "torn", now=0.0)
+        snap = pol.snapshot()
+        st = snap["streams"][1]
+        assert st["pattern"] == PATTERN_SEQUENTIAL
+        assert st["issued"] == 1
+        assert st["fault_classes"] == {"torn": 1}
+        assert len(snap["weights"]) == 7
+
+
+# -- opt-in contract: the disabled path is byte-identical -------------------
+
+
+class TestDisabledPathFingerprint:
+    def test_fig5_fingerprint_unchanged(self):
+        results, _ = run_fig5_microbench(
+            nthreads=4, memory_bytes=48 * MB,
+            cells=("shared-seq", "shared-rand"))
+        doc = {cell: {ap: [m.duration_us, m.bytes_read, m.hit_pages,
+                           m.miss_pages, m.extra["sim_events"],
+                           m.extra["sim_time_us"]]
+                      for ap, m in row.items()}
+               for cell, row in results.items()}
+        events = sum(m.extra["sim_events"] for row in results.values()
+                     for m in row.values())
+        digest = hashlib.sha256(
+            json.dumps(doc, sort_keys=True).encode()).hexdigest()
+        assert events == FIG5_EVENTS
+        assert digest == FIG5_SHA256
+
+
+# -- the adaptive experiment ------------------------------------------------
+
+QUICK = dict(memory_bytes=32 * MB, oversubscription=2.0, hot_ops=240)
+
+
+class TestAdaptiveExperiment:
+    def test_quick_preset_wins_and_is_deterministic(self):
+        first, report = run_adaptive(**QUICK)
+        second, _ = run_adaptive(**QUICK)
+        # Win condition: adaptive strictly beats every static config,
+        # healthy and under the fault storm.
+        assert first["wins"] == {"healthy": True, "storm": True}
+        assert first["storm_hit_delta_pp"] is not None
+        assert "beats every static config" in report
+        # Same seed => bit-identical rows and learned state.
+        assert first["throughput"] == second["throughput"]
+        assert first["hit_rate"] == second["hit_rate"]
+        for variant in ("healthy", "storm"):
+            key = f"adaptive / {variant}"
+            assert first["rows"][key].extra["adaptive"] \
+                == second["rows"][key].extra["adaptive"]
+
+
+# -- QoS coupling -----------------------------------------------------------
+
+
+class TestSloBoost:
+    def _manager(self, adaptive):
+        sim = Simulator()
+        mgr = QosManager(sim, QosSpec.parse("A:1:1000,B:1"))
+        if adaptive:
+            mgr.adaptive = AdaptivePolicy(sim, AdaptiveSpec())
+        mgr.register_stream(1, "A")
+        return sim, mgr
+
+    def test_violations_multiply_slo_boost_capped(self):
+        sim, mgr = self._manager(adaptive=True)
+        state = mgr.tenants["A"]
+        mgr.note_latency(1, 5000.0, sim.now)
+        assert state.slo_boost == pytest.approx(1.5)
+        mgr.note_latency(1, 5000.0, sim.now)
+        assert state.slo_boost == pytest.approx(2.25)
+        for _ in range(10):
+            mgr.note_latency(1, 5000.0, sim.now)
+        assert state.slo_boost == pytest.approx(4.0)      # capped
+        # The boost actually moves budgets, not just a counter.
+        assert mgr.tenants["A"].bucket.rate \
+            > mgr.tenants["B"].bucket.rate
+
+    def test_clean_reads_decay_the_boost(self):
+        sim, mgr = self._manager(adaptive=True)
+        state = mgr.tenants["A"]
+        for _ in range(12):
+            mgr.note_latency(1, 5000.0, sim.now)
+        assert state.slo_boost == pytest.approx(4.0)
+        for _ in range(64):
+            mgr.note_latency(1, 10.0, sim.now)
+        assert state.slo_boost == pytest.approx(3.0)
+
+    def test_without_adaptive_violations_only_counted(self):
+        sim, mgr = self._manager(adaptive=False)
+        state = mgr.tenants["A"]
+        mgr.note_latency(1, 5000.0, sim.now)
+        assert state.slo_violations == 1
+        assert state.slo_boost == 1.0
+        assert mgr.tenants["A"].bucket.rate \
+            == pytest.approx(mgr.tenants["B"].bucket.rate)

@@ -17,7 +17,7 @@ def test_suite_schema_v2_and_uniform_sim_time():
 def test_all_benches_registered():
     assert set(benchmod.BENCHES) == {
         "engine_timeout", "engine_locks", "fig5_quick", "fig2_quick",
-        "chaos_quick", "qos_quick", "cluster_quick",
+        "chaos_quick", "qos_quick", "cluster_quick", "adaptive_quick",
     }
 
 

@@ -27,7 +27,7 @@ class TestParser:
         expected = {"fig2", "fig5", "fig6", "tab4", "fig7a", "fig7b",
                     "fig7c", "fig7d", "tab5", "fig10", "fig8a",
                     "fig8b", "fig9a", "fig9b", "resilience",
-                    "fairness", "recovery", "scale"}
+                    "fairness", "recovery", "scale", "adaptive"}
         assert set(EXPERIMENTS) == expected
 
     def test_parser_requires_command(self):

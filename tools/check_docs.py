@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Docs consistency checker (run in CI).
 
-Two checks over the repo's markdown (README.md, EXPERIMENTS.md,
+Three checks over the repo's markdown (README.md, EXPERIMENTS.md,
 ROADMAP.md, DESIGN.md, docs/*.md):
 
 1. **Links** — every relative markdown link ``[text](target)`` must
@@ -13,6 +13,11 @@ ROADMAP.md, DESIGN.md, docs/*.md):
    ``repro.cli.build_parser()`` (subparsers included), so renaming or
    removing a flag without updating the docs fails the build.  Flags
    belonging to other tools (pytest, pip) live in ``FLAG_ALLOWLIST``.
+3. **Module map** — every module under ``src/repro/`` must be
+   reachable from the ``docs/index.md`` module map, either by exact
+   backticked name (```repro.os.vfs```) or through a package wildcard
+   (```repro.workloads.*```), so new modules land in the index and
+   renames cannot silently orphan a row.
 
 Exit status 0 when clean; 1 with one message per problem otherwise.
 
@@ -42,6 +47,9 @@ FLAG_ALLOWLIST = {
 
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 FLAG_RE = re.compile(r"(?<![\w-])(--[a-z][a-z0-9-]+)")
+MODULE_RE = re.compile(r"`(repro(?:\.[\w*]+)+)`")
+
+MODULE_MAP_DOC = os.path.join(DOCS_DIR, "index.md")
 
 
 def doc_files() -> list[str]:
@@ -101,6 +109,37 @@ def check_flags(relpath: str, text: str, known: set[str],
                 f"flag to repro.cli)")
 
 
+def repro_modules() -> list[str]:
+    """Every leaf module under src/repro (packages and mains skipped)."""
+    src = os.path.join(REPO, "src")
+    modules = []
+    for dirpath, _dirnames, filenames in os.walk(
+            os.path.join(src, "repro")):
+        for name in filenames:
+            if not name.endswith(".py") \
+                    or name in ("__init__.py", "__main__.py"):
+                continue
+            rel = os.path.relpath(os.path.join(dirpath, name), src)
+            modules.append(rel[:-3].replace(os.sep, "."))
+    return sorted(modules)
+
+
+def check_module_map(problems: list[str]) -> None:
+    with open(os.path.join(REPO, MODULE_MAP_DOC),
+              encoding="utf-8") as fh:
+        mentions = set(MODULE_RE.findall(fh.read()))
+    exact = {m for m in mentions if not m.endswith(".*")}
+    prefixes = tuple(m[:-1] for m in mentions if m.endswith(".*"))
+    for module in repro_modules():
+        if module in exact \
+                or (prefixes and module.startswith(prefixes)):
+            continue
+        problems.append(
+            f"{MODULE_MAP_DOC}: module {module} is not reachable from "
+            f"the module map (add a row naming it, or a package "
+            f"wildcard like `{module.rsplit('.', 1)[0]}.*`)")
+
+
 def main() -> int:
     problems: list[str] = []
     known = cli_flags()
@@ -109,6 +148,7 @@ def main() -> int:
             text = fh.read()
         check_links(relpath, text, problems)
         check_flags(relpath, text, known, problems)
+    check_module_map(problems)
     if problems:
         print(f"check_docs: {len(problems)} problem(s)")
         for p in problems:
